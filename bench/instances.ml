@@ -1,0 +1,60 @@
+(* Shared instance builders for the benchmark harness. *)
+
+open Incdb_incomplete
+
+(* Codd table with [n] binary all-null tuples over a domain of size [d];
+   the workhorse for the Theorem 3.7 / #Val(R(x,x)) scaling experiments. *)
+let diagonal_codd n d =
+  let facts =
+    List.init n (fun i ->
+        Idb.fact "R"
+          [
+            Term.null (Printf.sprintf "a%d" i);
+            Term.null (Printf.sprintf "b%d" i);
+          ])
+  in
+  Idb.make facts (Idb.Uniform (List.init d (fun i -> "v" ^ string_of_int i)))
+
+(* Uniform naive table for R(x) ∧ S(x): nR nulls and cR constants in R,
+   likewise for S, over a domain of size d (Example 3.10 shape). *)
+let two_unary ~d ~nr ~cr ~ns ~cs =
+  let dom = List.init d (fun i -> "v" ^ string_of_int i) in
+  let consts k prefix = List.init k (fun i -> "v" ^ string_of_int (prefix + i)) in
+  let facts =
+    List.map (fun c -> Idb.fact "R" [ Term.const c ]) (consts cr 0)
+    @ List.init nr (fun i -> Idb.fact "R" [ Term.null (Printf.sprintf "r%d" i) ])
+    @ List.map (fun c -> Idb.fact "S" [ Term.const c ]) (consts cs cr)
+    @ List.init ns (fun i -> Idb.fact "S" [ Term.null (Printf.sprintf "s%d" i) ])
+  in
+  Idb.make facts (Idb.Uniform dom)
+
+(* Single unary relation with [n] nulls and [c] constants over domain d:
+   the Theorem 4.6 / warm-up B.6 completion-counting instance. *)
+let one_unary ~d ~n ~c =
+  let dom = List.init d (fun i -> "v" ^ string_of_int i) in
+  let facts =
+    List.init c (fun i -> Idb.fact "R" [ Term.const ("v" ^ string_of_int i) ])
+    @ List.init n (fun i -> Idb.fact "R" [ Term.null (Printf.sprintf "n%d" i) ])
+  in
+  Idb.make facts (Idb.Uniform dom)
+
+let figure1 () =
+  Idb.make
+    [
+      Idb.fact_of_strings "S" [ "a"; "b" ];
+      Idb.fact_of_strings "S" [ "?n1"; "a" ];
+      Idb.fact_of_strings "S" [ "a"; "?n2" ];
+    ]
+    (Idb.Nonuniform [ ("n1", [ "a"; "b"; "c" ]); ("n2", [ "a"; "b" ]) ])
+
+(* Brute force is feasible when the full valuation space fits under the
+   enumeration limit. *)
+let brute_feasible ?(limit = 2_000_000) db =
+  match Incdb_bignum.Nat.to_int_opt (Idb.total_valuations db) with
+  | Some t -> t <= limit
+  | None -> false
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, Unix.gettimeofday () -. t0)

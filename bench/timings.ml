@@ -1,0 +1,157 @@
+(* Bechamel micro-benchmarks: one Test.make per regenerated table/figure
+   (and per algorithmic component), all run in this single executable. *)
+
+open Bechamel
+open Toolkit
+open Incdb_cq
+open Incdb_incomplete
+open Incdb_core
+open Incdb_graph
+open Incdb_reductions
+
+let figure1_test =
+  let db = Instances.figure1 () in
+  let q = Cq.of_string "S(x,x)" in
+  Test.make ~name:"figure1:count-val-and-comp"
+    (Staged.stage (fun () ->
+         let _, a = Count_val.count q db in
+         let _, b = Count_comp.count q db in
+         (a, b)))
+
+let table1_test =
+  let queries =
+    List.map Cq.of_string
+      [
+        "R(x)"; "R(x,y)"; "R(x,x)"; "R(x), S(x)";
+        "R(x), S(x,y), T(y)"; "R(x,y), S(x,y)";
+      ]
+  in
+  Test.make ~name:"table1:classify-corpus"
+    (Staged.stage (fun () ->
+         List.concat_map
+           (fun q -> List.map (fun s -> Classify.exact s q) Setting.all)
+           queries))
+
+let pattern_test =
+  let q = Cq.of_string "A(u,x,u), B(y,y), C(x,s,z,s), D(w,z)" in
+  Test.make ~name:"pattern:definition-3.1-decision"
+    (Staged.stage (fun () ->
+         ( Pattern.has_rxx q,
+           Pattern.has_rx_sx q,
+           Pattern.has_rx_sxy_ty q,
+           Pattern.has_rxy_sxy q )))
+
+let val_codd_test =
+  let db = Instances.diagonal_codd 60 8 in
+  let q = Cq.of_string "R(x,x)" in
+  Test.make ~name:"thm3.7:val-codd-120-nulls"
+    (Staged.stage (fun () -> Count_val.codd_nonuniform q db))
+
+let val_uniform_test =
+  let db = Instances.two_unary ~d:8 ~nr:8 ~cr:1 ~ns:8 ~cs:1 in
+  let q = Cq.of_string "R(x), S(x)" in
+  Test.make ~name:"thm3.9:val-uniform-block-dp"
+    (Staged.stage (fun () -> Count_val.uniform_naive q db))
+
+let comp_uniform_test =
+  let db = Instances.one_unary ~d:16 ~n:20 ~c:4 in
+  Test.make ~name:"thm4.6:comp-uniform-unary"
+    (Staged.stage (fun () -> Count_comp.uniform_unary db))
+
+let brute_val_test =
+  let db = Instances.diagonal_codd 4 4 in
+  let q = Query.Bcq (Cq.of_string "R(x,x)") in
+  Test.make ~name:"brute:val-8-nulls-dom-4"
+    (Staged.stage (fun () -> Brute.count_valuations q db))
+
+let karp_luby_test =
+  let db = Instances.diagonal_codd 20 10 in
+  let q = Query.Bcq (Cq.of_string "R(x,x)") in
+  Test.make ~name:"cor5.3:karp-luby-1000-samples"
+    (Staged.stage (fun () ->
+         Incdb_approx.Karp_luby.estimate ~seed:3 ~samples:1000 q db))
+
+let coloring_reduction_test =
+  let g = Generators.cycle 7 in
+  Test.make ~name:"prop3.4:coloring-via-val-c7"
+    (Staged.stage (fun () -> Coloring_red.colorings_via_val g))
+
+let gadget_test =
+  let g = Generators.cycle 4 in
+  Test.make ~name:"prop5.6:gadget-c4"
+    (Staged.stage (fun () -> Threecol_gadget.completion_count g))
+
+let is_completion_test =
+  let db = Instances.one_unary ~d:10 ~n:10 ~c:2 in
+  let completion =
+    Idb.apply db (List.map (fun n -> (n, "v5")) (Idb.nulls db))
+  in
+  Test.make ~name:"lemmaB.2:is-completion-matching"
+    (Staged.stage (fun () -> Incdb_incomplete.Codd.is_completion db completion))
+
+let symbolic_test =
+  let facts =
+    List.init 3 (fun i ->
+        Incdb_incomplete.Idb.fact "R"
+          [ Incdb_incomplete.Term.null (Printf.sprintf "r%d" i) ])
+    @ List.init 3 (fun i ->
+          Incdb_incomplete.Idb.fact "S"
+            [ Incdb_incomplete.Term.null (Printf.sprintf "s%d" i) ])
+  in
+  let q = Cq.of_string "R(x), S(x)" in
+  Test.make ~name:"thm3.9:symbolic-domain-1e9"
+    (Staged.stage (fun () ->
+         Count_val.uniform_symbolic q facts ~domain_size:1_000_000_000))
+
+let candidates_test =
+  let db = Instances.one_unary ~d:3 ~n:18 ~c:0 in
+  Test.make ~name:"propB.1:candidate-space-completions"
+    (Staged.stage (fun () -> Incdb_core.Comp_candidates.count db))
+
+let hopcroft_karp_test =
+  let b = Generators.random_bipartite ~seed:5 40 40 1 3 in
+  Test.make ~name:"matching:hopcroft-karp-40x40"
+    (Staged.stage (fun () -> Incdb_graph.Matching.maximum_matching b))
+
+let all_tests =
+  [
+    figure1_test;
+    table1_test;
+    pattern_test;
+    val_codd_test;
+    val_uniform_test;
+    comp_uniform_test;
+    brute_val_test;
+    karp_luby_test;
+    coloring_reduction_test;
+    gadget_test;
+    is_completion_test;
+    symbolic_test;
+    candidates_test;
+    hopcroft_karp_test;
+  ]
+
+let run () =
+  Printf.printf "\n=== Bechamel micro-benchmarks (ns/run, OLS on monotonic clock) ===\n%!";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let grouped = Test.make_grouped ~name:"incdb" all_tests in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ ns ] ->
+        let r2 =
+          match Analyze.OLS.r_square r with Some v -> v | None -> nan
+        in
+        Printf.printf "  %-42s %14.1f ns/run   (r² = %.4f)\n" name ns r2
+      | _ -> Printf.printf "  %-42s (no estimate)\n" name)
+    rows

@@ -1,0 +1,416 @@
+(* idbcount: command-line front end for the incomplete-database counting
+   library.
+
+     idbcount classify  "R(x), S(x,y), T(y)"
+     idbcount count     --db census.idb --query "R(x), S(x)" --problem val
+     idbcount approx    --db big.idb --query "R(x,x)" --samples 50000
+     idbcount enumerate --db example.idb --query "S(x,x)"
+     idbcount table1    "R(x,x)" "R(x), S(x)" ...
+*)
+
+open Cmdliner
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+open Incdb_core
+module Count_bounds_alias = Comp_bounds
+
+let query_conv =
+  let parse s =
+    match Cq.of_string s with
+    | q -> Ok q
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Cq.pp)
+
+let db_arg =
+  let doc = "Incomplete database file (see Idb_parser for the format)." in
+  Arg.(required & opt (some file) None & info [ "db" ] ~docv:"FILE" ~doc)
+
+let load_db path =
+  try Ok (Idb_parser.of_file path)
+  with Invalid_argument msg -> Error msg
+
+let query_opt =
+  let doc = "Boolean conjunctive query, e.g. \"R(x), S(x,y)\"." in
+  Arg.(required & opt (some query_conv) None & info [ "query"; "q" ] ~docv:"QUERY" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* classify                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let classify_cmd =
+  let query =
+    Arg.(required & pos 0 (some query_conv) None & info [] ~docv:"QUERY")
+  in
+  let run q =
+    Printf.printf "query: %s\n\n" (Cq.to_string q);
+    List.iter
+      (fun s ->
+        Printf.printf "%-12s exact: %s\n%-12s approx: %s\n%-12s class: %s\n\n"
+          (Setting.to_string s)
+          (Classify.verdict_to_string (Classify.exact s q))
+          ""
+          (Classify.approx_verdict_to_string (Classify.approximate s q))
+          "" (Classify.membership s))
+      Setting.all
+  in
+  let doc = "Classify a query in all eight Table 1 settings." in
+  Cmd.v (Cmd.info "classify" ~doc) Cmdliner.Term.(const run $ query)
+
+(* ------------------------------------------------------------------ *)
+(* count                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let problem_conv =
+  Arg.enum [ ("val", `Val); ("valuations", `Val); ("comp", `Comp); ("completions", `Comp) ]
+
+let count_cmd =
+  let problem =
+    let doc = "What to count: satisfying valuations (val) or completions (comp)." in
+    Arg.(value & opt problem_conv `Val & info [ "problem"; "p" ] ~doc)
+  in
+  let brute_limit =
+    let doc = "Maximum number of valuations brute force may enumerate." in
+    Arg.(value & opt int 4_000_000 & info [ "brute-limit" ] ~doc)
+  in
+  let run db_path q problem brute_limit =
+    match load_db db_path with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok db ->
+      let setting_problem =
+        match problem with `Val -> Setting.Valuations | `Comp -> Setting.Completions
+      in
+      let setting = Setting.of_idb setting_problem db in
+      Printf.printf "setting: %s\n" (Setting.to_string setting);
+      Printf.printf "classification: %s\n"
+        (Classify.verdict_to_string (Classify.exact setting q));
+      (try
+         let algo_name, result =
+           match problem with
+           | `Val ->
+             let a, n = Count_val.count ~brute_limit q db in
+             (Count_val.algorithm_to_string a, n)
+           | `Comp ->
+             let a, n = Count_comp.count ~brute_limit q db in
+             (Count_comp.algorithm_to_string a, n)
+         in
+         Printf.printf "algorithm: %s\n" algo_name;
+         Printf.printf "total valuations: %s\n"
+           (Nat.to_string (Idb.total_valuations db));
+         Printf.printf "count: %s\n" (Nat.to_string result)
+       with Invalid_argument msg ->
+         prerr_endline ("error: " ^ msg);
+         exit 1)
+  in
+  let doc = "Count satisfying valuations or completions exactly." in
+  Cmd.v (Cmd.info "count" ~doc)
+    Cmdliner.Term.(const run $ db_arg $ query_opt $ problem $ brute_limit)
+
+(* ------------------------------------------------------------------ *)
+(* approx                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let approx_cmd =
+  let samples =
+    Arg.(value & opt int 50_000 & info [ "samples"; "n" ] ~doc:"Sample count.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let meth =
+    let doc = "Estimator: karp-luby (FPRAS, Corollary 5.3) or monte-carlo." in
+    Arg.(value
+        & opt (enum [ ("karp-luby", `Kl); ("monte-carlo", `Mc) ]) `Kl
+        & info [ "method"; "m" ] ~doc)
+  in
+  let run db_path q samples seed meth =
+    match load_db db_path with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok db ->
+      let query = Query.Bcq q in
+      (match meth with
+      | `Kl ->
+        let events = List.length (Incdb_approx.Karp_luby.events query db) in
+        Printf.printf "events: %d\n" events;
+        Printf.printf "estimate (#Val): %.6g\n"
+          (Incdb_approx.Karp_luby.estimate ~seed ~samples query db)
+      | `Mc ->
+        Printf.printf "estimate (#Val): %.6g\n"
+          (Incdb_approx.Montecarlo.estimate ~seed ~samples query db));
+      Printf.printf "total valuations: %s\n"
+        (Nat.to_string (Idb.total_valuations db))
+  in
+  let doc = "Estimate #Val with randomized approximation (Section 5)." in
+  Cmd.v (Cmd.info "approx" ~doc)
+    Cmdliner.Term.(const run $ db_arg $ query_opt $ samples $ seed $ meth)
+
+(* ------------------------------------------------------------------ *)
+(* enumerate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let enumerate_cmd =
+  let query =
+    let doc = "Optional query; marks satisfying valuations." in
+    Arg.(value & opt (some query_conv) None & info [ "query"; "q" ] ~doc)
+  in
+  let limit =
+    Arg.(value & opt int 64 & info [ "limit" ] ~doc:"Maximum rows printed.")
+  in
+  let run db_path query limit =
+    match load_db db_path with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok db ->
+      let shown = ref 0 in
+      Idb.iter_valuations db (fun v ->
+          if !shown < limit then begin
+            incr shown;
+            let completion = Idb.apply db v in
+            let mark =
+              match query with
+              | None -> ""
+              | Some q ->
+                if Cq.eval q completion then "  |= q" else "  not |= q"
+            in
+            let binding =
+              String.concat ", " (List.map (fun (n, c) -> "?" ^ n ^ "=" ^ c) v)
+            in
+            Format.printf "%-40s %a%s@." binding Incdb_relational.Cdb.pp
+              completion mark
+          end);
+      let total = Idb.total_valuations db in
+      Printf.printf "(%d of %s valuations shown)\n" !shown (Nat.to_string total)
+  in
+  let doc = "Enumerate valuations and their completions (Figure 1 style)." in
+  Cmd.v (Cmd.info "enumerate" ~doc) Cmdliner.Term.(const run $ db_arg $ query $ limit)
+
+(* ------------------------------------------------------------------ *)
+(* certainty                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let certainty_cmd =
+  let run db_path q =
+    match load_db db_path with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok db ->
+      let query = Query.Bcq q in
+      Printf.printf "possible: %b\n" (Certainty.possible query db);
+      Printf.printf "certain:  %b\n" (Certainty.certain query db);
+      Printf.printf "support:  %s\n"
+        (Qnum.to_string (Certainty.support_ratio query db))
+  in
+  let doc = "Decide possibility/certainty and compute the support ratio." in
+  Cmd.v (Cmd.info "certainty" ~doc) Cmdliner.Term.(const run $ db_arg $ query_opt)
+
+(* ------------------------------------------------------------------ *)
+(* sample                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let count =
+    Arg.(value & opt int 1 & info [ "count"; "n" ] ~doc:"Number of samples.")
+  in
+  let run db_path q seed count =
+    match load_db db_path with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok db ->
+      let query = Query.Bcq q in
+      for i = 0 to count - 1 do
+        match Incdb_approx.Enumerate.sample_uniform ~seed:(seed + i) query db with
+        | None -> print_endline "(unsatisfiable)"
+        | Some v ->
+          print_endline
+            (String.concat ", " (List.map (fun (n, c) -> "?" ^ n ^ "=" ^ c) v))
+      done
+  in
+  let doc = "Sample satisfying valuations uniformly at random." in
+  Cmd.v (Cmd.info "sample" ~doc)
+    Cmdliner.Term.(const run $ db_arg $ query_opt $ seed $ count)
+
+(* ------------------------------------------------------------------ *)
+(* mu (zero-one law scan)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mu_cmd =
+  let kmax = Arg.(value & opt int 8 & info [ "kmax" ] ~doc:"Largest domain size.") in
+  let run db_path q kmax =
+    match load_db db_path with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok db ->
+      (* Only the naive table matters: mu_k replaces the domains with
+         the uniform {1..k}. *)
+      List.iter
+        (fun (k, v) -> Printf.printf "k=%-3d mu_k = %s\n" k (Qnum.to_string v))
+        (Zero_one.scan q (Idb.facts db) ~kmax)
+  in
+  let doc = "Scan Libkin's mu_k relative frequency over growing domains." in
+  Cmd.v (Cmd.info "mu" ~doc) Cmdliner.Term.(const run $ db_arg $ query_opt $ kmax)
+
+(* ------------------------------------------------------------------ *)
+(* bounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bounds_cmd =
+  let samples =
+    Arg.(value & opt int 5000 & info [ "samples"; "n" ] ~doc:"Sampling budget.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let run db_path q samples seed =
+    match load_db db_path with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok db ->
+      let b = Count_bounds_alias.bounds ~seed ~samples q db in
+      Printf.printf "#Comp(q) is within [%s, %s]\n"
+        (Nat.to_string b.Count_bounds_alias.lower)
+        (Nat.to_string b.Count_bounds_alias.upper);
+      (match Count_bounds_alias.exact_within ~seed ~samples q db with
+      | Some n -> Printf.printf "bounds meet: #Comp = %s\n" (Nat.to_string n)
+      | None -> ())
+  in
+  let doc = "Sound lower/upper bounds for #Comp (Section 8 heuristics)." in
+  Cmd.v (Cmd.info "bounds" ~doc)
+    Cmdliner.Term.(const run $ db_arg $ query_opt $ samples $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* reach (datalog reachability counting)                               *)
+(* ------------------------------------------------------------------ *)
+
+let reach_cmd =
+  let from_ =
+    Arg.(required & opt (some string) None & info [ "from" ] ~doc:"Source node.")
+  in
+  let to_ =
+    Arg.(required & opt (some string) None & info [ "to" ] ~doc:"Target node.")
+  in
+  let run db_path from_ to_ =
+    match load_db db_path with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok db ->
+      let q = Incdb_datalog.Datalog.reachability ~from:from_ ~to_ in
+      let sat = Incdb_incomplete.Brute.count_valuations q db in
+      let total = Idb.total_valuations db in
+      Printf.printf "worlds where %s reaches %s (over relation E): %s of %s\n"
+        from_ to_ (Nat.to_string sat) (Nat.to_string total)
+  in
+  let doc = "Count worlds where one node reaches another (Datalog over E)." in
+  Cmd.v (Cmd.info "reach" ~doc) Cmdliner.Term.(const run $ db_arg $ from_ $ to_)
+
+(* ------------------------------------------------------------------ *)
+(* repairs                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let repairs_cmd =
+  let keys =
+    let doc =
+      "Primary keys as Rel:pos,pos pairs, repeatable, e.g. --key Emp:0."
+    in
+    Arg.(value & opt_all string [] & info [ "key" ] ~docv:"REL:POS,..." ~doc)
+  in
+  let query =
+    Arg.(value & opt (some query_conv) None & info [ "query"; "q" ]
+           ~doc:"Optional query to filter repairs.")
+  in
+  let run db_path keys query =
+    match load_db db_path with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok db ->
+      if Idb.nulls db <> [] then begin
+        prerr_endline "repairs: the database must be complete (no nulls)";
+        exit 1
+      end;
+      let parse_key spec =
+        match String.split_on_char ':' spec with
+        | [ rel; positions ] ->
+          ( rel,
+            String.split_on_char ',' positions
+            |> List.map (fun p -> int_of_string (String.trim p)) )
+        | _ -> failwith ("bad --key " ^ spec)
+      in
+      let keys = List.map parse_key keys in
+      let facts =
+        List.map
+          (fun (f : Idb.fact) ->
+            Incdb_relational.Cdb.fact f.Idb.rel
+              (List.map
+                 (function
+                   | Term.Const c -> c
+                   | Term.Null _ -> assert false)
+                 (Array.to_list f.Idb.args)))
+          (Idb.facts db)
+      in
+      let r = Incdb_probdb.Repairs.make ~keys facts in
+      Printf.printf "key groups: %d\n"
+        (List.length (Incdb_probdb.Repairs.groups r));
+      Printf.printf "total repairs: %s\n"
+        (Nat.to_string (Incdb_probdb.Repairs.total_repairs r));
+      (match query with
+      | None -> ()
+      | Some q ->
+        Printf.printf "#Repairs(q): %s\n"
+          (Nat.to_string
+             (Incdb_probdb.Repairs.count_repairs ~query:(Query.Bcq q) r)))
+  in
+  let doc = "Count repairs of an inconsistent database under primary keys." in
+  Cmd.v (Cmd.info "repairs" ~doc)
+    Cmdliner.Term.(const run $ db_arg $ keys $ query)
+
+(* ------------------------------------------------------------------ *)
+(* table1                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1_cmd =
+  let queries = Arg.(value & pos_all query_conv [] & info [] ~docv:"QUERY...") in
+  let run queries =
+    let queries =
+      if queries <> [] then queries
+      else
+        [
+          Cq.q_rx;
+          Cq.q_rxy;
+          Cq.q_rxx;
+          Cq.q_rx_sx;
+          Cq.q_rx_sxy_ty;
+          Cq.q_rxy_sxy;
+        ]
+    in
+    print_string (Classify.table1 queries)
+  in
+  let doc = "Print a Table 1 style dichotomy table for a query corpus." in
+  Cmd.v (Cmd.info "table1" ~doc) Cmdliner.Term.(const run $ queries)
+
+let () =
+  let doc = "Counting valuations and completions of incomplete databases" in
+  let info = Cmd.info "idbcount" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            classify_cmd;
+            count_cmd;
+            approx_cmd;
+            enumerate_cmd;
+            certainty_cmd;
+            sample_cmd;
+            mu_cmd;
+            bounds_cmd;
+            reach_cmd;
+            repairs_cmd;
+            table1_cmd;
+          ]))

@@ -1,0 +1,63 @@
+(* The Section 5 story, executable: #Val always has an FPRAS
+   (Corollary 5.3), and the Karp-Luby estimator keeps working far beyond
+   the reach of exhaustive enumeration, while naive Monte-Carlo degrades
+   when satisfying valuations are rare.
+
+     dune exec examples/approx_demo.exe
+*)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+open Incdb_core
+open Incdb_approx
+
+(* A Codd table of n independent binary R-tuples over a domain of size d:
+   #Val(R(x,x)) is exactly d^(2n) - (d^2 - d)^n, computable in closed form
+   (Theorem 3.7), which lets us score the estimators at any scale. *)
+let diagonal_instance n d =
+  let facts =
+    List.init n (fun i ->
+        Idb.fact "R"
+          [
+            Term.null (Printf.sprintf "a%d" i);
+            Term.null (Printf.sprintf "b%d" i);
+          ])
+  in
+  Idb.make facts (Idb.Uniform (List.init d (fun i -> "v" ^ string_of_int i)))
+
+let q = Cq.of_string "R(x,x)"
+
+let () =
+  Format.printf "FPRAS for #Val (Corollary 5.3) vs naive Monte-Carlo@.@.";
+  Format.printf "%-8s %-10s %-24s %-14s %-14s %-8s@." "nulls" "domain"
+    "exact #Val" "Karp-Luby" "Monte-Carlo" "KL err";
+  List.iter
+    (fun (n, d) ->
+      let db = diagonal_instance n d in
+      let exact = Count_val.codd_nonuniform q db in
+      let kl = Karp_luby.estimate ~seed:17 ~samples:40_000 (Query.Bcq q) db in
+      let mc = Montecarlo.estimate ~seed:17 ~samples:40_000 (Query.Bcq q) db in
+      let err = abs_float (kl -. Nat.to_float exact) /. Nat.to_float exact in
+      Format.printf "%-8d %-10d %-24s %-14.4g %-14.4g %-8.4f@." (2 * n) d
+        (Nat.to_string exact) kl mc err)
+    [ (2, 3); (5, 5); (10, 10); (20, 30); (40, 100) ];
+  Format.printf
+    "@.(Monte-Carlo collapses to 0 once satisfying valuations are rare;@.";
+  Format.printf
+    " the event-based estimator keeps its relative guarantee — the paper's@.";
+  Format.printf " FPRAS/no-FPRAS divide made visible.)@.@.";
+
+  (* The sample budget prescribed by the analysis for 1% error. *)
+  let db = diagonal_instance 20 30 in
+  let events = List.length (Karp_luby.events (Query.Bcq q) db) in
+  Format.printf "events for the 40-null instance: %d@." events;
+  Format.printf "samples for epsilon = 0.05: %d@."
+    (Karp_luby.samples_for ~epsilon:0.05 ~events);
+
+  (* Completions, by contrast, have no FPRAS in general (Theorem 5.7); on
+     small instances we can still watch the exact counter. *)
+  let small = diagonal_instance 3 2 in
+  let _, comp = Count_comp.count_all small in
+  Format.printf "@.completions of the 6-null/2-value instance (exact): %a@."
+    Nat.pp comp

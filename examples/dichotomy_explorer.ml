@@ -1,0 +1,46 @@
+(* Explore the dichotomies of Table 1 over a corpus of queries: the
+   classification, the witness patterns, the approximability verdicts and
+   the counting-class memberships.
+
+     dune exec examples/dichotomy_explorer.exe
+*)
+
+open Incdb_cq
+open Incdb_core
+
+let corpus =
+  List.map Cq.of_string
+    [
+      "R(x)";
+      "R(x,y)";
+      "R(x,x)";
+      "R(x), S(x)";
+      "R(x), S(y)";
+      "R(x,y), S(x)";
+      "R(x,y), S(x,y)";
+      "R(x), S(x,y), T(y)";
+      "R(x,u), S(x,v)";
+      "R(x,y), S(y,z)";
+      "Emp(p,dept), Dept(dept), Badge(p,b)";
+      "A(x), B(x), C(x), D(y), E(y)";
+    ]
+
+let () =
+  print_string (Classify.table1 corpus);
+  print_newline ();
+
+  (* Detailed report for a few interesting queries. *)
+  let detail q =
+    Format.printf "=== %s ===@." (Cq.to_string q);
+    List.iter
+      (fun s ->
+        Format.printf "  %-11s %s@." (Setting.to_string s)
+          (Classify.verdict_to_string (Classify.exact s q));
+        Format.printf "  %-11s approx: %s; %s@." ""
+          (Classify.approx_verdict_to_string (Classify.approximate s q))
+          (Classify.membership s))
+      Setting.all;
+    Format.printf "@."
+  in
+  detail (Cq.of_string "R(x,y), S(x,y)");
+  detail (Cq.of_string "Emp(p,dept), Dept(dept), Badge(p,b)")

@@ -1,0 +1,54 @@
+(* Quickstart: the paper's running example (Example 2.2 / Figure 1),
+   driven through the public API.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+open Incdb_core
+
+let () =
+  (* The incomplete database D = (T, dom) with
+     T = {S(a,b), S(?n1,a), S(a,?n2)},
+     dom(n1) = {a,b,c}, dom(n2) = {a,b}. *)
+  let db =
+    Idb.make
+      [
+        Idb.fact_of_strings "S" [ "a"; "b" ];
+        Idb.fact_of_strings "S" [ "?n1"; "a" ];
+        Idb.fact_of_strings "S" [ "a"; "?n2" ];
+      ]
+      (Idb.Nonuniform [ ("n1", [ "a"; "b"; "c" ]); ("n2", [ "a"; "b" ]) ])
+  in
+  let q = Cq.of_string "S(x,x)" in
+  Format.printf "Database:@.%a@." Idb.pp db;
+  Format.printf "Query: %s@.@." (Cq.to_string q);
+
+  (* Enumerate the six valuations, as in Figure 1. *)
+  Format.printf "Valuations and completions (Figure 1):@.";
+  Idb.iter_valuations db (fun v ->
+      let completion = Idb.apply db v in
+      let verdict = if Cq.eval q completion then "yes" else "no" in
+      let binding = String.concat " " (List.map (fun (n, c) -> n ^ "->" ^ c) v) in
+      Format.printf "  %-12s %-35s |= q? %s@."
+        binding
+        (Format.asprintf "%a" Incdb_relational.Cdb.pp completion)
+        verdict);
+
+  (* The two counting problems of the paper. *)
+  let _, vals = Count_val.count q db in
+  let _, comps = Count_comp.count q db in
+  Format.printf "@.#Val(S(x,x))  = %a  (paper: 4)@." Nat.pp vals;
+  Format.printf "#Comp(S(x,x)) = %a  (paper: 3)@." Nat.pp comps;
+
+  (* What does the dichotomy say about this query and database shape? *)
+  let setting = Setting.of_idb Setting.Valuations db in
+  Format.printf "@.Setting %s: %s@."
+    (Setting.to_string setting)
+    (Classify.verdict_to_string (Classify.exact setting q));
+  let setting' = Setting.of_idb Setting.Completions db in
+  Format.printf "Setting %s: %s@."
+    (Setting.to_string setting')
+    (Classify.verdict_to_string (Classify.exact setting' q))

@@ -1,0 +1,89 @@
+(* Sensor readings with missing values: imputation candidates become null
+   domains, prior knowledge becomes per-value weights, and data-quality
+   questions become (weighted) counting problems.
+
+     dune exec examples/sensor_imputation.exe
+*)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+open Incdb_core
+open Incdb_probdb
+
+(* Reading(sensor, level): two gauges dropped packets; the plausible
+   levels come from neighboring readings.  Alert(level): levels that
+   trigger an alert. *)
+let db =
+  Idb.make
+    [
+      Idb.fact_of_strings "Reading" [ "g1"; "low" ];
+      Idb.fact_of_strings "Reading" [ "g2"; "?r2" ];
+      Idb.fact_of_strings "Reading" [ "g3"; "?r3" ];
+      Idb.fact_of_strings "Alert" [ "high" ];
+      Idb.fact_of_strings "Alert" [ "critical" ];
+    ]
+    (Idb.Nonuniform
+       [
+         ("r2", [ "low"; "medium"; "high" ]);
+         ("r3", [ "medium"; "high"; "critical" ]);
+       ])
+
+let q = Cq.of_string "Reading(s, l), Alert(l)"
+
+let () =
+  Format.printf "Sensor network with missing readings@.@.%a@." Idb.pp db;
+  Format.printf "question: does some gauge sit at an alert level?@.";
+  Format.printf "query: %s@.@." (Cq.to_string q);
+
+  (* Counting view: support over the imputation worlds. *)
+  let _, vals = Count_val.count q db in
+  Format.printf "worlds raising an alert: %s of %s (support %s)@."
+    (Nat.to_string vals)
+    (Nat.to_string (Idb.total_valuations db))
+    (Qnum.to_string (Certainty.support_ratio (Query.Bcq q) db));
+
+  (* Sound bounds on the number of distinct alert-raising completions. *)
+  let b = Comp_bounds.bounds ~seed:1 ~samples:500 q db in
+  Format.printf "distinct alert-raising completions within [%s, %s]@.@."
+    (Nat.to_string b.Comp_bounds.lower)
+    (Nat.to_string b.Comp_bounds.upper);
+
+  (* Weighted view: neighboring readings make some imputations likelier.
+     g2 sits next to g1 (low), g3 next to the overflow channel. *)
+  let weighted =
+    Indnull.make db
+      [
+        ( "r2",
+          [
+            ("low", Qnum.of_ints 6 10);
+            ("medium", Qnum.of_ints 3 10);
+            ("high", Qnum.of_ints 1 10);
+          ] );
+        ( "r3",
+          [
+            ("medium", Qnum.of_ints 2 10);
+            ("high", Qnum.of_ints 5 10);
+            ("critical", Qnum.of_ints 3 10);
+          ] );
+      ]
+  in
+  Format.printf "weighted probability of an alert: %s@."
+    (Qnum.to_string (Indnull.probability_brute (Query.Bcq q) weighted));
+  Format.printf "(uniform imputation would give %s)@.@."
+    (Qnum.to_string
+       (Indnull.probability_brute (Query.Bcq q) (Indnull.uniform db)));
+
+  (* Which gauge explains the alerts?  Per-answer support. *)
+  Format.printf "support per answer tuple of Reading(s,l) & Alert(l):@.";
+  List.iter
+    (fun (s : Answers.support) ->
+      Format.printf "  s=%-4s l=%-9s supported in %s worlds@."
+        (List.nth s.Answers.tuple 0)
+        (List.nth s.Answers.tuple 1)
+        (Nat.to_string s.Answers.count))
+    (Answers.supports q ~free:[ "s"; "l" ] db);
+  Format.printf "@.certain answers: %s@."
+    (match Answers.certain_answers q ~free:[ "s" ] db with
+    | [] -> "(none - no gauge is certainly alerting)"
+    | l -> String.concat ", " (List.map (String.concat ",") l))

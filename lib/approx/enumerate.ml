@@ -1,0 +1,79 @@
+open Incdb_bignum
+open Incdb_incomplete
+
+(* Lazily enumerate the valuations extending [partial], as full
+   assignments over all the nulls of [db] (in [Idb.nulls] order). *)
+let extensions db partial : Idb.valuation Seq.t =
+  let slots =
+    List.map
+      (fun n ->
+        match List.assoc_opt n partial with
+        | Some c -> (n, [ c ])
+        | None -> (n, Idb.domain_of db n))
+      (Idb.nulls db)
+  in
+  let rec build = function
+    | [] -> Seq.return []
+    | (n, values) :: rest ->
+      let tails = build rest in
+      Seq.concat_map
+        (fun c -> Seq.map (fun tl -> (n, c) :: tl) tails)
+        (List.to_seq values)
+  in
+  build slots
+
+let covered_by partial v =
+  List.for_all (fun (n, c) -> List.assoc_opt n v = Some c) partial
+
+let satisfying q db : Idb.valuation Seq.t =
+ fun () ->
+  let events = Array.of_list (Karp_luby.events q db) in
+  let per_event i =
+    Seq.filter
+      (fun v ->
+        (* Output only when event i is the canonical cover. *)
+        let rec first j =
+          if covered_by events.(j).Karp_luby.partial v then j else first (j + 1)
+        in
+        first 0 = i)
+      (extensions db events.(i).Karp_luby.partial)
+  in
+  Seq.concat_map per_event (Seq.init (Array.length events) Fun.id) ()
+
+let count_by_enumeration ?(cap = 10_000_000) q db =
+  let count = ref 0 in
+  let exception Capped in
+  match
+    Seq.iter
+      (fun _ ->
+        incr count;
+        if !count > cap then raise Capped)
+      (satisfying q db)
+  with
+  | () -> Some (Nat.of_int !count)
+  | exception Capped -> None
+
+let sample_uniform ~seed ?max_tries q db =
+  let events = Array.of_list (Karp_luby.events q db) in
+  if Array.length events = 0 then None
+  else begin
+    let max_tries =
+      Option.value ~default:(20 * Array.length events) max_tries
+    in
+    let weights =
+      Array.map (fun e -> Nat.to_float e.Karp_luby.size) events
+    in
+    let st = Random.State.make [| seed |] in
+    let rec attempt tries =
+      if tries = 0 then None
+      else begin
+        let i = Sampling.weighted_index st weights in
+        let v = Sampling.random_extension st db events.(i).Karp_luby.partial in
+        let rec first j =
+          if covered_by events.(j).Karp_luby.partial v then j else first (j + 1)
+        in
+        if first 0 = i then Some v else attempt (tries - 1)
+      end
+    in
+    attempt max_tries
+  end

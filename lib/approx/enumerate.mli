@@ -1,0 +1,39 @@
+(** Output-sensitive enumeration and uniform sampling of satisfying
+    valuations — the constructive content of Proposition 5.2's SpanL
+    membership and of the counting/uniform-generation connection the
+    paper's FPRAS rests on (Arenas, Croquevielle, Jayaram, Riveros 2019).
+
+    The satisfying valuations are the union of the Karp–Luby events; the
+    enumerator outputs, for each event in order, exactly the extensions
+    whose {e canonical} (first covering) event it is — so each satisfying
+    valuation appears exactly once, without ever materializing the
+    valuation space, mirroring the proof's "write values in order of first
+    appearance, deduplicate by the guessed sub-database" machine.  Total
+    work is bounded by (number of events) x (size of the union), i.e. it
+    is output-sensitive rather than proportional to the full product of
+    domains. *)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+(** [satisfying q db] lazily enumerates the satisfying valuations, each
+    exactly once.
+    @raise Invalid_argument (when forced) on a non-monotone query. *)
+val satisfying : Query.t -> Idb.t -> Idb.valuation Seq.t
+
+(** [count_by_enumeration ?cap q db] counts by draining the enumerator;
+    stops (returning [None]) after [cap] outputs — unlike brute force its
+    cost scales with the number of {e satisfying} valuations, not with the
+    whole valuation space. *)
+val count_by_enumeration : ?cap:int -> Query.t -> Idb.t -> Nat.t option
+
+(** [sample_uniform ~seed ?max_tries q db] draws a satisfying valuation
+    {e uniformly at random} by Karp–Luby rejection (draw an event with
+    probability proportional to its size, extend uniformly, accept iff the
+    event is canonical — every satisfying valuation is accepted with
+    probability exactly [1/Σ|events|]).  [None] when the query is
+    unsatisfiable or every try was rejected (expected tries are bounded by
+    the number of events). *)
+val sample_uniform :
+  seed:int -> ?max_tries:int -> Query.t -> Idb.t -> Idb.valuation option

@@ -1,0 +1,194 @@
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+type event = { partial : (string * string) list; size : Nat.t }
+
+module Sset = Set.Make (String)
+
+(* Candidate constants for a term under a homomorphism target. *)
+let term_candidates db = function
+  | Term.Const c -> [ c ]
+  | Term.Null n -> Idb.domain_of db n
+
+(* Match candidates of one BCQ disjunct: for every choice of one fact per
+   atom and every consistent homomorphism, the induced partial valuation
+   of the nulls involved. *)
+let cq_events ?(neqs = []) cq db =
+  let atoms = Array.of_list cq in
+  let m = Array.length atoms in
+  let facts_per_atom =
+    Array.map
+      (fun (a : Cq.atom) ->
+        List.filter
+          (fun (f : Idb.fact) -> Array.length f.Idb.args = Array.length a.Cq.vars)
+          (Idb.facts_of db a.Cq.rel))
+      atoms
+  in
+  let results = ref [] in
+  (* Choose facts for atoms one by one, narrowing per-variable candidate
+     sets; then assign variables and induce the partial valuation. *)
+  let rec choose_facts i chosen =
+    if i = m then assign_vars (List.rev chosen)
+    else
+      List.iter (fun f -> choose_facts (i + 1) (f :: chosen)) facts_per_atom.(i)
+  and assign_vars chosen =
+    (* Collect (variable, term) constraints across all atoms. *)
+    let constraints = ref [] in
+    List.iteri
+      (fun i (f : Idb.fact) ->
+        Array.iteri
+          (fun j v -> constraints := (v, f.Idb.args.(j)) :: !constraints)
+          atoms.(i).Cq.vars)
+      chosen;
+    let vars =
+      List.sort_uniq String.compare (List.map fst !constraints)
+    in
+    let candidates_of v =
+      List.filter_map (fun (v', t) -> if v = v' then Some t else None) !constraints
+      |> List.map (fun t -> Sset.of_list (term_candidates db t))
+      |> function
+      | [] -> Sset.empty
+      | s :: rest -> List.fold_left Sset.inter s rest
+    in
+    (* Enumerate h variable by variable, building the induced partial
+       valuation and checking null consistency; [hvals] records h itself so
+       that inequality atoms can be checked at the leaves. *)
+    let rec go vars hvals sigma =
+      match vars with
+      | [] ->
+        let neq_ok =
+          List.for_all
+            (fun (x, y) -> List.assoc_opt x hvals <> List.assoc_opt y hvals)
+            neqs
+        in
+        if neq_ok then results := List.sort Stdlib.compare sigma :: !results
+      | v :: rest ->
+        let terms_of_v =
+          List.filter_map (fun (v', t) -> if v = v' then Some t else None)
+            !constraints
+        in
+        Sset.iter
+          (fun c ->
+            (* Extend sigma with null := c for every null position of v. *)
+            let rec extend sigma = function
+              | [] -> Some sigma
+              | Term.Const c' :: rest ->
+                if c' = c then extend sigma rest else None
+              | Term.Null n :: rest ->
+                (match List.assoc_opt n sigma with
+                | Some c' -> if c' = c then extend sigma rest else None
+                | None -> extend ((n, c) :: sigma) rest)
+            in
+            match extend sigma terms_of_v with
+            | Some sigma' -> go rest ((v, c) :: hvals) sigma'
+            | None -> ())
+          (candidates_of v)
+    in
+    go vars [] []
+  in
+  if Array.exists (fun fs -> fs = []) facts_per_atom then []
+  else begin
+    choose_facts 0 [];
+    !results
+  end
+
+let event_size db partial =
+  let fixed = List.map fst partial in
+  Nat.product
+    (List.filter_map
+       (fun n ->
+         if List.mem n fixed then None
+         else Some (Nat.of_int (List.length (Idb.domain_of db n))))
+       (Idb.nulls db))
+
+let events q db =
+  let collect = function
+    | Query.Bcq cq -> cq_events cq db
+    | Query.Union cqs -> List.concat_map (fun cq -> cq_events cq db) cqs
+    | Query.Bcq_neq (cq, neqs) -> cq_events ~neqs cq db
+    | Query.Not _ | Query.Semantic _ ->
+      invalid_arg "Karp_luby.events: only monotone (unions of) BCQs"
+  in
+  let sigmas = List.sort_uniq Stdlib.compare (collect q) in
+  List.map (fun partial -> { partial; size = event_size db partial }) sigmas
+
+let extends partial valuation =
+  List.for_all
+    (fun (n, c) -> List.assoc_opt n valuation = Some c)
+    partial
+
+let run_estimator ~seed ~samples q db =
+  if samples <= 0 then invalid_arg "Karp_luby.estimate: need positive samples";
+  let evs = Array.of_list (events q db) in
+  if Array.length evs = 0 then None
+  else begin
+    let weights = Array.map (fun e -> Nat.to_float e.size) evs in
+    let total_weight = Array.fold_left ( +. ) 0. weights in
+    let st = Random.State.make [| seed |] in
+    let hits = ref 0 in
+    for _ = 1 to samples do
+      let i = Sampling.weighted_index st weights in
+      let v = Sampling.random_extension st db evs.(i).partial in
+      (* Count the sample iff i is the canonical (first) event covering
+         the sampled valuation. *)
+      let rec first j =
+        if extends evs.(j).partial v then j else first (j + 1)
+      in
+      if first 0 = i then incr hits
+    done;
+    Some (total_weight, float_of_int !hits /. float_of_int samples)
+  end
+
+let estimate ~seed ~samples q db =
+  match run_estimator ~seed ~samples q db with
+  | None -> 0.
+  | Some (total_weight, rate) -> total_weight *. rate
+
+let estimate_with_ci ~seed ~samples q db =
+  match run_estimator ~seed ~samples q db with
+  | None -> (0., 0.)
+  | Some (total_weight, rate) ->
+    let stderr = sqrt (rate *. (1. -. rate) /. float_of_int samples) in
+    (total_weight *. rate, 1.96 *. total_weight *. stderr)
+
+let samples_for ~epsilon ~events =
+  if epsilon <= 0. then invalid_arg "Karp_luby.samples_for: epsilon <= 0";
+  int_of_float (ceil (4. *. float_of_int events /. (epsilon *. epsilon)))
+
+let exact_via_events q db =
+  let evs = Array.of_list (events q db) in
+  let m = Array.length evs in
+  if m > 20 then
+    invalid_arg "Karp_luby.exact_via_events: too many events for inclusion-exclusion";
+  let acc = ref Zint.zero in
+  for mask = 1 to (1 lsl m) - 1 do
+    (* Merge the partial valuations of the chosen events. *)
+    let rec merge i sigma =
+      if i = m then Some sigma
+      else if mask land (1 lsl i) = 0 then merge (i + 1) sigma
+      else begin
+        let rec add sigma = function
+          | [] -> Some sigma
+          | (n, c) :: rest ->
+            (match List.assoc_opt n sigma with
+            | Some c' -> if c = c' then add sigma rest else None
+            | None -> add ((n, c) :: sigma) rest)
+        in
+        match add sigma evs.(i).partial with
+        | Some sigma' -> merge (i + 1) sigma'
+        | None -> None
+      end
+    in
+    match merge 0 [] with
+    | None -> ()
+    | Some sigma ->
+      let size = Zint.of_nat (event_size db sigma) in
+      let bits =
+        let rec pop m acc = if m = 0 then acc else pop (m land (m - 1)) (acc + 1) in
+        pop mask 0
+      in
+      acc :=
+        Zint.add !acc (if bits land 1 = 1 then size else Zint.neg size)
+  done;
+  Zint.to_nat !acc

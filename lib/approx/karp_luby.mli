@@ -1,0 +1,48 @@
+(** A Karp–Luby union-of-events FPRAS for [#Val(q)] when [q] is a BCQ or a
+    union of BCQs (Corollary 5.3).
+
+    The satisfying valuations are exactly the union, over all {e match
+    candidates}, of the valuations extending the candidate's induced
+    partial valuation.  A match candidate picks one table fact per atom of
+    a disjunct and a consistent homomorphism from the disjunct's variables
+    into constants; this is the constructive core of Proposition 5.2's
+    bounded-minimal-models argument (a minimal model of a BCQ has at most
+    [|q|] facts).  The number of candidates is polynomial for a fixed
+    query, each event's cardinality is a product of domain sizes, uniform
+    sampling within an event is trivial, and membership is a prefix check:
+    exactly the ingredients of the Karp–Luby coverage estimator. *)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+(** One event of the union: the valuations extending [partial]. *)
+type event = { partial : (string * string) list; size : Nat.t }
+
+(** [events q db] enumerates the (deduplicated) events; their union is the
+    set of satisfying valuations.
+    @raise Invalid_argument on a non-monotone query. *)
+val events : Query.t -> Idb.t -> event list
+
+(** [estimate ~seed ~samples q db] runs the coverage estimator and returns
+    the estimated [#Val(q)(db)].  The standard analysis gives relative
+    error [epsilon] with confidence [3/4] once
+    [samples >= 4 * (number of events) / epsilon^2]. *)
+val estimate : seed:int -> samples:int -> Query.t -> Idb.t -> float
+
+(** [estimate_with_ci ~seed ~samples q db] additionally returns a
+    normal-approximation 95% confidence half-width for the estimate
+    (the coverage indicator is a Bernoulli variable scaled by the total
+    event weight, so its standard error is directly available). *)
+val estimate_with_ci :
+  seed:int -> samples:int -> Query.t -> Idb.t -> float * float
+
+(** [samples_for ~epsilon ~events] is the sample count prescribed by the
+    FPRAS analysis (with the 3/4 success probability of the Section 5
+    definition). *)
+val samples_for : epsilon:float -> events:int -> int
+
+(** [exact_via_events q db] computes [#Val] exactly by inclusion–exclusion
+    over the events — exponential in the number of events, used in tests
+    to validate the event construction on small instances. *)
+val exact_via_events : Query.t -> Idb.t -> Nat.t

@@ -1,0 +1,16 @@
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+let hit_rate ~seed ~samples q db =
+  if samples <= 0 then invalid_arg "Montecarlo: need a positive sample count";
+  let st = Random.State.make [| seed |] in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let v = Sampling.random_valuation st db in
+    if Query.eval q (Idb.apply db v) then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+let estimate ~seed ~samples q db =
+  hit_rate ~seed ~samples q db *. Nat.to_float (Idb.total_valuations db)

@@ -1,0 +1,19 @@
+(** Naive Monte-Carlo estimation of [#Val(q)]: sample valuations uniformly
+    and scale the hit rate by the total number of valuations.
+
+    This has {e additive} guarantees with respect to the total count, not
+    the relative FPRAS guarantee — it degrades when satisfying valuations
+    are rare.  It is included as the baseline the Karp–Luby estimator is
+    compared against in the Section 5 benchmarks. *)
+
+open Incdb_cq
+open Incdb_incomplete
+
+(** [estimate ~seed ~samples q db] returns the estimated number of
+    satisfying valuations (as a float; exact totals are bignums, but an
+    estimate is approximate by nature). *)
+val estimate : seed:int -> samples:int -> Query.t -> Idb.t -> float
+
+(** The hit rate itself, i.e. the estimated [mu_k] of Libkin's relative
+    frequency (Section 7). *)
+val hit_rate : seed:int -> samples:int -> Query.t -> Idb.t -> float

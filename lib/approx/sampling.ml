@@ -1,0 +1,33 @@
+open Incdb_incomplete
+
+let random_valuation st db =
+  List.map
+    (fun n ->
+      let dom = Array.of_list (Idb.domain_of db n) in
+      (n, dom.(Random.State.int st (Array.length dom))))
+    (Idb.nulls db)
+
+let random_extension st db partial =
+  List.map
+    (fun n ->
+      match List.assoc_opt n partial with
+      | Some v -> (n, v)
+      | None ->
+        let dom = Array.of_list (Idb.domain_of db n) in
+        (n, dom.(Random.State.int st (Array.length dom))))
+    (Idb.nulls db)
+
+let weighted_index st weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. || Array.length weights = 0 then
+    invalid_arg "Sampling.weighted_index: empty or zero weights";
+  let x = Random.State.float st total in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i = n - 1 then i
+    else begin
+      let acc = acc +. weights.(i) in
+      if x < acc then i else go (i + 1) acc
+    end
+  in
+  go 0 0.

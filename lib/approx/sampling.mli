@@ -1,0 +1,21 @@
+(** Randomized sampling of valuations, shared by the estimators. *)
+
+open Incdb_incomplete
+
+(** [random_valuation st db] draws each null's value independently and
+    uniformly from its domain — the uniform distribution over the
+    valuations of [db]. *)
+val random_valuation : Random.State.t -> Idb.t -> Idb.valuation
+
+(** [random_extension st db partial] extends the partial valuation
+    [partial] by drawing the remaining nulls uniformly — the uniform
+    distribution over the valuations extending [partial]. *)
+val random_extension :
+  Random.State.t -> Idb.t -> (string * string) list -> Idb.valuation
+
+(** [weighted_index st weights] draws an index with probability
+    proportional to [weights.(i)] (converted to floats; weights may exceed
+    float range only collectively, in which case precision degrades
+    gracefully).
+    @raise Invalid_argument on an empty or all-zero weight vector. *)
+val weighted_index : Random.State.t -> float array -> int

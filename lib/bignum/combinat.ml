@@ -1,0 +1,67 @@
+let factorial n =
+  if n < 0 then invalid_arg "Combinat.factorial: negative argument";
+  let rec go acc i = if i > n then acc else go (Nat.mul acc (Nat.of_int i)) (i + 1) in
+  go Nat.one 1
+
+let binomial n k =
+  if n < 0 then invalid_arg "Combinat.binomial: negative n";
+  if k < 0 || k > n then Nat.zero
+  else begin
+    (* C(n,k) = prod_{i=1}^{k} (n-k+i)/i, exact at every step. *)
+    let k = Stdlib.min k (n - k) in
+    let acc = ref Nat.one in
+    for i = 1 to k do
+      acc := Nat.div (Nat.mul !acc (Nat.of_int (n - k + i))) (Nat.of_int i)
+    done;
+    !acc
+  end
+
+let power b e =
+  if b < 0 then invalid_arg "Combinat.power: negative base";
+  Nat.pow (Nat.of_int b) e
+
+let surj n m =
+  if n < 0 || m < 0 then invalid_arg "Combinat.surj: negative argument";
+  if m > n then Nat.zero
+  else begin
+    let terms = ref Zint.zero in
+    for i = 0 to m do
+      let t = Zint.of_nat (Nat.mul (binomial m i) (power (m - i) n)) in
+      terms := Zint.add !terms (if i land 1 = 0 then t else Zint.neg t)
+    done;
+    Zint.to_nat !terms
+  end
+
+let stirling2 n m =
+  if n < 0 || m < 0 then invalid_arg "Combinat.stirling2: negative argument";
+  if m > n then Nat.zero else Nat.div (surj n m) (factorial m)
+
+let falling n k =
+  let rec go acc i =
+    if i >= k then acc else go (Nat.mul acc (Nat.of_int (n - i))) (i + 1)
+  in
+  if k < 0 || k > n then Nat.zero else go Nat.one 0
+
+let pow2 n = Nat.pow Nat.two n
+
+let subsets l =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let subs = go rest in
+      List.map (fun s -> x :: s) subs @ subs
+  in
+  go l
+
+let rec int_compositions total parts =
+  if parts = 0 then if total = 0 then [ [] ] else []
+  else begin
+    let with_head h = List.map (fun t -> h :: t) (int_compositions (total - h) (parts - 1)) in
+    List.concat_map with_head (List.init (total + 1) Fun.id)
+  end
+
+let rec vectors_upto = function
+  | [] -> [ [] ]
+  | b :: rest ->
+    let tails = vectors_upto rest in
+    List.concat_map (fun v -> List.map (fun t -> v :: t) tails) (List.init (b + 1) Fun.id)

@@ -1,0 +1,47 @@
+(** Combinatorial quantities used throughout the paper's algorithms.
+
+    The surjection numbers [surj n m] are central to Example 3.10,
+    Proposition 3.11 and the uniform counting algorithms of Appendices A.3
+    and B.6. *)
+
+(** [factorial n] is [n!].
+    @raise Invalid_argument if [n < 0]. *)
+val factorial : int -> Nat.t
+
+(** [binomial n k] is [C(n, k)]; zero when [k < 0] or [k > n].
+    @raise Invalid_argument if [n < 0]. *)
+val binomial : int -> int -> Nat.t
+
+(** [surj n m] is the number of surjective functions from an [n]-element set
+    onto an [m]-element set, via inclusion–exclusion
+    [surj n m = sum_{i=0}^{m} (-1)^i C(m,i) (m-i)^n].
+    It is zero when [m > n], and [surj 0 0 = 1]. *)
+val surj : int -> int -> Nat.t
+
+(** [stirling2 n m] is the Stirling number of the second kind, the number of
+    partitions of an [n]-set into [m] non-empty blocks.  It satisfies
+    [surj n m = m! * stirling2 n m]. *)
+val stirling2 : int -> int -> Nat.t
+
+(** [power b e] is [b^e] for machine-integer base and exponent, as a
+    natural.
+    @raise Invalid_argument if [b < 0] or [e < 0]. *)
+val power : int -> int -> Nat.t
+
+(** [falling n k] is the falling factorial [n (n-1) ... (n-k+1)]. *)
+val falling : int -> int -> Nat.t
+
+(** [pow2 n] is [2^n]. *)
+val pow2 : int -> Nat.t
+
+(** [subsets l] enumerates all sublists of [l] (2^|l| of them); the order of
+    elements within each sublist follows [l]. *)
+val subsets : 'a list -> 'a list list
+
+(** [int_compositions total parts] lists all vectors of [parts] non-negative
+    integers summing to exactly [total]. *)
+val int_compositions : int -> int -> int list list
+
+(** [vectors_upto bounds] enumerates all integer vectors [v] with
+    [0 <= v.(i) <= bounds.(i)] componentwise. *)
+val vectors_upto : int list -> int list list

@@ -1,0 +1,274 @@
+(* Little-endian base-2^31 representation.  A 31-bit digit size keeps every
+   intermediate of schoolbook multiplication within a 63-bit OCaml integer:
+   (2^31-1)^2 + 2*(2^31-1) = 2^62 - 1, the largest representable value. *)
+
+type t = int array
+
+let digit_bits = 31
+let base = 1 lsl digit_bits
+let digit_mask = base - 1
+
+let zero : t = [||]
+
+(* Strip trailing zero digits so that the representation is canonical. *)
+let normalize (a : int array) : t =
+  let n = Array.length a in
+  let rec top i = if i >= 0 && a.(i) = 0 then top (i - 1) else i in
+  let hi = top (n - 1) in
+  if hi = n - 1 then a else Array.sub a 0 (hi + 1)
+
+let is_zero (a : t) = Array.length a = 0
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative argument"
+  else if n = 0 then zero
+  else if n < base then [| n |]
+  else begin
+    (* A 63-bit integer needs at most three 31-bit digits. *)
+    let d0 = n land digit_mask in
+    let d1 = (n lsr digit_bits) land digit_mask in
+    let d2 = n lsr (2 * digit_bits) in
+    normalize [| d0; d1; d2 |]
+  end
+
+let one = of_int 1
+let two = of_int 2
+
+let to_int_opt (a : t) =
+  match Array.length a with
+  | 0 -> Some 0
+  | 1 -> Some a.(0)
+  | 2 -> Some (a.(0) lor (a.(1) lsl digit_bits))
+  | 3 when a.(2) < 1 lsl (Sys.int_size - 1 - (2 * digit_bits)) ->
+    Some (a.(0) lor (a.(1) lsl digit_bits) lor (a.(2) lsl (2 * digit_bits)))
+  | _ -> None
+
+let to_int a =
+  match to_int_opt a with
+  | Some n -> n
+  | None -> failwith "Nat.to_int: value does not fit in a machine integer"
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec cmp i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else cmp (i - 1)
+    in
+    cmp (la - 1)
+
+let hash (a : t) = Hashtbl.hash a
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = Stdlib.max la lb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    r.(i) <- s land digit_mask;
+    carry := s lsr digit_bits
+  done;
+  r.(n) <- !carry;
+  normalize r
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Nat.sub: result would be negative";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let s = a.(i) - db - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let mul_schoolbook (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let t = (ai * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- t land digit_mask;
+        carry := t lsr digit_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let t = r.(!k) + !carry in
+        r.(!k) <- t land digit_mask;
+        carry := t lsr digit_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+(* Karatsuba above this digit count; schoolbook below.  The threshold is
+   generous because counting workloads rarely exceed a few hundred
+   digits, where schoolbook's constant factor wins. *)
+let karatsuba_threshold = 32
+
+let shift_digits (a : t) m =
+  if is_zero a then zero
+  else Array.append (Array.make m 0) a
+
+let low_digits (a : t) m = normalize (Array.sub a 0 (min m (Array.length a)))
+
+let high_digits (a : t) m =
+  if Array.length a <= m then zero
+  else Array.sub a m (Array.length a - m)
+
+let rec mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else if Stdlib.min la lb <= karatsuba_threshold then mul_schoolbook a b
+  else begin
+    let m = Stdlib.max la lb / 2 in
+    let a0 = low_digits a m and a1 = high_digits a m in
+    let b0 = low_digits b m and b1 = high_digits b m in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+    add z0 (add (shift_digits z1 m) (shift_digits z2 (2 * m)))
+  end
+
+let succ a = add a one
+let pred a = sub a one
+
+(* [mul_small a d] with [0 <= d < base]. *)
+let mul_small (a : t) (d : int) : t =
+  if d = 0 || is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let t = (a.(i) * d) + !carry in
+      r.(i) <- t land digit_mask;
+      carry := t lsr digit_bits
+    done;
+    r.(la) <- !carry;
+    normalize r
+  end
+
+(* [divmod_small a d] with [0 < d < base]; returns quotient and small rem. *)
+let divmod_small (a : t) (d : int) : t * int =
+  if d <= 0 then raise Division_by_zero;
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl digit_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, !r)
+
+let bit_length (a : t) =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let top = a.(la - 1) in
+    let rec width n acc = if n = 0 then acc else width (n lsr 1) (acc + 1) in
+    ((la - 1) * digit_bits) + width top 0
+  end
+
+let bit (a : t) (i : int) =
+  let w = i / digit_bits and b = i mod digit_bits in
+  if w >= Array.length a then 0 else (a.(w) lsr b) land 1
+
+(* Binary long division: O(bits(a) * digits(a)).  Simple and adequate for
+   the magnitudes produced by the counting algorithms. *)
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_small a b.(0) in
+    (q, of_int r)
+  end
+  else begin
+    let n = bit_length a in
+    let q = Array.make (Array.length a) 0 in
+    let r = ref zero in
+    for i = n - 1 downto 0 do
+      r := add (mul_small !r 2) (of_int (bit a i));
+      if compare !r b >= 0 then begin
+        r := sub !r b;
+        q.(i / digit_bits) <- q.(i / digit_bits) lor (1 lsl (i mod digit_bits))
+      end
+    done;
+    (normalize q, !r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec pow (a : t) (e : int) : t =
+  if e < 0 then invalid_arg "Nat.pow: negative exponent"
+  else if e = 0 then one
+  else begin
+    let h = pow a (e / 2) in
+    let h2 = mul h h in
+    if e land 1 = 1 then mul h2 a else h2
+  end
+
+let rec gcd (a : t) (b : t) : t = if is_zero b then a else gcd b (rem a b)
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_float (a : t) =
+  Array.fold_right (fun d acc -> (acc *. float_of_int base) +. float_of_int d) a 0.
+
+let to_string (a : t) =
+  if is_zero a then "0"
+  else begin
+    let chunks = ref [] in
+    let cur = ref a in
+    while not (is_zero !cur) do
+      let q, r = divmod_small !cur 1_000_000_000 in
+      chunks := r :: !chunks;
+      cur := q
+    done;
+    match !chunks with
+    | [] -> assert false
+    | first :: rest ->
+      let buf = Buffer.create 16 in
+      Buffer.add_string buf (string_of_int first);
+      let add_chunk c = Buffer.add_string buf (Printf.sprintf "%09d" c) in
+      List.iter add_chunk rest;
+      Buffer.contents buf
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Nat.of_string: empty string";
+  let acc = ref zero in
+  for i = 0 to n - 1 do
+    match s.[i] with
+    | '0' .. '9' as c ->
+      acc := add (mul_small !acc 10) (of_int (Char.code c - Char.code '0'))
+    | c -> invalid_arg (Printf.sprintf "Nat.of_string: bad character %c" c)
+  done;
+  !acc
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+let sum l = List.fold_left add zero l
+let product l = List.fold_left mul one l

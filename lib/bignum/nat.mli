@@ -1,0 +1,80 @@
+(** Arbitrary-precision natural numbers.
+
+    Counting valuations and completions of an incomplete database produces
+    numbers that are exponential in the size of the input (for instance the
+    total number of valuations is the product of the domain sizes of all
+    nulls), so every counter in this repository returns values of this type
+    rather than a machine integer.
+
+    The representation is a little-endian array of 31-bit digits with no
+    trailing zero digit; the empty array denotes [0]. All operations are
+    purely functional. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+(** [of_int n] converts a non-negative machine integer.
+    @raise Invalid_argument if [n < 0]. *)
+val of_int : int -> t
+
+(** [to_int n] converts back to a machine integer.
+    @raise Failure if the value does not fit. *)
+val to_int : t -> int
+
+(** [to_int_opt n] is [Some i] when the value fits in a machine integer. *)
+val to_int_opt : t -> int option
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val add : t -> t -> t
+
+(** [sub a b] is [a - b].
+    @raise Invalid_argument if [b > a]. *)
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+(** [divmod a b] is the pair (quotient, remainder) of Euclidean division.
+    @raise Division_by_zero if [b] is zero. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** [pow base e] is [base] raised to the non-negative machine integer [e]. *)
+val pow : t -> int -> t
+
+val gcd : t -> t -> t
+
+(** Number of significant bits; [bit_length zero = 0]. *)
+val bit_length : t -> int
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** Approximate conversion to a float (infinity on overflow); used only
+    for sampling weights and error reporting, never for exact counting. *)
+val to_float : t -> float
+
+(** Decimal string conversion. *)
+val to_string : t -> string
+
+(** Parse a decimal string.
+    @raise Invalid_argument on the empty string or non-digit characters. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** [sum l] adds up a list of naturals. *)
+val sum : t list -> t
+
+(** [product l] multiplies a list of naturals ([one] for the empty list). *)
+val product : t list -> t

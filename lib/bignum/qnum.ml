@@ -1,0 +1,74 @@
+(* Normalized fraction: gcd(|num|, den) = 1 and den > 0, so structural
+   equality coincides with numeric equality. *)
+
+type t = { num : Zint.t; den : Nat.t }
+
+let normalize num den =
+  if Nat.is_zero den then raise Division_by_zero
+  else if Zint.is_zero num then { num = Zint.zero; den = Nat.one }
+  else begin
+    let g = Nat.gcd (Zint.abs num) den in
+    let num_mag = Nat.div (Zint.abs num) g in
+    let den' = Nat.div den g in
+    let num' =
+      if Zint.sign num >= 0 then Zint.of_nat num_mag
+      else Zint.neg (Zint.of_nat num_mag)
+    in
+    { num = num'; den = den' }
+  end
+
+let make num den =
+  match Zint.sign den with
+  | 0 -> raise Division_by_zero
+  | s when s > 0 -> normalize num (Zint.abs den)
+  | _ -> normalize (Zint.neg num) (Zint.abs den)
+
+let of_zint z = { num = z; den = Nat.one }
+let of_nat n = of_zint (Zint.of_nat n)
+let of_int n = of_zint (Zint.of_int n)
+let of_ints a b = make (Zint.of_int a) (Zint.of_int b)
+let zero = of_int 0
+let one = of_int 1
+let num q = q.num
+let den q = q.den
+let is_zero q = Zint.is_zero q.num
+let is_integer q = Nat.equal q.den Nat.one
+
+let to_zint q =
+  if is_integer q then q.num
+  else invalid_arg "Qnum.to_zint: not an integer"
+
+let equal (a : t) (b : t) = a = b
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den *)
+  Zint.compare
+    (Zint.mul a.num (Zint.of_nat b.den))
+    (Zint.mul b.num (Zint.of_nat a.den))
+
+let neg q = { q with num = Zint.neg q.num }
+
+let add a b =
+  normalize
+    (Zint.add
+       (Zint.mul a.num (Zint.of_nat b.den))
+       (Zint.mul b.num (Zint.of_nat a.den)))
+    (Nat.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = normalize (Zint.mul a.num b.num) (Nat.mul a.den b.den)
+
+let inv q =
+  match Zint.sign q.num with
+  | 0 -> raise Division_by_zero
+  | s when s > 0 -> { num = Zint.of_nat q.den; den = Zint.abs q.num }
+  | _ -> { num = Zint.neg (Zint.of_nat q.den); den = Zint.abs q.num }
+
+let div a b = mul a (inv b)
+let sign q = Zint.sign q.num
+
+let to_string q =
+  if is_integer q then Zint.to_string q.num
+  else Zint.to_string q.num ^ "/" ^ Nat.to_string q.den
+
+let pp fmt q = Format.pp_print_string fmt (to_string q)

@@ -1,0 +1,48 @@
+(** Exact rational numbers, used by the exact linear algebra of
+    [incdb_linalg] (matrix inversion in the Proposition 3.11 Turing
+    reduction and the Appendix B.5 polynomial interpolation). *)
+
+type t
+
+val zero : t
+val one : t
+
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+val make : Zint.t -> Zint.t -> t
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+val of_zint : Zint.t -> t
+val of_nat : Nat.t -> t
+
+val num : t -> Zint.t
+
+(** Denominator, always positive. *)
+val den : t -> Nat.t
+
+val is_zero : t -> bool
+
+(** [is_integer q] holds when the denominator is one. *)
+val is_integer : t -> bool
+
+(** [to_zint q] for an integer-valued rational.
+    @raise Invalid_argument if [q] is not an integer. *)
+val to_zint : t -> Zint.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero on a zero divisor. *)
+val div : t -> t -> t
+
+(** @raise Division_by_zero on zero. *)
+val inv : t -> t
+
+val sign : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

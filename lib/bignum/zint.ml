@@ -1,0 +1,105 @@
+(* Sign-magnitude representation; [Zero] keeps the form canonical so that
+   structural equality coincides with numeric equality. *)
+
+type t =
+  | Zero
+  | Pos of Nat.t
+  | Neg of Nat.t
+
+let zero = Zero
+let of_nat n = if Nat.is_zero n then Zero else Pos n
+
+let of_int n =
+  if n = 0 then Zero
+  else if n > 0 then Pos (Nat.of_int n)
+  else Neg (Nat.of_int (-n))
+
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let to_nat = function
+  | Zero -> Nat.zero
+  | Pos m -> m
+  | Neg _ -> invalid_arg "Zint.to_nat: negative value"
+
+let to_int_opt = function
+  | Zero -> Some 0
+  | Pos m -> Nat.to_int_opt m
+  | Neg m -> Option.map (fun i -> -i) (Nat.to_int_opt m)
+
+let to_int z =
+  match to_int_opt z with
+  | Some n -> n
+  | None -> failwith "Zint.to_int: value does not fit in a machine integer"
+
+let sign = function Zero -> 0 | Pos _ -> 1 | Neg _ -> -1
+let is_zero z = z = Zero
+let equal (a : t) (b : t) = a = b
+
+let compare a b =
+  match (a, b) with
+  | Zero, Zero -> 0
+  | Zero, Pos _ | Neg _, (Zero | Pos _) -> -1
+  | Zero, Neg _ | Pos _, (Zero | Neg _) -> 1
+  | Pos m, Pos n -> Nat.compare m n
+  | Neg m, Neg n -> Nat.compare n m
+
+let neg = function Zero -> Zero | Pos m -> Neg m | Neg m -> Pos m
+let abs = function Zero -> Nat.zero | Pos m | Neg m -> m
+
+(* Add magnitudes [m + n] with the result carrying sign [s]. *)
+let signed s m = if s >= 0 then of_nat m else (if Nat.is_zero m then Zero else Neg m)
+
+let add a b =
+  match (a, b) with
+  | Zero, x | x, Zero -> x
+  | Pos m, Pos n -> Pos (Nat.add m n)
+  | Neg m, Neg n -> Neg (Nat.add m n)
+  | Pos m, Neg n | Neg n, Pos m ->
+    let c = Nat.compare m n in
+    if c = 0 then Zero
+    else if c > 0 then Pos (Nat.sub m n)
+    else Neg (Nat.sub n m)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  match (a, b) with
+  | Zero, _ | _, Zero -> Zero
+  | Pos m, Pos n | Neg m, Neg n -> Pos (Nat.mul m n)
+  | Pos m, Neg n | Neg m, Pos n -> Neg (Nat.mul m n)
+
+let divmod a b =
+  match (a, b) with
+  | _, Zero -> raise Division_by_zero
+  | Zero, _ -> (Zero, Zero)
+  | _ ->
+    let q, r = Nat.divmod (abs a) (abs b) in
+    let qs = sign a * sign b in
+    (signed qs q, signed (sign a) r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let pow a e =
+  if e < 0 then invalid_arg "Zint.pow: negative exponent";
+  let mag = Nat.pow (abs a) e in
+  if sign a >= 0 || e land 1 = 0 then of_nat mag else signed (-1) mag
+
+let gcd a b = Nat.gcd (abs a) (abs b)
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_string = function
+  | Zero -> "0"
+  | Pos m -> Nat.to_string m
+  | Neg m -> "-" ^ Nat.to_string m
+
+let of_string s =
+  if String.length s > 0 && s.[0] = '-' then
+    signed (-1) (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  else of_nat (Nat.of_string s)
+
+let pp fmt z = Format.pp_print_string fmt (to_string z)
+let sum l = List.fold_left add zero l
+let product l = List.fold_left mul one l

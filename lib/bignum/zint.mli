@@ -1,0 +1,53 @@
+(** Arbitrary-precision signed integers, built on {!Nat}.
+
+    Used wherever inclusion–exclusion produces signed intermediate values
+    (surjection numbers, the block sums of Theorem 3.9) and as the numerator
+    type of the exact rationals in [incdb_linalg]. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+val of_nat : Nat.t -> t
+
+(** [to_nat z] converts a non-negative integer to a natural.
+    @raise Invalid_argument if [z] is negative. *)
+val to_nat : t -> Nat.t
+
+val to_int : t -> int
+val to_int_opt : t -> int option
+
+(** Sign of the number: [-1], [0] or [1]. *)
+val sign : t -> int
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val neg : t -> t
+val abs : t -> Nat.t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Truncated division (rounds toward zero), as for OCaml's [( / )].
+    @raise Division_by_zero if the divisor is zero. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** [pow base e] for a non-negative machine exponent [e]. *)
+val pow : t -> int -> t
+
+val gcd : t -> t -> Nat.t
+val min : t -> t -> t
+val max : t -> t -> t
+val to_string : t -> string
+val of_string : string -> t
+val pp : Format.formatter -> t -> unit
+val sum : t list -> t
+val product : t list -> t

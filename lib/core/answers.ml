@@ -1,0 +1,79 @@
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+type support = { tuple : string list; count : Nat.t }
+
+let validate_free q free =
+  let vars = Cq.variables q in
+  List.iter
+    (fun v ->
+      if not (List.mem v vars) then
+        invalid_arg (Printf.sprintf "Answers: %s is not a variable of the query" v))
+    free
+
+let answer_tuples q ~free db =
+  validate_free q free;
+  Cq.homomorphisms q db
+  |> List.map (fun h -> List.map (fun v -> List.assoc v h) free)
+  |> List.sort_uniq Stdlib.compare
+
+(* Enumerate worlds once, recording for every tuple the (ordered) list of
+   world indices supporting it. *)
+let support_sets ?limit q ~free db =
+  validate_free q free;
+  let table : (string list, int list) Hashtbl.t = Hashtbl.create 64 in
+  let world = ref 0 in
+  Idb.iter_valuations ?limit db (fun v ->
+      let completion = Idb.apply db v in
+      List.iter
+        (fun tuple ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt table tuple) in
+          Hashtbl.replace table tuple (!world :: cur))
+        (answer_tuples q ~free completion);
+      incr world);
+  (table, !world)
+
+let supports ?limit q ~free db =
+  let table, _ = support_sets ?limit q ~free db in
+  Hashtbl.fold
+    (fun tuple worlds acc ->
+      { tuple; count = Nat.of_int (List.length worlds) } :: acc)
+    table []
+  |> List.sort (fun a b ->
+         match Nat.compare b.count a.count with
+         | 0 -> Stdlib.compare a.tuple b.tuple
+         | c -> c)
+
+(* [subset_sorted a b]: is [a ⊆ b]?  Both are strictly decreasing lists
+   of world indices (they were built by prepending increasing indices). *)
+let rec subset_sorted a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' ->
+    if x = y then subset_sorted a' b'
+    else if x > y then false
+    else subset_sorted (x :: a') b'
+
+let best_answers ?limit q ~free db =
+  let table, _ = support_sets ?limit q ~free db in
+  let entries =
+    Hashtbl.fold (fun tuple worlds acc -> (tuple, worlds) :: acc) table []
+  in
+  let strictly_better (_, w') (_, w) =
+    (* w' strictly contains w *)
+    List.length w' > List.length w && subset_sorted w w'
+  in
+  entries
+  |> List.filter (fun e -> not (List.exists (fun e' -> strictly_better e' e) entries))
+  |> List.map fst
+  |> List.sort Stdlib.compare
+
+let certain_answers ?limit q ~free db =
+  let table, worlds = support_sets ?limit q ~free db in
+  Hashtbl.fold
+    (fun tuple supp acc ->
+      if List.length supp = worlds then tuple :: acc else acc)
+    table []
+  |> List.sort Stdlib.compare

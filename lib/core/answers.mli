@@ -1,0 +1,41 @@
+(** Counting support for non-Boolean queries — the Section 8 future-work
+    direction, connecting the paper's counting problems to Libkin's best
+    answers (Section 7).
+
+    For a CQ with free variables, each candidate answer tuple [a] has a
+    {e support}: the set of valuations [ν] with [a ∈ q(ν(D))].  Its size
+    is exactly [#Val(q[a/x])]; a tuple is a {e better} answer than another
+    when its support set contains the other's, and a {e best answer} when
+    no tuple is strictly better (Libkin 2018).  Unlike best answers, the
+    support sizes distinguish valuations from completions — the phenomenon
+    this paper isolates. *)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+open Incdb_relational
+
+type support = { tuple : string list; count : Nat.t }
+
+(** [answer_tuples q ~free db] is the set of answers of [q] with free
+    variables [free] over a complete database: the projections of the
+    homomorphisms to [free], deduplicated and sorted.
+    @raise Invalid_argument if some name in [free] is not a variable of
+    [q]. *)
+val answer_tuples : Cq.t -> free:string list -> Cdb.t -> string list list
+
+(** [supports q ~free db] computes the support size of every tuple that is
+    an answer in at least one world, sorted by decreasing support (ties by
+    tuple).  Enumerates valuations.
+    @raise Invalid_argument beyond the enumeration [limit]. *)
+val supports : ?limit:int -> Cq.t -> free:string list -> Idb.t -> support list
+
+(** [best_answers q ~free db] is the set of best answers: tuples whose
+    support set is maximal under inclusion. *)
+val best_answers :
+  ?limit:int -> Cq.t -> free:string list -> Idb.t -> string list list
+
+(** [certain_answers q ~free db] are the tuples answered in {e every}
+    world — the classical notion the paper's counting problems refine. *)
+val certain_answers :
+  ?limit:int -> Cq.t -> free:string list -> Idb.t -> string list list

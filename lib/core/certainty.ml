@@ -1,0 +1,119 @@
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+exception Found
+
+(* Does some valuation make this disjunct true?  Search for one fact per
+   atom and a consistent homomorphism whose induced partial valuation is
+   within the null domains — a positive witness is exactly a Karp-Luby
+   event, found with early exit. *)
+let possible_cq ?(neqs = []) cq db =
+  let atoms = Array.of_list cq in
+  let m = Array.length atoms in
+  let facts_per_atom =
+    Array.map
+      (fun (a : Cq.atom) ->
+        List.filter
+          (fun (f : Idb.fact) ->
+            Array.length f.Idb.args = Array.length a.Cq.vars)
+          (Idb.facts_of db a.Cq.rel))
+      atoms
+  in
+  if Array.exists (fun fs -> fs = []) facts_per_atom then false
+  else begin
+    let candidates_of_term = function
+      | Term.Const c -> [ c ]
+      | Term.Null n -> Idb.domain_of db n
+    in
+    let try_homomorphism chosen =
+      (* constraints: variable -> list of terms it must match *)
+      let constraints = ref [] in
+      List.iteri
+        (fun i (f : Idb.fact) ->
+          Array.iteri
+            (fun j v -> constraints := (v, f.Idb.args.(j)) :: !constraints)
+            atoms.(i).Cq.vars)
+        chosen;
+      let vars = List.sort_uniq String.compare (List.map fst !constraints) in
+      let rec go vars hvals sigma =
+        match vars with
+        | [] ->
+          let neq_ok =
+            List.for_all
+              (fun (x, y) -> List.assoc_opt x hvals <> List.assoc_opt y hvals)
+              neqs
+          in
+          if neq_ok then raise Found
+        | v :: rest ->
+          let terms =
+            List.filter_map
+              (fun (v', t) -> if v = v' then Some t else None)
+              !constraints
+          in
+          let candidate_values =
+            match terms with
+            | [] -> []
+            | t :: ts ->
+              List.filter
+                (fun c ->
+                  List.for_all (fun t' -> List.mem c (candidates_of_term t')) ts)
+                (candidates_of_term t)
+          in
+          List.iter
+            (fun c ->
+              let rec extend sigma = function
+                | [] -> Some sigma
+                | Term.Const c' :: rest ->
+                  if c' = c then extend sigma rest else None
+                | Term.Null n :: rest ->
+                  (match List.assoc_opt n sigma with
+                  | Some c' -> if c' = c then extend sigma rest else None
+                  | None -> extend ((n, c) :: sigma) rest)
+              in
+              match extend sigma terms with
+              | Some sigma' -> go rest ((v, c) :: hvals) sigma'
+              | None -> ())
+            candidate_values
+      in
+      go vars [] []
+    in
+    let rec choose i chosen =
+      if i = m then try_homomorphism (List.rev chosen)
+      else List.iter (fun f -> choose (i + 1) (f :: chosen)) facts_per_atom.(i)
+    in
+    try
+      choose 0 [];
+      false
+    with Found -> true
+  end
+
+let possible ?limit q db =
+  match q with
+  | Query.Bcq cq -> possible_cq cq db
+  | Query.Union cqs -> List.exists (fun cq -> possible_cq cq db) cqs
+  | Query.Bcq_neq (cq, neqs) -> possible_cq ~neqs cq db
+  | Query.Not _ | Query.Semantic _ ->
+    (* No match structure to exploit: enumerate. *)
+    let found = ref false in
+    Idb.iter_valuations ?limit db (fun v ->
+        if (not !found) && Query.eval q (Idb.apply db v) then found := true);
+    !found
+
+let count_val ?limit q db =
+  match q with
+  | Query.Bcq cq ->
+    let brute_limit = Option.value ~default:4_000_000 limit in
+    snd (Count_val.count ~brute_limit cq db)
+  | _ -> Incdb_incomplete.Brute.count_valuations ?limit q db
+
+let certain ?limit q db =
+  Nat.equal (count_val ?limit q db) (Idb.total_valuations db)
+
+let support_ratio ?limit q db =
+  let total = Idb.total_valuations db in
+  if Nat.is_zero total then Qnum.one
+  else
+    Qnum.make
+      (Zint.of_nat (count_val ?limit q db))
+      (Zint.of_nat total)

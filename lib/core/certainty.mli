@@ -1,0 +1,30 @@
+(** The classical decision problems that the paper's counting problems
+    refine (Introduction, Section 1): certainty and possibility of a
+    Boolean query over an incomplete database.
+
+    [q] is {e certain} when every valuation satisfies it, {e possible}
+    when some valuation does.  Counting gives the refinement: certainty
+    iff [#Val(q) = total], and the support ratio measures "how close to
+    certain" [q] is.
+
+    For monotone queries possibility is decidable in polynomial time: some
+    valuation satisfies [q] iff the Karp–Luby event set is non-empty (an
+    event is exactly a consistent partial match).  Certainty of a BCQ is
+    coNP-hard in general, so the general path counts. *)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+(** [possible q db] — decides [∃ν. ν(db) |= q].  Polynomial for monotone
+    queries; falls back to enumeration (with [limit]) otherwise. *)
+val possible : ?limit:int -> Query.t -> Idb.t -> bool
+
+(** [certain q db] — decides [∀ν. ν(db) |= q] by comparing [#Val] against
+    the number of valuations (using the tractable counters when the query
+    shape allows, enumeration otherwise). *)
+val certain : ?limit:int -> Query.t -> Idb.t -> bool
+
+(** [support_ratio q db] is [#Val(q) / total valuations] as an exact
+    rational — 1 iff certain, 0 iff impossible. *)
+val support_ratio : ?limit:int -> Query.t -> Idb.t -> Qnum.t

@@ -1,0 +1,52 @@
+(** The dichotomy classifier: Table 1 of the paper as an executable
+    function, together with the approximability classification of Section 5
+    and the beyond-#P annotations of Section 6.
+
+    Every verdict carries evidence: a witness hard pattern for hardness, or
+    the name of the tractability argument. *)
+
+open Incdb_cq
+
+type verdict =
+  | Tractable of string
+      (** in FP; the payload names the algorithm/theorem that solves it *)
+  | Hard of Cq.t
+      (** #P-hard (Turing reductions); the payload is a witness pattern *)
+  | Open_case of string
+      (** the paper leaves this query/setting combination open *)
+
+val verdict_to_string : verdict -> string
+
+(** [exact setting q] classifies the exact counting problem for the
+    sjfBCQ [q] in the given setting, per Theorems 3.6, 3.7, 3.9 and the
+    open #Val^u_Cd case, and Theorems 4.3, 4.4, 4.6, 4.7.
+    @raise Invalid_argument if [q] is not self-join-free. *)
+val exact : Setting.t -> Cq.t -> verdict
+
+type approx_verdict =
+  | Fpras of string  (** admits an FPRAS; payload names the reason *)
+  | Fp of string  (** even exact counting is in FP *)
+  | No_fpras of string
+      (** no FPRAS unless NP = RP; payload names the theorem *)
+  | Approx_open of string
+
+val approx_verdict_to_string : approx_verdict -> string
+
+(** [approximate setting q] classifies approximability per Corollary 5.3
+    and Theorems 5.5 and 5.7 (and the open uniform-Codd completion
+    case). *)
+val approximate : Setting.t -> Cq.t -> approx_verdict
+
+(** Counting-class membership notes of Sections 3–6 for the given setting:
+    e.g. "#P" for valuations, "#P" for completions over Codd tables
+    (Theorem 4.4), "SpanP; not in #P unless NP ⊆ SPP" for completions over
+    naïve tables (Observation 6.2, Proposition 6.1). *)
+val membership : Setting.t -> string
+
+(** The hard patterns governing a setting's dichotomy (the corresponding
+    cell of Table 1); empty list when every sjfBCQ is hard. *)
+val hard_patterns : Setting.t -> Cq.t list
+
+(** [table1 queries] renders the classification of each query under all
+    eight settings, in a Table-1 shaped text table. *)
+val table1 : Cq.t list -> string

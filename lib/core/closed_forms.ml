@@ -1,0 +1,85 @@
+open Incdb_bignum
+
+(* Equation (3): check(i) = 0 if i > n, 0 if i = 0 and n >= 1, else 1. *)
+let comp_unary_no_constants ~d ~n =
+  let acc = ref Nat.zero in
+  for i = 0 to d do
+    let check = if i > n then false else if i = 0 && n >= 1 then false else true in
+    if check then acc := Nat.add !acc (Combinat.binomial d i)
+  done;
+  !acc
+
+(* Equation (4): check(i) = 0 if i > n, 0 if i = 0 && c = 0 && n >= 1. *)
+let comp_unary ~d ~n ~c =
+  let acc = ref Nat.zero in
+  for i = 0 to d - c do
+    let check =
+      if i > n then false
+      else if i = 0 && c = 0 && n >= 1 then false
+      else true
+    in
+    if check then acc := Nat.add !acc (Combinat.binomial (d - c) i)
+  done;
+  !acc
+
+(* Equation (5): the triple sum over class sizes.  NOTE: the paper's
+   displayed check function (B.6.3) rejects (iR = 0, nR >= 1, nRS = 0),
+   but that contradicts its own Claim B.15 (condition (1) tests the
+   emptiness of C_R ∪ C_RS ∪ I_RS, i.e. of the target sets, not of the
+   shared-null count): with nRS = 0 an R-null and an S-null can still
+   meet on a common value, realizing I_RS and absorbing the R-nulls.
+   We implement the Claim B.15 conditions, which agree with brute force;
+   the discrepancy is recorded in DESIGN.md. *)
+let comp_two_sum ~d ~nr ~ns ~nrs ~require_joint =
+  let acc = ref Nat.zero in
+  for ir = 0 to d do
+    for is_ = 0 to d - ir do
+      for irs = 0 to d - ir - is_ do
+        let check =
+          (not (ir > nr))
+          && (not (is_ > ns))
+          && (not (nrs >= 1 && irs = 0))
+          && (not (ir = 0 && nr >= 1 && irs = 0))
+          && (not (is_ = 0 && ns >= 1 && irs = 0))
+          && irs <= min (nrs + nr - ir) (nrs + ns - is_)
+          && ((not require_joint) || irs >= 1)
+        in
+        if check then
+          acc :=
+            Nat.add !acc
+              (Nat.mul
+                 (Combinat.binomial d ir)
+                 (Nat.mul
+                    (Combinat.binomial (d - ir) is_)
+                    (Combinat.binomial (d - ir - is_) irs)))
+      done
+    done
+  done;
+  !acc
+
+let comp_two_unary_no_constants ~d ~nr ~ns ~nrs =
+  comp_two_sum ~d ~nr ~ns ~nrs ~require_joint:false
+
+let comp_two_unary_joint ~d ~nr ~ns ~nrs =
+  comp_two_sum ~d ~nr ~ns ~nrs ~require_joint:true
+
+let example_3_10_unsatisfying ~d ~nr ~cr ~ns ~cs =
+  let m = d - cr - cs in
+  let acc = ref Nat.zero in
+  for m' = 0 to max m 0 do
+    for r' = 0 to cr do
+      acc :=
+        Nat.add !acc
+          (Nat.mul
+             (Nat.mul (Combinat.binomial m m') (Combinat.binomial cr r'))
+             (Nat.mul
+                (Combinat.surj nr (m' + r'))
+                (Combinat.power (d - cr - m') ns)))
+    done
+  done;
+  !acc
+
+let example_3_10 ~d ~nr ~cr ~ns ~cs =
+  Nat.sub
+    (Combinat.power d (nr + ns))
+    (example_3_10_unsatisfying ~d ~nr ~cr ~ns ~cs)

@@ -1,0 +1,37 @@
+(** The explicit closed-form formulas written out in the paper, verbatim —
+    an independent reference implementation used to cross-validate the
+    general algorithms.
+
+    All functions take the instance {e parameters} (domain size, null and
+    constant counts) rather than a database; the corresponding databases
+    are built in the test-suite and benches and counted with the general
+    algorithms, which must agree with these formulas. *)
+
+open Incdb_bignum
+
+(** Warm-up B.6.1, Equation (3): completions of a single unary relation
+    with [n] nulls and no constants over a uniform domain of size [d]:
+    [sum over i of C(d, i) * check(i)]. *)
+val comp_unary_no_constants : d:int -> n:int -> Nat.t
+
+(** Warm-up B.6.2, Equation (4): with [c] constants (all inside the
+    domain): [sum over 0 <= i of C(d-c, i) * check(i)]. *)
+val comp_unary : d:int -> n:int -> c:int -> Nat.t
+
+(** Warm-up B.6.3, Equation (5): completions of [R(x) ∧ S(y)] with no
+    constants, given the counts of nulls occurring only in R ([nr]), only
+    in S ([ns]), and in both ([nrs]). *)
+val comp_two_unary_no_constants : d:int -> nr:int -> ns:int -> nrs:int -> Nat.t
+
+(** Warm-up B.6.4: the same sum restricted to completions satisfying
+    [R(x) ∧ S(x)] (the intersection class must be non-empty). *)
+val comp_two_unary_joint : d:int -> nr:int -> ns:int -> nrs:int -> Nat.t
+
+(** Example 3.10: the number of valuations of a uniform Codd instance
+    {e falsifying} [R(x) ∧ S(x)], with [nr]/[ns] nulls and [cr]/[cs]
+    constants (disjoint, inside the domain):
+    [sum over m', r' of C(m,m') C(cr,r') surj(nr, m'+r') (d-cr-m')^ns]. *)
+val example_3_10_unsatisfying : d:int -> nr:int -> cr:int -> ns:int -> cs:int -> Nat.t
+
+(** The satisfying count: [d^(nr+ns) - example_3_10_unsatisfying]. *)
+val example_3_10 : d:int -> nr:int -> cr:int -> ns:int -> cs:int -> Nat.t

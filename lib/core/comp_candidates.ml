@@ -1,0 +1,46 @@
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+open Incdb_relational
+
+(* Ground instantiations of one incomplete fact: the product of the term
+   candidate sets. *)
+let ground_facts db (f : Idb.fact) =
+  let choices =
+    Array.to_list f.Idb.args
+    |> List.map (function
+         | Term.Const c -> [ c ]
+         | Term.Null n -> Idb.domain_of db n)
+  in
+  let rec product = function
+    | [] -> [ [] ]
+    | cs :: rest ->
+      let tails = product rest in
+      List.concat_map (fun c -> List.map (fun t -> c :: t) tails) cs
+  in
+  List.map (fun args -> Cdb.fact f.Idb.rel args) (product choices)
+
+let candidate_facts db =
+  List.concat_map (ground_facts db) (Idb.facts db)
+  |> List.sort_uniq Cdb.compare_fact
+
+let count ?query ?(max_candidates = 22) db =
+  if not (Idb.is_codd db) then
+    invalid_arg "Comp_candidates.count: requires a Codd table";
+  let universe = Array.of_list (candidate_facts db) in
+  let m = Array.length universe in
+  if m > max_candidates then
+    invalid_arg "Comp_candidates.count: candidate universe too large";
+  let satisfies s =
+    match query with None -> true | Some q -> Query.eval q s
+  in
+  let count = ref Nat.zero in
+  for mask = 0 to (1 lsl m) - 1 do
+    let s =
+      Cdb.of_list
+        (List.filteri (fun i _ -> mask land (1 lsl i) <> 0)
+           (Array.to_list universe))
+    in
+    if satisfies s && Codd.is_completion db s then count := Nat.succ !count
+  done;
+  !count

@@ -1,0 +1,27 @@
+(** Exact completion counting for Codd tables by candidate-space
+    enumeration — the constructive reading of Proposition B.1's membership
+    proof.
+
+    The #P machine of Proposition B.1 guesses a set [S] of ground facts
+    drawn from the union of the per-fact ground instantiations [P(f)] and
+    accepts iff [S] satisfies the query and is a completion (decided by
+    the Lemma B.2 matching test).  Running the same machine
+    deterministically enumerates [2^|U|] candidate sets where
+    [U = ⋃_f P(f)], which beats brute-force valuation enumeration whenever
+    the candidate universe is small — e.g. many nulls over few domain
+    values: [R(⊥1) ... R(⊥n)] over [{0,1}] has [2^n] valuations but only
+    [4] candidate sets. *)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+open Incdb_relational
+
+(** [candidate_facts db] is the ground-fact universe [⋃_f P(f)]. *)
+val candidate_facts : Idb.t -> Cdb.fact list
+
+(** [count ?query ?max_candidates db] counts the completions of the Codd
+    table [db] satisfying [query] (all completions if omitted).
+    @raise Invalid_argument if [db] is not Codd or the candidate universe
+    exceeds [max_candidates] (default 22). *)
+val count : ?query:Query.t -> ?max_candidates:int -> Idb.t -> Nat.t

@@ -1,0 +1,60 @@
+(** Exact counting of satisfying completions — the tractable side of the
+    #Comp dichotomies (last two columns of Table 1).
+
+    By Theorem 4.6 the only tractable cells are uniform databases with a
+    query whose atoms are all unary (absence of the [R(x,x)] and [R(x,y)]
+    patterns).  The algorithm implements the completion-shape enumeration
+    of Lemmas B.17–B.19: a completion of a unary-schema uniform database is
+    determined by the {e exact class} of every domain value (the set of
+    relations it belongs to), so we sum, over all ways to assign class
+    sizes to plain domain values and to "upgrade" table constants into
+    larger classes, the number of value choices (a product of binomials),
+    keeping only assignments that are {e realizable} by the available
+    nulls and that satisfy the query.
+
+    Realizability (the paper's [check] predicate, Lemma B.19) is decided
+    by an exact cover-feasibility search rather than the paper's loose
+    bounded z-system enumeration: every null must land on a value whose
+    class contains the null's occurrence class, and every counted value
+    must have its missing coverage covered by the classes of at least one
+    null routed to it; minimal covers are enumerated per value type and
+    distributed by a memoized search.  See DESIGN.md §4. *)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+type algorithm =
+  | Uniform_unary  (** Theorem 4.6 completion-shape enumeration *)
+  | Candidate_enumeration
+      (** Proposition B.1 candidate-space enumeration (Codd tables with a
+          small ground-fact universe); see {!Comp_candidates} *)
+  | Brute_force
+
+val algorithm_to_string : algorithm -> string
+
+(** [uniform_unary ?query db] counts the completions of the uniform
+    database [db] (naïve or Codd) over a unary schema that satisfy
+    [query]; with [query] omitted it counts all completions.
+    @raise Invalid_argument if [db] is not uniform, a fact is not unary,
+    or the query mentions a relation with non-unary atoms / is missing a
+    relation of [db]. *)
+val uniform_unary : ?query:Cq.t -> Idb.t -> Nat.t
+
+(** [uniform_symbolic ?query facts ~domain_size] counts the completions
+    over a {e symbolic} uniform domain of [domain_size] fresh values
+    (every table constant treated as external to the domain).  The
+    Theorem 4.6 enumeration is bounded by the null count, not the domain,
+    so this is polynomial in [log domain_size] — completion counting with
+    domains of size 10^9.
+    @raise Invalid_argument as {!uniform_unary}, or on
+    [domain_size < 1]. *)
+val uniform_symbolic :
+  ?query:Cq.t -> Incdb_incomplete.Idb.fact list -> domain_size:int -> Nat.t
+
+(** [count ?brute_limit q db] dispatches: the Theorem 4.6 algorithm when
+    it applies, brute-force enumeration otherwise. *)
+val count : ?brute_limit:int -> Cq.t -> Idb.t -> algorithm * Nat.t
+
+(** [count_all ?brute_limit db] counts all completions (no query). *)
+val count_all : ?brute_limit:int -> Idb.t -> algorithm * Nat.t

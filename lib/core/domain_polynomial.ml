@@ -1,0 +1,58 @@
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+type t = Qnum.t array
+
+let null_count facts =
+  List.length
+    (List.sort_uniq String.compare
+       (List.concat_map
+          (fun (f : Idb.fact) ->
+            Array.to_list f.Idb.args
+            |> List.filter_map (function
+                 | Term.Null n -> Some n
+                 | Term.Const _ -> None))
+          facts))
+
+(* Fresh values disjoint from any table constant. *)
+let symbolic_domain d = List.init d (fun i -> Printf.sprintf "\xc2\xa7%d" i)
+
+let count_at ?limit q facts d =
+  let db = Idb.make facts (Idb.Uniform (symbolic_domain d)) in
+  Incdb_incomplete.Brute.count_valuations ?limit (Query.Bcq q) db
+
+let interpolate ?limit q facts =
+  let n = null_count facts in
+  let points =
+    List.init (n + 1) (fun i ->
+        let d = i + 1 in
+        (Qnum.of_int d, Qnum.of_nat (count_at ?limit q facts d)))
+  in
+  Incdb_linalg.Qmatrix.lagrange_interpolate points
+
+let eval p ~d =
+  let v = Incdb_linalg.Qmatrix.eval_poly p (Qnum.of_int d) in
+  if not (Qnum.is_integer v) || Qnum.sign v < 0 then
+    failwith "Domain_polynomial.eval: non-integral value (structure violated)"
+  else Zint.to_nat (Qnum.to_zint v)
+
+let degree p =
+  let rec top i =
+    if i < 0 then 0 else if Qnum.is_zero p.(i) then top (i - 1) else i
+  in
+  top (Array.length p - 1)
+
+let to_string p =
+  let terms = ref [] in
+  Array.iteri
+    (fun i c ->
+      if not (Qnum.is_zero c) then
+        terms :=
+          (match i with
+          | 0 -> Qnum.to_string c
+          | 1 -> Qnum.to_string c ^ "*d"
+          | _ -> Printf.sprintf "%s*d^%d" (Qnum.to_string c) i)
+          :: !terms)
+    p;
+  match !terms with [] -> "0" | l -> String.concat " + " (List.rev l)

@@ -1,0 +1,41 @@
+(** The role of fixed tables and growing domains (Section 8's closing
+    question about fixed domains, and a lens on the open #Val^u_Cd case).
+
+    For a {e fixed} naïve table with [N] nulls over a symbolic uniform
+    domain [{1..d}] (table constants external), the count
+    [d ↦ #Val(q)(T, {1..d})] is a polynomial in [d] of degree at most
+    [N]: valuations are classified by the partition they induce on the
+    nulls together with which block takes which "role", and each
+    classification contributes a falling-factorial of [d].  The same
+    holds for queries where no polynomial-time algorithm is known — so
+    one can {e compute} the counting function of a hard query on a fixed
+    table by interpolation from [N+1] brute-forced data points, then
+    evaluate it at astronomical domain sizes.
+
+    This module implements that pipeline.  It is a research tool, not a
+    poly-time algorithm (the interpolation needs brute force at small
+    [d], and the table is fixed); but it makes the structure behind the
+    paper's fixed-domain discussion tangible, open cases included. *)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+(** A polynomial in [d] with rational coefficients, low degree first. *)
+type t = Qnum.t array
+
+(** [interpolate ?limit q facts] brute-forces [#Val^u(q)] on the table at
+    [d = 1 .. N+1] and interpolates the unique degree-[≤ N] polynomial
+    (table constants are treated as external to the domain, matching
+    {!Count_val.uniform_symbolic}).
+    @raise Invalid_argument when brute force exceeds [limit]. *)
+val interpolate : ?limit:int -> Cq.t -> Idb.fact list -> t
+
+(** [eval p ~d] evaluates at a concrete domain size; the result of an
+    interpolated counting polynomial is always a non-negative integer.
+    @raise Failure if it is not (which would falsify the polynomial
+    structure). *)
+val eval : t -> d:int -> Nat.t
+
+val degree : t -> int
+val to_string : t -> string

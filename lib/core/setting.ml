@@ -1,0 +1,33 @@
+type table_kind = Naive | Codd
+type domain_kind = Non_uniform | Uniform
+type problem = Valuations | Completions
+
+type t = { table : table_kind; domain : domain_kind; problem : problem }
+
+let all =
+  let tables = [ Naive; Codd ] in
+  let domains = [ Non_uniform; Uniform ] in
+  let problems = [ Valuations; Completions ] in
+  List.concat_map
+    (fun problem ->
+      List.concat_map
+        (fun domain ->
+          List.map (fun table -> { table; domain; problem }) tables)
+        domains)
+    problems
+
+let to_string s =
+  let base = match s.problem with Valuations -> "#Val" | Completions -> "#Comp" in
+  let dom = match s.domain with Non_uniform -> "" | Uniform -> "^u" in
+  let tbl = match s.table with Naive -> "" | Codd -> "_Cd" in
+  base ^ dom ^ tbl
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)
+
+let of_idb problem db =
+  {
+    problem;
+    table = (if Incdb_incomplete.Idb.is_codd db then Codd else Naive);
+    domain =
+      (if Incdb_incomplete.Idb.is_uniform db then Uniform else Non_uniform);
+  }

@@ -1,0 +1,20 @@
+(** The eight problem settings of the paper: {naïve, Codd} × {non-uniform,
+    uniform} × {valuations, completions}. *)
+
+type table_kind = Naive | Codd
+type domain_kind = Non_uniform | Uniform
+type problem = Valuations | Completions
+
+type t = { table : table_kind; domain : domain_kind; problem : problem }
+
+val all : t list
+
+(** e.g. ["#Val^u_Cd"] in the paper's notation. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** [of_idb problem db] derives the setting that matches a concrete
+    incomplete database: Codd if every null occurs once, uniform if the
+    database was built with a uniform domain. *)
+val of_idb : problem -> Incdb_incomplete.Idb.t -> t

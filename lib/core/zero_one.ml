@@ -1,0 +1,52 @@
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+let domain_k k = List.init k (fun i -> string_of_int (i + 1))
+
+let with_domain facts k =
+  if k < 1 then invalid_arg "Zero_one: k must be at least 1";
+  Idb.make facts (Idb.Uniform (domain_k k))
+
+let mu q facts ~k =
+  let db = with_domain facts k in
+  let _, sat = Count_val.count q db in
+  let total = Idb.total_valuations db in
+  if Nat.is_zero total then Qnum.one
+  else Qnum.make (Zint.of_nat sat) (Zint.of_nat total)
+
+let mu_completions q facts ~k =
+  let db = with_domain facts k in
+  let sat =
+    Incdb_incomplete.Brute.count_completions (Query.Bcq q) db
+  in
+  let all = Incdb_incomplete.Brute.count_all_completions db in
+  if Nat.is_zero all then Qnum.one
+  else Qnum.make (Zint.of_nat sat) (Zint.of_nat all)
+
+let mu_symbolic q facts ~k =
+  if k < 1 then invalid_arg "Zero_one.mu_symbolic: k must be at least 1";
+  let sat = Count_val.uniform_symbolic q facts ~domain_size:k in
+  let nulls =
+    List.sort_uniq String.compare
+      (List.concat_map
+         (fun (f : Idb.fact) ->
+           Array.to_list f.Idb.args
+           |> List.filter_map (function
+                | Term.Null n -> Some n
+                | Term.Const _ -> None))
+         facts)
+  in
+  let total = Combinat.power k (List.length nulls) in
+  if Nat.is_zero total then Qnum.one
+  else Qnum.make (Zint.of_nat sat) (Zint.of_nat total)
+
+let scan q facts ~kmax =
+  List.init kmax (fun i ->
+      let k = i + 1 in
+      (k, mu q facts ~k))
+
+let float_of_mu r =
+  let num = Qnum.num r and den = Qnum.den r in
+  Nat.to_float (Zint.abs num) /. Nat.to_float den
+  *. float_of_int (if Zint.sign num >= 0 then 1 else -1)

@@ -1,0 +1,70 @@
+(* Connectivity graph of an sjfBCQ (Definition A.9): nodes are atoms, two
+   atoms are adjacent when they share a variable, edges labeled by the
+   shared variables.  Lemma A.11: when none of the Theorem 3.9 patterns is
+   present, every connected component is a clique whose edges all carry the
+   same single variable. *)
+
+type component = { atoms : Cq.atom list; shared_var : string option }
+
+let shared_vars (a : Cq.atom) (b : Cq.atom) =
+  let va = Array.to_list a.Cq.vars and vb = Array.to_list b.Cq.vars in
+  List.sort_uniq String.compare (List.filter (fun v -> List.mem v vb) va)
+
+let components (q : Cq.t) : component list =
+  let atoms = Array.of_list q in
+  let n = Array.length atoms in
+  let parent = Array.init n Fun.id in
+  let rec find x = if parent.(x) = x then x else (parent.(x) <- find parent.(x); parent.(x)) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if shared_vars atoms.(i) atoms.(j) <> [] then begin
+        let ri = find i and rj = find j in
+        if ri <> rj then parent.(ri) <- rj
+      end
+    done
+  done;
+  let groups = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let r = find i in
+    let cur = Option.value ~default:[] (Hashtbl.find_opt groups r) in
+    Hashtbl.replace groups r (i :: cur)
+  done;
+  let build _ members acc =
+    let members = List.sort Stdlib.compare members in
+    let atoms_of = List.map (fun i -> atoms.(i)) members in
+    (* The single shared variable, when the component indeed has one. *)
+    let shared =
+      match atoms_of with
+      | [ _ ] -> None
+      | a :: rest ->
+        let inter =
+          List.fold_left
+            (fun acc b ->
+              List.filter (fun v -> Array.exists (String.equal v) b.Cq.vars) acc)
+            (Array.to_list a.Cq.vars) rest
+        in
+        (match List.sort_uniq String.compare inter with
+        | [ v ] -> Some v
+        | _ -> None)
+      | [] -> None
+    in
+    { atoms = atoms_of; shared_var = shared } :: acc
+  in
+  Hashtbl.fold build groups []
+
+(* Does the component satisfy the Lemma A.11 criterion: a clique whose
+   edges all carry exactly one and the same variable? *)
+let component_is_single_variable_clique (c : component) =
+  match c.atoms with
+  | [ _ ] -> true
+  | atoms ->
+    (match c.shared_var with
+    | None -> false
+    | Some v ->
+      (* Every pair must share exactly [v]. *)
+      let rec pairs = function
+        | [] -> true
+        | a :: rest ->
+          List.for_all (fun b -> shared_vars a b = [ v ]) rest && pairs rest
+      in
+      pairs atoms)

@@ -1,0 +1,15 @@
+(** The connectivity graph of an sjfBCQ (Definition A.9) and the Lemma A.11
+    shape criterion used by the tractable side of Theorem 3.9. *)
+
+type component = { atoms : Cq.atom list; shared_var : string option }
+
+(** Variables shared by two atoms, sorted. *)
+val shared_vars : Cq.atom -> Cq.atom -> string list
+
+(** Connected components of the connectivity graph. *)
+val components : Cq.t -> component list
+
+(** Lemma A.11 criterion: the component is a clique and all its edges are
+    labeled by one single common variable (vacuously true for singleton
+    components). *)
+val component_is_single_variable_clique : component -> bool

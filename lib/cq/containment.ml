@@ -1,0 +1,29 @@
+open Incdb_relational
+
+let freeze v = "\xc2\xa7" ^ v (* variables become tagged constants *)
+
+let canonical_database (q : Cq.t) =
+  Cdb.of_list
+    (List.map
+       (fun (a : Cq.atom) ->
+         { Cdb.rel = a.Cq.rel; args = Array.map freeze a.Cq.vars })
+       q)
+
+(* Homomorphism theorem: q ⊑ q' iff q' has a homomorphism into the
+   canonical database of q. *)
+let contained q q' = Cq.eval q' (canonical_database q)
+
+let equivalent q q' = contained q q' && contained q' q
+
+let minimize q =
+  (* Greedily drop atoms that keep the query equivalent.  A dropped atom
+     must leave at least one atom standing. *)
+  let rec shrink kept remaining =
+    match remaining with
+    | [] -> List.rev kept
+    | a :: rest ->
+      let candidate = List.rev_append kept rest in
+      if candidate <> [] && equivalent q candidate then shrink kept rest
+      else shrink (a :: kept) rest
+  in
+  shrink [] q

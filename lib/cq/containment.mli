@@ -1,0 +1,29 @@
+(** Containment and minimization of Boolean conjunctive queries, via the
+    Chandra–Merlin homomorphism theorem.
+
+    These classical tools complement the pattern relation of
+    Definition 3.1: patterns compare query {e shapes} (atom and
+    occurrence deletion), while containment compares query {e semantics}
+    ([q ⊑ q'] iff every database satisfying [q] satisfies [q'], iff there
+    is a homomorphism from [q'] to [q]'s canonical database).  The test
+    suite uses containment to sanity-check that pattern steps never
+    contradict semantics on constant-free instances. *)
+
+open Incdb_relational
+
+(** [canonical_database q] freezes each variable into a constant, giving
+    the canonical instance of the homomorphism theorem. *)
+val canonical_database : Cq.t -> Cdb.t
+
+(** [contained q q'] decides [q ⊑ q']: every (set-semantics) database
+    satisfying [q] satisfies [q']. *)
+val contained : Cq.t -> Cq.t -> bool
+
+(** [equivalent q q'] is containment both ways. *)
+val equivalent : Cq.t -> Cq.t -> bool
+
+(** [minimize q] returns a minimal equivalent sub-query (the core): atoms
+    are removed while equivalence holds.  For self-join-free queries the
+    result is always [q] itself (no atom is redundant), which the tests
+    assert. *)
+val minimize : Cq.t -> Cq.t

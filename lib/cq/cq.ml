@@ -1,0 +1,161 @@
+open Incdb_relational
+
+type atom = { rel : string; vars : string array }
+type t = atom list
+
+let atom rel vars = { rel; vars = Array.of_list vars }
+
+let make atoms =
+  if atoms = [] then invalid_arg "Cq.make: a BCQ needs at least one atom";
+  List.iter
+    (fun a ->
+      if Array.length a.vars = 0 then
+        invalid_arg "Cq.make: every atom needs at least one variable")
+    atoms;
+  atoms
+
+(* Concrete syntax: atoms [Name(v1,...,vk)] separated by a comma, a wedge
+   symbol, or slash-backslash; whitespace is free. *)
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = invalid_arg (Printf.sprintf "Cq.of_string: %s at %d" msg !pos) in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n') do
+      incr pos
+    done
+  in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '\''
+  in
+  let ident () =
+    let start = !pos in
+    while !pos < n && is_ident s.[!pos] do incr pos done;
+    if !pos = start then error "expected identifier";
+    String.sub s start (!pos - start)
+  in
+  let expect c = if !pos < n && s.[!pos] = c then incr pos else error (Printf.sprintf "expected '%c'" c) in
+  let parse_atom () =
+    skip_ws ();
+    let rel = ident () in
+    skip_ws ();
+    expect '(';
+    let vars = ref [] in
+    let rec more () =
+      skip_ws ();
+      vars := ident () :: !vars;
+      skip_ws ();
+      if !pos < n && s.[!pos] = ',' then begin
+        incr pos;
+        more ()
+      end
+    in
+    more ();
+    expect ')';
+    { rel; vars = Array.of_list (List.rev !vars) }
+  in
+  let atoms = ref [] in
+  let rec loop () =
+    atoms := parse_atom () :: !atoms;
+    skip_ws ();
+    if !pos < n then begin
+      (match s.[!pos] with
+      | ',' -> incr pos
+      | '/' ->
+        incr pos;
+        expect '\\'
+      | '\xe2' ->
+        (* UTF-8 for the wedge symbol. *)
+        if !pos + 2 < n then pos := !pos + 3 else error "bad separator"
+      | _ -> error "expected separator");
+      loop ()
+    end
+  in
+  loop ();
+  make (List.rev !atoms)
+
+let atom_to_string a =
+  Printf.sprintf "%s(%s)" a.rel (String.concat "," (Array.to_list a.vars))
+
+let to_string q = String.concat " ∧ " (List.map atom_to_string q)
+let pp fmt q = Format.pp_print_string fmt (to_string q)
+
+let dedup_keep_order l =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.replace seen x ();
+        true
+      end)
+    l
+
+let relations q = dedup_keep_order (List.map (fun a -> a.rel) q)
+
+let variables q =
+  dedup_keep_order (List.concat_map (fun a -> Array.to_list a.vars) q)
+
+let is_self_join_free q = List.length (relations q) = List.length q
+
+let occurrences q v =
+  List.fold_left
+    (fun acc a ->
+      Array.fold_left (fun acc u -> if u = v then acc + 1 else acc) acc a.vars)
+    0 q
+
+(* Backtracking homomorphism search; [emit] receives each complete binding.
+   Raises [Stop] from [emit] to terminate early. *)
+exception Stop
+
+let search q db emit =
+  let rec go atoms binding =
+    match atoms with
+    | [] -> emit binding
+    | a :: rest ->
+      let try_fact (f : Cdb.fact) =
+        if f.Cdb.rel = a.rel && Array.length f.Cdb.args = Array.length a.vars
+        then begin
+          (* Extend the binding if consistent with this fact. *)
+          let rec extend i acc =
+            if i = Array.length a.vars then Some acc
+            else begin
+              let v = a.vars.(i) and c = f.Cdb.args.(i) in
+              match List.assoc_opt v acc with
+              | Some c' -> if c = c' then extend (i + 1) acc else None
+              | None -> extend (i + 1) ((v, c) :: acc)
+            end
+          in
+          match extend 0 binding with
+          | Some binding' -> go rest binding'
+          | None -> ()
+        end
+      in
+      List.iter try_fact (Cdb.facts_of db a.rel)
+  in
+  go q []
+
+let eval q db =
+  try
+    search q db (fun _ -> raise Stop);
+    false
+  with Stop -> true
+
+let homomorphisms q db =
+  let vars = variables q in
+  let acc = ref [] in
+  search q db (fun binding ->
+      let canonical = List.map (fun v -> (v, List.assoc v binding)) vars in
+      acc := canonical :: !acc);
+  dedup_keep_order !acc
+
+let q_rxx = make [ atom "R" [ "x"; "x" ] ]
+let q_rx_sx = make [ atom "R" [ "x" ]; atom "S" [ "x" ] ]
+
+let q_rx_sxy_ty =
+  make [ atom "R" [ "x" ]; atom "S" [ "x"; "y" ]; atom "T" [ "y" ] ]
+
+let q_rxy_sxy = make [ atom "R" [ "x"; "y" ]; atom "S" [ "x"; "y" ] ]
+let q_rx = make [ atom "R" [ "x" ] ]
+let q_rxy = make [ atom "R" [ "x"; "y" ] ]

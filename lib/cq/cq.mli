@@ -1,0 +1,58 @@
+(** Boolean conjunctive queries (Section 2).
+
+    A BCQ is a conjunction of relational atoms whose variables are all
+    implicitly existentially quantified.  A self-join-free BCQ (sjfBCQ)
+    uses every relation symbol at most once; the dichotomies of the paper
+    are stated for this class. *)
+
+open Incdb_relational
+
+type atom = { rel : string; vars : string array }
+
+(** A BCQ as its list of atoms. *)
+type t = atom list
+
+val atom : string -> string list -> atom
+
+(** [make atoms] validates a BCQ: at least one atom, every atom with at
+    least one variable (the standing assumptions of the paper).
+    @raise Invalid_argument when violated. *)
+val make : atom list -> t
+
+(** [of_string s] parses the concrete syntax ["R(x,y), S(x)"] (commas or
+    [∧]/[/\ ] between atoms).
+    @raise Invalid_argument on a syntax error. *)
+val of_string : string -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Relation symbols, in order of first appearance. *)
+val relations : t -> string list
+
+(** Distinct variables, in order of first appearance. *)
+val variables : t -> string list
+
+(** Is the query self-join-free (no repeated relation symbol)? *)
+val is_self_join_free : t -> bool
+
+(** Number of occurrences of a variable across the whole query. *)
+val occurrences : t -> string -> int
+
+(** [eval q db] decides [db |= q] by searching for a homomorphism from the
+    atoms of [q] into the facts of [db]. *)
+val eval : t -> Cdb.t -> bool
+
+(** All homomorphisms from [q] to [db], as bindings from variables to
+    constants.  Exposed for the Karp–Luby estimator (every satisfying
+    valuation extends some homomorphism image). *)
+val homomorphisms : t -> Cdb.t -> (string * string) list list
+
+(** Well-known pattern queries from Table 1. *)
+
+val q_rxx : t (* R(x,x) *)
+val q_rx_sx : t (* R(x) ∧ S(x) *)
+val q_rx_sxy_ty : t (* R(x) ∧ S(x,y) ∧ T(y) *)
+val q_rxy_sxy : t (* R(x,y) ∧ S(x,y) *)
+val q_rx : t (* R(x) *)
+val q_rxy : t (* R(x,y) *)

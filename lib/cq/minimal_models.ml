@@ -1,0 +1,76 @@
+open Incdb_relational
+
+let disjuncts = function
+  | Query.Bcq cq -> Some [ cq ]
+  | Query.Union cqs -> Some cqs
+  | Query.Bcq_neq (cq, _) -> Some [ cq ]
+  | Query.Not _ | Query.Semantic _ -> None
+
+let bound q =
+  match disjuncts q with
+  | None -> None
+  | Some cqs ->
+    Some (List.fold_left (fun acc cq -> max acc (List.length cq)) 0 cqs)
+
+(* The homomorphism images of one disjunct: for every homomorphism h, the
+   set of facts {h(atom)}.  Minimal models are the inclusion-minimal
+   images (an image has at most |q| facts, and any model contains some
+   homomorphism image). *)
+let images cq ?neqs db =
+  let homs = Cq.homomorphisms cq db in
+  let homs =
+    match neqs with
+    | None -> homs
+    | Some pairs ->
+      List.filter
+        (fun h ->
+          List.for_all
+            (fun (x, y) -> List.assoc x h <> List.assoc y h)
+            pairs)
+        homs
+  in
+  List.map
+    (fun h ->
+      Cdb.of_list
+        (List.map
+           (fun (a : Cq.atom) ->
+             {
+               Cdb.rel = a.Cq.rel;
+               args = Array.map (fun v -> List.assoc v h) a.Cq.vars;
+             })
+           cq))
+    homs
+
+let all_images q db =
+  match q with
+  | Query.Bcq cq -> images cq db
+  | Query.Union cqs -> List.concat_map (fun cq -> images cq db) cqs
+  | Query.Bcq_neq (cq, neqs) -> images cq ~neqs db
+  | Query.Not _ | Query.Semantic _ ->
+    invalid_arg "Minimal_models: only monotone (unions of) BCQs"
+
+let minimal_models q db =
+  let candidates =
+    List.sort_uniq Cdb.compare (all_images q db)
+  in
+  List.filter
+    (fun m ->
+      List.for_all
+        (fun m' -> Cdb.equal m m' || not (Cdb.subset m' m))
+        candidates)
+    candidates
+
+let is_minimal_model q db sub =
+  Cdb.subset sub db && Query.eval q sub
+  && begin
+       (* Dropping any single fact must falsify q (equivalent to proper
+          subset minimality for monotone queries). *)
+       let facts = Cdb.to_list sub in
+       List.for_all
+         (fun f ->
+           let without =
+             Cdb.of_list (List.filter (fun g -> Cdb.compare_fact f g <> 0) facts)
+           in
+           not (Query.eval q without))
+         facts
+     end

@@ -1,0 +1,28 @@
+(** Bounded minimal models (Section 5.1).
+
+    A Boolean query [q] has {e bounded minimal models} when there is a
+    constant [C_q] such that any database satisfying [q] contains a
+    sub-database of at most [C_q] facts that already satisfies it.  This
+    property (together with monotonicity and cheap model checking) is what
+    puts [#Val(q)] in SpanL (Proposition 5.2) and hence gives it an FPRAS;
+    it is also the structural fact behind the Karp–Luby event construction
+    of [incdb_approx].
+
+    For a union of BCQs the bound is the maximum number of atoms of a
+    disjunct, and the minimal models are the inclusion-minimal
+    homomorphism images. *)
+
+open Incdb_relational
+
+(** [bound q] is the minimal-models bound [C_q] for monotone queries,
+    [None] for non-monotone ones. *)
+val bound : Query.t -> int option
+
+(** [minimal_models q db] enumerates the inclusion-minimal sub-databases
+    of [db] satisfying [q] (no duplicates).
+    @raise Invalid_argument on a non-monotone query. *)
+val minimal_models : Query.t -> Cdb.t -> Cdb.t list
+
+(** [is_minimal_model q db sub] checks that [sub ⊆ db], [sub |= q], and no
+    proper subset of [sub] satisfies [q]. *)
+val is_minimal_model : Query.t -> Cdb.t -> Cdb.t -> bool

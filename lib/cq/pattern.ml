@@ -1,0 +1,81 @@
+type embedding = { atom_images : (int * int option array) list }
+
+(* Match one pattern atom [a'] against one target atom [a] under the
+   global injective variable map [tau] (pattern var -> target var):
+   injectively assign every position of [a'] to a position of [a] carrying
+   the image variable.  Returns all (tau', position_map) extensions, where
+   [position_map.(target_pos) = Some pattern_pos] for surviving
+   occurrences. *)
+let atom_matches tau (a' : Cq.atom) (a : Cq.atom) =
+  let k' = Array.length a'.Cq.vars and k = Array.length a.Cq.vars in
+  if k' > k then []
+  else begin
+    let results = ref [] in
+    (* used.(j) = pattern position occupying target position j, or -1. *)
+    let used = Array.make k (-1) in
+    let rec go i tau =
+      if i = k' then begin
+        let posmap =
+          Array.init k (fun j -> if used.(j) >= 0 then Some used.(j) else None)
+        in
+        results := (tau, posmap) :: !results
+      end else begin
+        let v' = a'.Cq.vars.(i) in
+        for j = 0 to k - 1 do
+          if used.(j) < 0 then begin
+            let v = a.Cq.vars.(j) in
+            let compatible =
+              match List.assoc_opt v' tau with
+              | Some w -> w = v
+              | None -> not (List.exists (fun (_, w) -> w = v) tau)
+            in
+            if compatible then begin
+              let tau' =
+                if List.mem_assoc v' tau then tau else (v', v) :: tau
+              in
+              used.(j) <- i;
+              go (i + 1) tau';
+              used.(j) <- -1
+            end
+          end
+        done
+      end
+    in
+    go 0 tau;
+    !results
+  end
+
+let find_embedding q' q =
+  let target_atoms = Array.of_list q in
+  let nt = Array.length target_atoms in
+  let pattern_atoms = Array.of_list q' in
+  let np = Array.length pattern_atoms in
+  let found = ref None in
+  let rec place i used tau images =
+    if !found <> None then ()
+    else if i = np then found := Some { atom_images = List.rev images }
+    else
+      for t = 0 to nt - 1 do
+        if !found = None && not (List.mem t used) then begin
+          let extensions = atom_matches tau pattern_atoms.(i) target_atoms.(t) in
+          List.iter
+            (fun (tau', posmap) ->
+              if !found = None then
+                place (i + 1) (t :: used) tau' ((t, posmap) :: images))
+            extensions
+        end
+      done
+  in
+  place 0 [] [] [];
+  !found
+
+let is_pattern_of q' q = Option.is_some (find_embedding q' q)
+
+let first_hard_pattern patterns q =
+  List.find_opt (fun p -> is_pattern_of p q) patterns
+
+let has_rxx q = is_pattern_of Cq.q_rxx q
+let has_rx_sx q = is_pattern_of Cq.q_rx_sx q
+let has_rx_sxy_ty q = is_pattern_of Cq.q_rx_sxy_ty q
+let has_rxy_sxy q = is_pattern_of Cq.q_rxy_sxy q
+let has_rxy q = is_pattern_of Cq.q_rxy q

@@ -1,0 +1,49 @@
+(** The pattern relation between sjfBCQs (Definition 3.1).
+
+    [q'] is a pattern of [q] when [q'] can be obtained from [q] by deleting
+    atoms, deleting variable occurrences (never all occurrences within an
+    atom), renaming relations or variables to fresh ones, and reordering
+    variables inside atoms.  By Lemmas 3.3 and 4.1, the counting problems
+    for [q] are at least as hard as for any of its patterns; Table 1 is
+    phrased entirely in terms of forbidden patterns.
+
+    Because renamings only go to {e fresh} names, the relation reduces to
+    the existence of an injective map from the atoms of [q'] to the atoms
+    of [q] together with an injective map from the variables of [q'] to the
+    variables of [q], such that inside each mapped atom the pattern's
+    variable occurrences embed injectively into occurrences of their image
+    variables. *)
+
+(** A witness that [q'] is a pattern of [q]: for each atom of [q'] (in
+    order), the index of its image atom in [q] and, for every position of
+    the image atom, either [Some p] (this occurrence survives as position
+    [p] of the pattern atom) or [None] (this occurrence was deleted). *)
+type embedding = { atom_images : (int * int option array) list }
+
+(** [find_embedding q' q] returns a witness embedding if [q'] is a pattern
+    of [q]. *)
+val find_embedding : Cq.t -> Cq.t -> embedding option
+
+(** [is_pattern_of q' q] decides whether [q'] is a pattern of [q]. *)
+val is_pattern_of : Cq.t -> Cq.t -> bool
+
+(** [first_hard_pattern patterns q] returns the first element of
+    [patterns] that is a pattern of [q], if any. *)
+val first_hard_pattern : Cq.t list -> Cq.t -> Cq.t option
+
+(** Convenient checks for the Table 1 patterns. *)
+
+(** Some atom repeats a variable. *)
+val has_rxx : Cq.t -> bool
+
+(** Two distinct atoms share a variable. *)
+val has_rx_sx : Cq.t -> bool
+
+(** The path pattern [R(x) ∧ S(x,y) ∧ T(y)]. *)
+val has_rx_sxy_ty : Cq.t -> bool
+
+(** Two atoms share two distinct variables. *)
+val has_rxy_sxy : Cq.t -> bool
+
+(** Some atom has two occurrences of distinct variables. *)
+val has_rxy : Cq.t -> bool

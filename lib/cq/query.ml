@@ -1,0 +1,49 @@
+open Incdb_relational
+
+type t =
+  | Bcq of Cq.t
+  | Union of Cq.t list
+  | Bcq_neq of Cq.t * (string * string) list
+  | Not of t
+  | Semantic of semantic
+
+and semantic = { name : string; monotone : bool; sem_eval : Cdb.t -> bool }
+
+let eval_neq cq pairs db =
+  List.exists
+    (fun h ->
+      List.for_all (fun (x, y) -> List.assoc x h <> List.assoc y h) pairs)
+    (Cq.homomorphisms cq db)
+
+let rec eval q db =
+  match q with
+  | Bcq cq -> Cq.eval cq db
+  | Union cqs -> List.exists (fun cq -> Cq.eval cq db) cqs
+  | Bcq_neq (cq, pairs) -> eval_neq cq pairs db
+  | Not q -> not (eval q db)
+  | Semantic s -> s.sem_eval db
+
+let rec relations = function
+  | Bcq cq | Bcq_neq (cq, _) -> Cq.relations cq
+  | Union cqs ->
+    List.sort_uniq String.compare (List.concat_map Cq.relations cqs)
+  | Not q -> relations q
+  | Semantic _ -> []
+
+let is_monotone = function
+  | Bcq _ | Union _ | Bcq_neq _ -> true
+  | Not _ -> false
+  | Semantic s -> s.monotone
+
+let rec to_string = function
+  | Bcq cq -> Cq.to_string cq
+  | Union cqs ->
+    String.concat " ∨ " (List.map (fun c -> "(" ^ Cq.to_string c ^ ")") cqs)
+  | Bcq_neq (cq, pairs) ->
+    Cq.to_string cq ^ " ∧ "
+    ^ String.concat " ∧ "
+        (List.map (fun (x, y) -> x ^ " ≠ " ^ y) pairs)
+  | Not q -> "¬(" ^ to_string q ^ ")"
+  | Semantic s -> s.name
+
+let pp fmt q = Format.pp_print_string fmt (to_string q)

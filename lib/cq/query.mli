@@ -1,0 +1,39 @@
+(** Boolean queries beyond single BCQs: unions of BCQs (Corollary 5.3),
+    BCQs with inequality atoms (footnote 4 of Section 5.1 — these still
+    admit an FPRAS for [#Val]), negations (Section 6, where [#Comp^u(¬q)]
+    is SpanP-complete), and opaque {e semantic} queries given by an
+    evaluation function (used for Datalog and the ∃SO query of
+    Theorem 6.4; Observation 6.2 places [#Comp] of any such
+    polynomial-time query in SpanP). *)
+
+open Incdb_relational
+
+type t =
+  | Bcq of Cq.t
+  | Union of Cq.t list  (** a union of Boolean conjunctive queries *)
+  | Bcq_neq of Cq.t * (string * string) list
+      (** a BCQ with inequality atoms [x ≠ y] between its variables *)
+  | Not of t
+  | Semantic of semantic
+      (** an opaque Boolean query; only enumeration-based counting
+          applies *)
+
+and semantic = {
+  name : string;  (** used for printing *)
+  monotone : bool;  (** trusted monotonicity annotation *)
+  sem_eval : Cdb.t -> bool;
+}
+
+val eval : t -> Cdb.t -> bool
+
+(** Relation symbols mentioned anywhere in the query (empty for semantic
+    queries, whose footprint is unknown). *)
+val relations : t -> string list
+
+(** Monotone queries are preserved under adding facts (Section 5.1);
+    negation breaks monotonicity, inequalities do not; semantic queries
+    carry their own annotation. *)
+val is_monotone : t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,250 @@
+open Incdb_relational
+
+type term = Var of string | Const of string
+type atom = { rel : string; args : term list }
+type rule = { head : atom; body : atom list }
+type program = rule list
+
+let atom_vars a =
+  List.filter_map (function Var v -> Some v | Const _ -> None) a.args
+
+let make rules =
+  List.iter
+    (fun r ->
+      let body_vars = List.concat_map atom_vars r.body in
+      List.iter
+        (fun v ->
+          if not (List.mem v body_vars) then
+            invalid_arg
+              (Printf.sprintf "Datalog.make: unsafe rule, head variable %s" v))
+        (atom_vars r.head))
+    rules;
+  rules
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg =
+    invalid_arg (Printf.sprintf "Datalog.parse: %s at offset %d" msg !pos)
+  in
+  let skip_ws () =
+    while
+      !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n' || s.[!pos] = '\r')
+    do
+      incr pos
+    done
+  in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let ident () =
+    let start = !pos in
+    while !pos < n && is_ident s.[!pos] do incr pos done;
+    if !pos = start then error "expected identifier";
+    String.sub s start (!pos - start)
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else error (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_term () =
+    skip_ws ();
+    if !pos < n && s.[!pos] = '\'' then begin
+      incr pos;
+      let t = ident () in
+      expect '\'';
+      Const t
+    end
+    else begin
+      let t = ident () in
+      if t = "" then error "empty term"
+      else if t.[0] >= '0' && t.[0] <= '9' then Const t
+      else Var t
+    end
+  in
+  let parse_atom () =
+    skip_ws ();
+    let rel = ident () in
+    skip_ws ();
+    expect '(';
+    let args = ref [ parse_term () ] in
+    skip_ws ();
+    while !pos < n && s.[!pos] = ',' do
+      incr pos;
+      args := parse_term () :: !args;
+      skip_ws ()
+    done;
+    expect ')';
+    { rel; args = List.rev !args }
+  in
+  let rules = ref [] in
+  skip_ws ();
+  while !pos < n do
+    let head = parse_atom () in
+    skip_ws ();
+    let body =
+      if !pos < n && s.[!pos] = ':' then begin
+        incr pos;
+        expect '-';
+        let atoms = ref [ parse_atom () ] in
+        skip_ws ();
+        while !pos < n && s.[!pos] = ',' do
+          incr pos;
+          atoms := parse_atom () :: !atoms;
+          skip_ws ()
+        done;
+        List.rev !atoms
+      end
+      else []
+    in
+    skip_ws ();
+    expect '.';
+    skip_ws ();
+    rules := { head; body } :: !rules
+  done;
+  make (List.rev !rules)
+
+let term_to_string = function Var v -> v | Const c -> "'" ^ c ^ "'"
+
+let atom_to_string a =
+  Printf.sprintf "%s(%s)" a.rel
+    (String.concat "," (List.map term_to_string a.args))
+
+let rule_to_string r =
+  match r.body with
+  | [] -> atom_to_string r.head ^ "."
+  | body ->
+    Printf.sprintf "%s :- %s." (atom_to_string r.head)
+      (String.concat ", " (List.map atom_to_string body))
+
+let to_string p = String.concat "  " (List.map rule_to_string p)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Match [atom] against the facts of [db], extending [binding]; calls
+   [k] with each extended binding. *)
+let match_atom db atom binding k =
+  List.iter
+    (fun (f : Cdb.fact) ->
+      if Array.length f.Cdb.args = List.length atom.args then begin
+        let rec unify i terms binding =
+          match terms with
+          | [] -> k binding
+          | Const c :: rest ->
+            if f.Cdb.args.(i) = c then unify (i + 1) rest binding
+          | Var v :: rest ->
+            (match List.assoc_opt v binding with
+            | Some c -> if f.Cdb.args.(i) = c then unify (i + 1) rest binding
+            | None -> unify (i + 1) rest ((v, f.Cdb.args.(i)) :: binding))
+        in
+        unify 0 atom.args binding
+      end)
+    (Cdb.facts_of db atom.rel)
+
+let instantiate_head head binding =
+  Cdb.fact head.rel
+    (List.map
+       (function
+         | Const c -> c
+         | Var v -> (
+           match List.assoc_opt v binding with
+           | Some c -> c
+           | None -> assert false (* safety was validated *)))
+       head.args)
+
+(* One rule application: all head instantiations derivable from [db],
+   where at least one body atom is matched within [delta] (the semi-naive
+   restriction; when [delta] covers [db] this is naive evaluation). *)
+let apply_rule db delta rule acc =
+  let rec go atoms binding used_delta acc =
+    match atoms with
+    | [] -> if used_delta then instantiate_head rule.head binding :: acc else acc
+    | a :: rest ->
+      let results = ref acc in
+      (* match within the full database *)
+      match_atom db a binding (fun binding' ->
+          let in_delta =
+            (* the matched fact could lie in delta; recompute cheaply by
+               membership of the instantiated atom *)
+            let f =
+              instantiate_head
+                { rel = a.rel; args = a.args }
+                binding'
+            in
+            Cdb.mem f delta
+          in
+          results := go rest binding' (used_delta || in_delta) !results);
+      !results
+  in
+  (* Rules with an empty body fire once (ground heads). *)
+  match rule.body with
+  | [] -> instantiate_head rule.head [] :: acc
+  | _ -> go rule.body [] false acc
+
+let saturate p db =
+  (* Seed: facts from bodyless rules. *)
+  let initial =
+    List.fold_left
+      (fun acc r -> match r.body with [] -> apply_rule db db r acc | _ -> acc)
+      [] p
+  in
+  let db = ref (List.fold_left (fun d f -> Cdb.add f d) db initial) in
+  let delta = ref !db in
+  let continue_ = ref true in
+  while !continue_ do
+    let fresh =
+      List.fold_left
+        (fun acc r ->
+          match r.body with [] -> acc | _ -> apply_rule !db !delta r acc)
+        [] p
+    in
+    let new_facts = List.filter (fun f -> not (Cdb.mem f !db)) fresh in
+    match List.sort_uniq Cdb.compare_fact new_facts with
+    | [] -> continue_ := false
+    | added ->
+      delta := Cdb.of_list added;
+      db := List.fold_left (fun d f -> Cdb.add f d) !db added
+  done;
+  !db
+
+let holds p ~goal db =
+  let saturated = saturate p db in
+  let found = ref false in
+  match_atom saturated goal [] (fun _ -> found := true);
+  !found
+
+let to_query p ~goal =
+  Incdb_cq.Query.Semantic
+    {
+      Incdb_cq.Query.name =
+        Printf.sprintf "datalog[%s ? %s]" (to_string p) (atom_to_string goal);
+      monotone = true;
+      sem_eval = (fun db -> holds p ~goal db);
+    }
+
+let reachability ~from ~to_ =
+  let p =
+    make
+      [
+        {
+          head = { rel = "Reach"; args = [ Var "x"; Var "y" ] };
+          body = [ { rel = "E"; args = [ Var "x"; Var "y" ] } ];
+        };
+        {
+          head = { rel = "Reach"; args = [ Var "x"; Var "z" ] };
+          body =
+            [
+              { rel = "Reach"; args = [ Var "x"; Var "y" ] };
+              { rel = "E"; args = [ Var "y"; Var "z" ] };
+            ];
+        };
+      ]
+  in
+  to_query p ~goal:{ rel = "Reach"; args = [ Const from; Const to_ ] }

@@ -1,0 +1,58 @@
+(** Positive Datalog over complete databases — the "more expressive query
+    languages" of Section 6: Observation 6.2 places [#Comp(q)] in SpanP
+    for every query with polynomial-time model checking, "even more
+    expressive query languages such as Datalog".  This module supplies
+    such queries: recursive, monotone, evaluated by semi-naive fixpoint.
+
+    Combined with {!to_query} (which wraps a program as a monotone
+    [Query.Semantic]), the brute-force counters compute [#Val]/[#Comp] of
+    recursive properties such as reachability over incomplete databases —
+    network-reliability-style counting. *)
+
+open Incdb_relational
+
+(** Terms: variables (lowercase identifiers) or constants (digit-leading
+    or single-quoted in the concrete syntax). *)
+type term = Var of string | Const of string
+
+type atom = { rel : string; args : term list }
+
+(** A rule [head :- body].  Safety: every head variable must occur in the
+    body. *)
+type rule = { head : atom; body : atom list }
+
+type program = rule list
+
+(** [make rules] validates safety.
+    @raise Invalid_argument on an unsafe rule or an empty body with a
+    non-ground head. *)
+val make : rule list -> program
+
+(** Concrete syntax, one rule per '.'-terminated clause:
+    {v Reach(x,y) :- E(x,y). Reach(x,z) :- Reach(x,y), E(y,z). v}
+    Arguments starting with a lowercase letter are variables; arguments
+    starting with a digit or wrapped in single quotes are constants.
+    @raise Invalid_argument on syntax errors. *)
+val parse : string -> program
+
+val rule_to_string : rule -> string
+val to_string : program -> string
+
+(** [saturate p db] computes the least fixpoint: [db] extended with every
+    derivable IDB fact (semi-naive evaluation). *)
+val saturate : program -> Cdb.t -> Cdb.t
+
+(** [holds p ~goal db] decides whether some instantiation of [goal]
+    (an atom, possibly with variables) is derivable from [db] under
+    [p]. *)
+val holds : program -> goal:atom -> Cdb.t -> bool
+
+(** [to_query p ~goal] wraps the program as a monotone semantic query
+    usable with the counting machinery ([Brute], [Certainty], the
+    dispatchers' brute-force paths). *)
+val to_query : program -> goal:atom -> Incdb_cq.Query.t
+
+(** Convenience: the transitive-closure program
+    [Reach(x,y) :- E(x,y).  Reach(x,z) :- Reach(x,y), E(y,z).] with goal
+    [Reach(from, to_)] over the binary EDB relation ["E"]. *)
+val reachability : from:string -> to_:string -> Incdb_cq.Query.t

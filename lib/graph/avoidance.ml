@@ -1,0 +1,46 @@
+open Incdb_bignum
+
+let count_assignments g =
+  let n = Multigraph.node_count g in
+  let total = ref Nat.one in
+  for u = 0 to n - 1 do
+    total := Nat.mul !total (Nat.of_int (Multigraph.degree g u))
+  done;
+  if n = 0 then Nat.one else !total
+
+let count_avoiding g =
+  let n = Multigraph.node_count g in
+  let choice = Array.make n (-1) in
+  let count = ref Nat.zero in
+  (* Assign nodes in increasing order; edge [e = {u, v}] with [v < u] causes
+     a conflict exactly when [v] already chose [e] too. *)
+  let rec go u =
+    if u = n then count := Nat.succ !count
+    else begin
+      let try_edge e =
+        let a, b = Multigraph.endpoints g e in
+        let other = if a = u then b else a in
+        let conflict = other < u && choice.(other) = e in
+        if not conflict then begin
+          choice.(u) <- e;
+          go (u + 1);
+          choice.(u) <- -1
+        end
+      in
+      List.iter try_edge (Multigraph.incident g u)
+    end
+  in
+  if n = 0 then Nat.one
+  else begin
+    go 0;
+    !count
+  end
+
+let subdivide g =
+  let n = Multigraph.node_count g in
+  let m = Multigraph.edge_count g in
+  let half_edges e =
+    let u, v = Multigraph.endpoints g e in
+    [ (u, n + e); (n + e, v) ]
+  in
+  Graph.make (n + m) (List.concat_map half_edges (List.init m Fun.id))

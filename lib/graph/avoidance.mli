@@ -1,0 +1,23 @@
+(** Avoiding assignments of a multigraph (Definition A.1).
+
+    An assignment picks, for every node, one of its incident edges; it is
+    {e avoiding} when no edge is picked by both of its endpoints.  Counting
+    avoiding assignments ([#Avoidance]) is #P-complete even on 3-regular
+    multigraphs (Proposition A.3) and on 2-3-regular bipartite graphs
+    (Proposition A.8); it is the source problem of the reduction showing
+    that [#Val_Cd(R(x) ∧ S(x))] is #P-hard (Proposition 3.5). *)
+
+open Incdb_bignum
+
+(** Number of assignments, avoiding or not: the product of all degrees.
+    Zero as soon as some node is isolated. *)
+val count_assignments : Multigraph.t -> Nat.t
+
+(** [count_avoiding g] counts avoiding assignments by backtracking. *)
+val count_avoiding : Multigraph.t -> Nat.t
+
+(** [subdivide g] inserts a fresh node in the middle of every edge of the
+    multigraph, yielding the 2-3-regular bipartite {e simple} graph of
+    Proposition A.8 when [g] is 3-regular.  Original node [u] keeps number
+    [u]; the node subdividing edge [e] becomes [node_count g + e]. *)
+val subdivide : Multigraph.t -> Graph.t

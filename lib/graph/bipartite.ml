@@ -1,0 +1,67 @@
+module Edge_set = Set.Make (struct
+  type t = int * int
+
+  let compare = Stdlib.compare
+end)
+
+type t = {
+  left : int;
+  right : int;
+  edge_set : Edge_set.t;
+  radj : int list array; (* right neighbors of each left node *)
+  ladj : int list array; (* left neighbors of each right node *)
+}
+
+let make ~left ~right edge_list =
+  if left < 0 || right < 0 then invalid_arg "Bipartite.make: negative side";
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= left || j < 0 || j >= right then
+        invalid_arg "Bipartite.make: endpoint out of range")
+    edge_list;
+  let edge_set = Edge_set.of_list edge_list in
+  let radj = Array.make left [] in
+  let ladj = Array.make right [] in
+  Edge_set.iter
+    (fun (i, j) ->
+      radj.(i) <- j :: radj.(i);
+      ladj.(j) <- i :: ladj.(j))
+    edge_set;
+  Array.iteri (fun i l -> radj.(i) <- List.sort Stdlib.compare l) radj;
+  Array.iteri (fun j l -> ladj.(j) <- List.sort Stdlib.compare l) ladj;
+  { left; right; edge_set; radj; ladj }
+
+let left_count b = b.left
+let right_count b = b.right
+let edges b = Edge_set.elements b.edge_set
+let edge_count b = Edge_set.cardinal b.edge_set
+let has_edge b i j = Edge_set.mem (i, j) b.edge_set
+let right_neighbors b i = b.radj.(i)
+let left_neighbors b j = b.ladj.(j)
+
+let to_graph b =
+  Graph.make (b.left + b.right)
+    (List.map (fun (i, j) -> (i, b.left + j)) (edges b))
+
+let of_graph g =
+  match Graph.bipartition g with
+  | None -> None
+  | Some side ->
+    let n = Graph.node_count g in
+    let index = Array.make n 0 in
+    let nl = ref 0 and nr = ref 0 in
+    for u = 0 to n - 1 do
+      if side.(u) then begin
+        index.(u) <- !nr;
+        incr nr
+      end else begin
+        index.(u) <- !nl;
+        incr nl
+      end
+    done;
+    let to_bip (u, v) =
+      let u, v = if side.(u) then (v, u) else (u, v) in
+      (index.(u), index.(v))
+    in
+    let b = make ~left:!nl ~right:!nr (List.map to_bip (Graph.edges g)) in
+    Some (b, side, index)

@@ -1,0 +1,29 @@
+(** Bipartite graphs with explicit sides, as needed by the reductions from
+    [#BIS] (Proposition 3.11), [#Avoidance] on bipartite graphs
+    (Proposition 3.5) and [#PF] on bipartite graphs (Proposition 4.5(b)).
+
+    Left nodes are [0 .. left-1], right nodes are [0 .. right-1], and every
+    edge [(i, j)] joins left node [i] to right node [j]. *)
+
+type t
+
+(** @raise Invalid_argument on out-of-range endpoints. *)
+val make : left:int -> right:int -> (int * int) list -> t
+
+val left_count : t -> int
+val right_count : t -> int
+val edges : t -> (int * int) list
+val edge_count : t -> int
+val has_edge : t -> int -> int -> bool
+val right_neighbors : t -> int -> int list
+val left_neighbors : t -> int -> int list
+
+(** View as a plain graph: left node [i] keeps number [i], right node [j]
+    becomes [left + j]. *)
+val to_graph : t -> Graph.t
+
+(** [of_graph g] splits a bipartite simple graph along a 2-coloring.
+    Returns the bipartite view plus the maps from [g]'s node numbering:
+    [side.(u)] is [false] for left, and [index.(u)] the position within its
+    side.  [None] if [g] is not bipartite. *)
+val of_graph : Graph.t -> (t * bool array * int array) option

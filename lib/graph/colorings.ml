@@ -1,0 +1,86 @@
+open Incdb_bignum
+
+exception Found
+
+(* Backtracking over nodes in order; a node only needs to be checked
+   against its already-colored neighbors.  [stop_at_first] turns the
+   counter into a decision procedure. *)
+let search g k ~stop_at_first =
+  let n = Graph.node_count g in
+  let color = Array.make n (-1) in
+  let count = ref Nat.zero in
+  let rec go u =
+    if u = n then begin
+      count := Nat.succ !count;
+      if stop_at_first then raise Found
+    end else
+      for c = 0 to k - 1 do
+        let conflict =
+          List.exists (fun v -> color.(v) = c) (Graph.neighbors g u)
+        in
+        if not conflict then begin
+          color.(u) <- c;
+          go (u + 1);
+          color.(u) <- -1
+        end
+      done
+  in
+  (try go 0 with Found -> ());
+  !count
+
+let count_colorings g k =
+  if k < 0 then invalid_arg "Colorings.count_colorings: negative k";
+  search g k ~stop_at_first:false
+
+let is_colorable g k = not (Nat.is_zero (search g k ~stop_at_first:true))
+
+
+(* Chromatic polynomial by deletion-contraction on multigraph-like edge
+   lists: P(G) = P(G - e) - P(G / e).  The base case (no edges, n nodes)
+   is k^n.  Parallel edges produced by contraction are dropped (they do
+   not change proper colorings); self-loops make the polynomial zero. *)
+let chromatic_polynomial g =
+  if Graph.edge_count g > 16 then
+    invalid_arg "Colorings.chromatic_polynomial: too many edges";
+  (* polynomials as Zint arrays, low degree first *)
+  let add_poly a b =
+    let n = max (Array.length a) (Array.length b) in
+    Array.init n (fun i ->
+        let va = if i < Array.length a then a.(i) else Zint.zero in
+        let vb = if i < Array.length b then b.(i) else Zint.zero in
+        Zint.add va vb)
+  in
+  let neg_poly a = Array.map Zint.neg a in
+  let monomial n =
+    Array.init (n + 1) (fun i -> if i = n then Zint.one else Zint.zero)
+  in
+  (* state: n nodes, edge list over 0..n-1 with u < v, no self-loops,
+     deduplicated *)
+  let rec go n edges =
+    match edges with
+    | [] -> monomial n
+    | (u, v) :: rest ->
+      (* deletion *)
+      let deleted = go n rest in
+      (* contraction: merge v into u, renumber v.. down by one *)
+      let rename w = if w = v then u else if w > v then w - 1 else w in
+      let contracted_edges =
+        rest
+        |> List.filter_map (fun (a, b) ->
+               let a = rename a and b = rename b in
+               if a = b then None else Some (min a b, max a b))
+        |> List.sort_uniq Stdlib.compare
+      in
+      let contracted = go (n - 1) contracted_edges in
+      add_poly deleted (neg_poly contracted)
+  in
+  go (Graph.node_count g) (Graph.edges g)
+
+let eval_polynomial p k =
+  let acc = ref Zint.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Zint.add (Zint.mul !acc (Zint.of_int k)) p.(i)
+  done;
+  match Zint.sign !acc with
+  | s when s >= 0 -> Zint.to_nat !acc
+  | _ -> failwith "Colorings.eval_polynomial: negative value"

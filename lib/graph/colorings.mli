@@ -1,0 +1,25 @@
+(** Exact counting of proper colorings; the oracle for Proposition 3.4
+    (counting 3-colorings reduces to [#Val^u(R(x,x))]) and for the
+    3-colorability gadget of Proposition 5.6. *)
+
+open Incdb_bignum
+
+(** [count_colorings g k] is the number of proper [k]-colorings of [g]
+    (maps from nodes to [k] colors such that adjacent nodes differ). *)
+val count_colorings : Graph.t -> int -> Nat.t
+
+(** [is_colorable g k] decides whether a proper [k]-coloring exists. *)
+val is_colorable : Graph.t -> int -> bool
+
+(** [chromatic_polynomial g] computes the chromatic polynomial by
+    deletion–contraction, as integer coefficients (low degree first); an
+    independent validation path for {!count_colorings}, which must equal
+    the polynomial evaluated at [k].  Exponential in the edge count;
+    restricted to small graphs.
+    @raise Invalid_argument beyond 16 edges. *)
+val chromatic_polynomial : Graph.t -> Zint.t array
+
+(** [eval_polynomial p k] evaluates integer coefficients at [k >= 0];
+    chromatic values are non-negative.
+    @raise Failure on a negative result. *)
+val eval_polynomial : Zint.t array -> int -> Nat.t

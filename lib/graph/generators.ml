@@ -1,0 +1,121 @@
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need at least 3 nodes";
+  Graph.make n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let path n =
+  if n < 1 then invalid_arg "Generators.path: need at least 1 node";
+  Graph.make n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  Graph.make n !es
+
+let complete_bipartite a b =
+  let es = ref [] in
+  for u = 0 to a - 1 do
+    for v = 0 to b - 1 do
+      es := (u, a + v) :: !es
+    done
+  done;
+  Graph.make (a + b) !es
+
+let star n =
+  if n < 1 then invalid_arg "Generators.star: need at least 1 node";
+  Graph.make n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let grid w h =
+  if w < 1 || h < 1 then invalid_arg "Generators.grid: empty grid";
+  let id x y = (y * w) + x in
+  let es = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then es := (id x y, id (x + 1) y) :: !es;
+      if y + 1 < h then es := (id x y, id x (y + 1)) :: !es
+    done
+  done;
+  Graph.make (w * h) !es
+
+let petersen () =
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let spokes = List.init 5 (fun i -> (i, 5 + i)) in
+  let inner = List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5))) in
+  Graph.make 10 (outer @ spokes @ inner)
+
+let random ~seed n p_num p_den =
+  let st = Random.State.make [| seed |] in
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.int st p_den < p_num then es := (u, v) :: !es
+    done
+  done;
+  Graph.make n !es
+
+let random_bipartite ~seed left right p_num p_den =
+  let st = Random.State.make [| seed |] in
+  let es = ref [] in
+  for i = 0 to left - 1 do
+    for j = 0 to right - 1 do
+      if Random.State.int st p_den < p_num then es := (i, j) :: !es
+    done
+  done;
+  Bipartite.make ~left ~right !es
+
+let random_multigraph ~seed n m =
+  if n < 2 then invalid_arg "Generators.random_multigraph: need 2 nodes";
+  let st = Random.State.make [| seed |] in
+  let draw _ =
+    let u = Random.State.int st n in
+    let rec other () =
+      let v = Random.State.int st n in
+      if v = u then other () else v
+    in
+    (u, other ())
+  in
+  Multigraph.make n (Array.init m draw)
+
+let random_regular_multigraph ~seed n d =
+  if n * d mod 2 = 1 then
+    invalid_arg "Generators.random_regular_multigraph: n*d must be even";
+  let st = Random.State.make [| seed |] in
+  let attempts = ref 0 in
+  let rec attempt () =
+    incr attempts;
+    if !attempts > 1000 then
+      failwith "Generators.random_regular_multigraph: too many attempts";
+    (* Configuration model: shuffle the n*d half-edges and pair them up. *)
+    let stubs = Array.init (n * d) (fun i -> i / d) in
+    for i = Array.length stubs - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = stubs.(i) in
+      stubs.(i) <- stubs.(j);
+      stubs.(j) <- t
+    done;
+    let ok = ref true in
+    let edges =
+      Array.init (n * d / 2) (fun k ->
+          let u = stubs.(2 * k) and v = stubs.((2 * k) + 1) in
+          if u = v then ok := false;
+          (u, v))
+    in
+    if !ok then Multigraph.make n edges else attempt ()
+  in
+  attempt ()
+
+let k_stretch g k =
+  if k < 1 then invalid_arg "Generators.k_stretch: k must be positive";
+  let n = Graph.node_count g in
+  let next = ref n in
+  let stretch_edge (u, v) =
+    (* Replace u-v by u - f1 - f2 - ... - f(k-1) - v. *)
+    let fresh = Array.init (k - 1) (fun _ -> let id = !next in incr next; id) in
+    let nodes = Array.concat [ [| u |]; fresh; [| v |] ] in
+    List.init k (fun i -> (nodes.(i), nodes.(i + 1)))
+  in
+  let es = List.concat_map stretch_edge (Graph.edges g) in
+  Graph.make !next es

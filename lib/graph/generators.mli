@@ -1,0 +1,34 @@
+(** Deterministic graph generators for tests and benchmarks. *)
+
+val cycle : int -> Graph.t
+val path : int -> Graph.t
+val complete : int -> Graph.t
+val complete_bipartite : int -> int -> Graph.t
+val star : int -> Graph.t
+
+(** [grid w h] is the [w*h] king-free grid graph (4-neighborhood). *)
+val grid : int -> int -> Graph.t
+
+val petersen : unit -> Graph.t
+
+(** [random ~seed n p_num p_den] is an Erdős–Rényi graph where each edge is
+    present with probability [p_num/p_den]. *)
+val random : seed:int -> int -> int -> int -> Graph.t
+
+(** [random_bipartite ~seed left right p_num p_den]. *)
+val random_bipartite : seed:int -> int -> int -> int -> int -> Bipartite.t
+
+(** [random_multigraph ~seed n m] draws [m] edges uniformly (parallel edges
+    allowed, self-loops resampled); nodes with no incident edge may
+    occur. *)
+val random_multigraph : seed:int -> int -> int -> Multigraph.t
+
+(** [random_regular_multigraph ~seed n d] builds a [d]-regular multigraph
+    on [n] nodes by a configuration-model pairing (self-loop pairings are
+    locally repaired; raises after too many failed attempts).
+    @raise Invalid_argument when [n * d] is odd. *)
+val random_regular_multigraph : seed:int -> int -> int -> Multigraph.t
+
+(** [k_stretch g k] replaces every edge by a path with [k] edges
+    (Definition B.11); [k_stretch g 1] is [g] itself. *)
+val k_stretch : Graph.t -> int -> Graph.t

@@ -1,0 +1,104 @@
+module Edge_set = Set.Make (struct
+  type t = int * int
+
+  let compare = Stdlib.compare
+end)
+
+type t = { n : int; edge_set : Edge_set.t; adj : int list array }
+
+let make n edge_list =
+  if n < 0 then invalid_arg "Graph.make: negative node count";
+  let norm (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg "Graph.make: endpoint out of range";
+    if u = v then invalid_arg "Graph.make: self-loop";
+    if u < v then (u, v) else (v, u)
+  in
+  let edge_set = Edge_set.of_list (List.map norm edge_list) in
+  let adj = Array.make n [] in
+  Edge_set.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edge_set;
+  Array.iteri (fun i l -> adj.(i) <- List.sort Stdlib.compare l) adj;
+  { n; edge_set; adj }
+
+let node_count g = g.n
+let edge_count g = Edge_set.cardinal g.edge_set
+let edges g = Edge_set.elements g.edge_set
+
+let has_edge g u v =
+  let e = if u < v then (u, v) else (v, u) in
+  Edge_set.mem e g.edge_set
+
+let neighbors g u = g.adj.(u)
+let degree g u = List.length g.adj.(u)
+
+let adjacency_mask g u =
+  if g.n > 62 then invalid_arg "Graph.adjacency_mask: more than 62 nodes";
+  List.fold_left (fun m v -> m lor (1 lsl v)) 0 g.adj.(u)
+
+let components g =
+  let seen = Array.make g.n false in
+  let comp_of root =
+    let acc = ref [] in
+    let rec dfs u =
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        acc := u :: !acc;
+        List.iter dfs g.adj.(u)
+      end
+    in
+    dfs root;
+    List.sort Stdlib.compare !acc
+  in
+  let comps = ref [] in
+  for u = 0 to g.n - 1 do
+    if not seen.(u) then comps := comp_of u :: !comps
+  done;
+  List.rev !comps
+
+let bipartition g =
+  let side = Array.make g.n None in
+  let ok = ref true in
+  let rec dfs u s =
+    match side.(u) with
+    | Some s' -> if s' <> s then ok := false
+    | None ->
+      side.(u) <- Some s;
+      List.iter (fun v -> dfs v (not s)) g.adj.(u)
+  in
+  for u = 0 to g.n - 1 do
+    if side.(u) = None then dfs u false
+  done;
+  if !ok then Some (Array.map (function Some s -> s | None -> false) side)
+  else None
+
+let induced g nodes =
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i u -> Hashtbl.replace index u i) nodes;
+  let keep (u, v) =
+    match (Hashtbl.find_opt index u, Hashtbl.find_opt index v) with
+    | Some i, Some j -> Some (i, j)
+    | _ -> None
+  in
+  make (List.length nodes) (List.filter_map keep (edges g))
+
+let complement g =
+  let es = ref [] in
+  for u = 0 to g.n - 1 do
+    for v = u + 1 to g.n - 1 do
+      if not (has_edge g u v) then es := (u, v) :: !es
+    done
+  done;
+  make g.n !es
+
+let pp fmt g =
+  Format.fprintf fmt "graph(n=%d; " g.n;
+  List.iteri
+    (fun i (u, v) ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%d-%d" u v)
+    (edges g);
+  Format.fprintf fmt ")"

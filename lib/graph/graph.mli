@@ -1,0 +1,40 @@
+(** Finite undirected graphs as used in Section 2 of the paper: no
+    self-loops, no parallel edges.  Nodes are the integers [0 .. n-1]. *)
+
+type t
+
+(** [make n edges] builds a graph on [n] nodes.  Self-loops are rejected;
+    duplicate edges are collapsed.
+    @raise Invalid_argument on a self-loop or an out-of-range endpoint. *)
+val make : int -> (int * int) list -> t
+
+val node_count : t -> int
+val edge_count : t -> int
+
+(** Edges as pairs [(u, v)] with [u < v], sorted. *)
+val edges : t -> (int * int) list
+
+val has_edge : t -> int -> int -> bool
+val neighbors : t -> int -> int list
+val degree : t -> int -> int
+
+(** Adjacency bitmask of a node (bit [v] set iff [u ~ v]); only valid when
+    [node_count <= 62].
+    @raise Invalid_argument when the graph is too large for bitmasks. *)
+val adjacency_mask : t -> int -> int
+
+(** Connected components, each a sorted list of nodes. *)
+val components : t -> int list list
+
+(** Two-color the graph if possible; [Some side] assigns a boolean side to
+    every node such that every edge crosses, [None] if not bipartite. *)
+val bipartition : t -> bool array option
+
+(** [induced g nodes] restricts to the given node subset, renumbering nodes
+    in the order given. *)
+val induced : t -> int list -> t
+
+(** [complement g] has an edge exactly where [g] has none. *)
+val complement : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+open Incdb_bignum
+
+let is_hamiltonian g =
+  let n = Graph.node_count g in
+  if n > 20 then invalid_arg "Hamiltonicity.is_hamiltonian: more than 20 nodes";
+  if n < 3 then false
+  else begin
+    let adj = Array.init n (Graph.adjacency_mask g) in
+    (* reach.(mask).(v): a path starting at node 0 visits exactly [mask] and
+       ends at [v].  Node 0 is fixed as the cycle anchor. *)
+    let full = (1 lsl n) - 1 in
+    let reach = Array.make_matrix (full + 1) n false in
+    reach.(1).(0) <- true;
+    for mask = 1 to full do
+      if mask land 1 = 1 then
+        for v = 0 to n - 1 do
+          if reach.(mask).(v) then
+            for w = 0 to n - 1 do
+              if mask land (1 lsl w) = 0 && adj.(v) land (1 lsl w) <> 0 then
+                reach.(mask lor (1 lsl w)).(w) <- true
+            done
+        done
+    done;
+    let closes v = reach.(full).(v) && adj.(v) land 1 <> 0 in
+    List.exists closes (List.init n Fun.id)
+  end
+
+let count_hamiltonian_subgraphs g k =
+  let n = Graph.node_count g in
+  if n > 20 then
+    invalid_arg "Hamiltonicity.count_hamiltonian_subgraphs: more than 20 nodes";
+  let count = ref Nat.zero in
+  for mask = 0 to (1 lsl n) - 1 do
+    let members = List.filter (fun v -> mask land (1 lsl v) <> 0) (List.init n Fun.id) in
+    if List.length members = k && is_hamiltonian (Graph.induced g members) then
+      count := Nat.succ !count
+  done;
+  !count

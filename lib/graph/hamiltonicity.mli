@@ -1,0 +1,13 @@
+(** Hamiltonicity testing and the [#HamSubgraphs] oracle of Definition D.4,
+    used to exercise the SpanP-hardness construction of Theorem 6.4. *)
+
+open Incdb_bignum
+
+(** [is_hamiltonian g] decides whether [g] has a Hamiltonian cycle, by the
+    Held–Karp bitmask dynamic program; requires [node_count g <= 20].
+    Graphs with fewer than 3 nodes are not Hamiltonian. *)
+val is_hamiltonian : Graph.t -> bool
+
+(** [count_hamiltonian_subgraphs g k] is the number of node subsets [S] of
+    size [k] whose induced subgraph [g[S]] is Hamiltonian. *)
+val count_hamiltonian_subgraphs : Graph.t -> int -> Nat.t

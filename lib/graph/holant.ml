@@ -1,0 +1,65 @@
+open Incdb_bignum
+
+type t = { graph : Multigraph.t; side : bool array (* true = degree-2 side *) }
+
+let make graph side =
+  if Array.length side <> Multigraph.node_count graph then
+    invalid_arg "Holant.make: side array length mismatch";
+  Array.iteri
+    (fun u s ->
+      let d = Multigraph.degree graph u in
+      if s && d <> 2 then invalid_arg "Holant.make: degree-2 side violation";
+      if (not s) && d <> 3 then invalid_arg "Holant.make: degree-3 side violation")
+    side;
+  { graph; side }
+
+let of_graph g =
+  match Graph.bipartition g with
+  | None -> None
+  | Some parts ->
+    let n = Graph.node_count g in
+    let ok = ref true in
+    let side = Array.make n false in
+    for u = 0 to n - 1 do
+      match (Graph.degree g u, parts.(u)) with
+      | 2, _ -> side.(u) <- true
+      | 3, _ -> side.(u) <- false
+      | _ -> ok := false
+    done;
+    (* All degree-2 nodes must be on one part and degree-3 on the other. *)
+    let coherent =
+      List.for_all
+        (fun (u, v) -> side.(u) <> side.(v))
+        (Graph.edges g)
+    in
+    if !ok && coherent then Some (make (Multigraph.of_graph g) side) else None
+
+let eval { graph; side } ~deg2 ~deg3 =
+  if List.length deg2 <> 3 then invalid_arg "Holant.eval: deg2 needs 3 entries";
+  if List.length deg3 <> 4 then invalid_arg "Holant.eval: deg3 needs 4 entries";
+  let m = Multigraph.edge_count graph in
+  if m > 22 then invalid_arg "Holant.eval: too many edges";
+  let x = Array.of_list deg2 and y = Array.of_list deg3 in
+  let n = Multigraph.node_count graph in
+  let total = ref Nat.zero in
+  for mask = 0 to (1 lsl m) - 1 do
+    let product = ref 1 in
+    for u = 0 to n - 1 do
+      if !product <> 0 then begin
+        let weight =
+          List.fold_left
+            (fun acc e -> if mask land (1 lsl e) <> 0 then acc + 1 else acc)
+            0 (Multigraph.incident graph u)
+        in
+        let f = if side.(u) then x.(weight) else y.(weight) in
+        product := !product * f
+      end
+    done;
+    total := Nat.add !total (Nat.of_int !product)
+  done;
+  !total
+
+let count_perfect_matchings h = eval h ~deg2:[ 0; 1; 0 ] ~deg3:[ 0; 1; 0; 0 ]
+let count_matchings h = eval h ~deg2:[ 1; 1; 0 ] ~deg3:[ 1; 1; 0; 0 ]
+let count_edge_covers h = eval h ~deg2:[ 0; 1; 1 ] ~deg3:[ 0; 1; 1; 1 ]
+let avoidance_holant h = eval h ~deg2:[ 1; 1; 0 ] ~deg3:[ 0; 1; 0; 0 ]

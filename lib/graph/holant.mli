@@ -1,0 +1,45 @@
+(** The Holant framework of Appendix A.2 (Definitions A.4–A.5), used by
+    the paper to derive hardness of [#Avoidance] (Proposition A.3) from
+    the results of Cai, Lu and Xia.
+
+    [Holant([x0,x1,x2] | [y0,y1,y2,y3])] takes a 2–3-regular bipartite
+    multigraph [(U ⊔ V, E)] and sums, over all 0/1 edge assignments, the
+    product of signature values: a node contributes [x_i] (resp. [y_i])
+    when exactly [i] of its incident edges carry 1.
+
+    Example A.6 instances: perfect matchings are
+    [Holant([0,1,0]|[0,1,0,0])], matchings [Holant([1,1,0]|[1,1,0,0])],
+    edge covers [Holant([0,1,1]|[0,1,1,1])]; and Proposition A.3 rests on
+    [#Avoidance(merging G) = Holant([1,1,0]|[0,1,0,0])(G)]. *)
+
+open Incdb_bignum
+
+(** A bipartite 2–3-regular multigraph given as a multigraph plus the side
+    assignment: [side.(u) = true] iff node [u] is on the degree-2 side.
+    @raise Invalid_argument if degrees do not match the sides. *)
+type t
+
+val make : Multigraph.t -> bool array -> t
+
+(** [of_graph g] splits a simple bipartite graph whose sides have degrees
+    2 and 3 respectively; [None] when [g] is not of that shape. *)
+val of_graph : Graph.t -> t option
+
+(** [eval h ~deg2 ~deg3] evaluates the Holant sum with signature [deg2] =
+    [[x0;x1;x2]] on degree-2 nodes and [deg3] = [[y0;y1;y2;y3]] on
+    degree-3 nodes, by enumerating all [2^{|E|}] edge assignments
+    (restricted to small instances).
+    @raise Invalid_argument on bad signature lengths or beyond 22
+    edges. *)
+val eval : t -> deg2:int list -> deg3:int list -> Nat.t
+
+(** The Example A.6 specializations and the Proposition A.3 instance. *)
+
+val count_perfect_matchings : t -> Nat.t
+val count_matchings : t -> Nat.t
+val count_edge_covers : t -> Nat.t
+
+(** [avoidance_holant h] is [Holant([1,1,0]|[0,1,0,0])(h)]; by
+    Proposition A.3 it equals the number of avoiding assignments of the
+    merging of the underlying graph. *)
+val avoidance_holant : t -> Nat.t

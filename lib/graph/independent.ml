@@ -1,0 +1,97 @@
+open Incdb_bignum
+
+(* Number of set bits of a non-negative integer. *)
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go m 0
+
+let lowest_bit m = m land -m
+
+let bit_index m =
+  let rec go m i = if m land 1 = 1 then i else go (m lsr 1) (i + 1) in
+  go m 0
+
+let count_independent_sets g =
+  let n = Graph.node_count g in
+  let adj = Array.init n (Graph.adjacency_mask g) in
+  (* [count avail] = number of independent sets within the node set
+     [avail].  Branch on a node of maximum degree within [avail]; when no
+     edges remain, every subset is independent. *)
+  let rec count avail =
+    if avail = 0 then Nat.one
+    else begin
+      let best = ref (-1) and best_deg = ref (-1) in
+      let m = ref avail in
+      while !m <> 0 do
+        let b = lowest_bit !m in
+        m := !m lxor b;
+        let v = bit_index b in
+        let d = popcount (adj.(v) land avail) in
+        if d > !best_deg then begin
+          best_deg := d;
+          best := v
+        end
+      done;
+      if !best_deg = 0 then Combinat.pow2 (popcount avail)
+      else begin
+        let v = !best in
+        let without_v = avail land lnot (1 lsl v) in
+        let without_closed = without_v land lnot adj.(v) in
+        Nat.add (count without_v) (count without_closed)
+      end
+    end
+  in
+  if n = 0 then Nat.one else count ((1 lsl n) - 1)
+
+let count_vertex_covers = count_independent_sets
+
+let subset_count g keep =
+  let n = Graph.node_count g in
+  if n > 25 then invalid_arg "Independent: brute-force graph too large";
+  let es = Graph.edges g in
+  let total = ref Nat.zero in
+  for mask = 0 to (1 lsl n) - 1 do
+    if keep es mask then total := Nat.succ !total
+  done;
+  !total
+
+let count_independent_sets_brute g =
+  let independent es mask =
+    List.for_all (fun (u, v) -> mask land (1 lsl u) = 0 || mask land (1 lsl v) = 0) es
+  in
+  subset_count g independent
+
+let count_vertex_covers_brute g =
+  let covers es mask =
+    List.for_all (fun (u, v) -> mask land (1 lsl u) <> 0 || mask land (1 lsl v) <> 0) es
+  in
+  subset_count g covers
+
+let independent_pairs_by_size b =
+  let nl = Bipartite.left_count b and nr = Bipartite.right_count b in
+  if nl > 25 || nr > 25 then
+    invalid_arg "Independent.independent_pairs_by_size: sides too large";
+  let z = Array.make_matrix (nl + 1) (nr + 1) Nat.zero in
+  (* For each left subset, the compatible right nodes are those with no
+     neighbor inside the subset; any subset of them forms an independent
+     pair, so they contribute binomially by size. *)
+  for mask = 0 to (1 lsl nl) - 1 do
+    let i = popcount mask in
+    let free = ref 0 in
+    for j = 0 to nr - 1 do
+      let touched =
+        List.exists (fun u -> mask land (1 lsl u) <> 0) (Bipartite.left_neighbors b j)
+      in
+      if not touched then incr free
+    done;
+    for j = 0 to !free do
+      z.(i).(j) <- Nat.add z.(i).(j) (Combinat.binomial !free j)
+    done
+  done;
+  z
+
+let count_bipartite_independent_sets b =
+  let z = independent_pairs_by_size b in
+  let total = ref Nat.zero in
+  Array.iter (Array.iter (fun c -> total := Nat.add !total c)) z;
+  !total

@@ -1,0 +1,36 @@
+(** Exact counting of independent sets and vertex covers.
+
+    These counters are the ground-truth oracles against which the hardness
+    reductions of Propositions 3.8, 3.11, 4.2 and 4.5 are verified: each
+    reduction is #P-hard in general, but on small instances we can cross
+    check the counting identities exactly. *)
+
+open Incdb_bignum
+
+(** [count_independent_sets g] is [#IS(g)]: the number of subsets [S] of
+    nodes with no edge inside [S] (the empty set counts).  Uses the
+    branching recursion [#IS(G) = #IS(G - v) + #IS(G - N[v])] with bitmask
+    states; requires [node_count g <= 62]. *)
+val count_independent_sets : Graph.t -> Nat.t
+
+(** [count_vertex_covers g] is [#VC(g)].  Computed through the bijection
+    [S] is independent iff [V \ S] is a cover, so [#VC = #IS]
+    (the observation used after Proposition 4.2). *)
+val count_vertex_covers : Graph.t -> Nat.t
+
+(** [count_vertex_covers_brute g] enumerates all subsets — for testing the
+    bijection on tiny graphs only. *)
+val count_vertex_covers_brute : Graph.t -> Nat.t
+
+(** [count_independent_sets_brute g] enumerates all subsets. *)
+val count_independent_sets_brute : Graph.t -> Nat.t
+
+(** [independent_pairs_by_size b] returns the matrix [z] where [z.(i).(j)]
+    is the number of pairs [(S1, S2)], [S1] a set of [i] left nodes and
+    [S2] a set of [j] right nodes, with no edge between [S1] and [S2] —
+    the quantities [Z_{i,j}] of Proposition 3.11. *)
+val independent_pairs_by_size : Bipartite.t -> Nat.t array array
+
+(** [count_bipartite_independent_sets b] is [#BIS], the number of
+    independent pairs; equals the sum of all [Z_{i,j}]. *)
+val count_bipartite_independent_sets : Bipartite.t -> Nat.t

@@ -1,0 +1,102 @@
+let maximum_matching_kuhn b =
+  let nl = Bipartite.left_count b and nr = Bipartite.right_count b in
+  let match_right = Array.make nr (-1) in
+  let visited = Array.make nr false in
+  (* Standard Kuhn augmentation from a free left node. *)
+  let rec try_augment i =
+    let attempt j =
+      if visited.(j) then false
+      else begin
+        visited.(j) <- true;
+        if match_right.(j) = -1 || try_augment match_right.(j) then begin
+          match_right.(j) <- i;
+          true
+        end else false
+      end
+    in
+    List.exists attempt (Bipartite.right_neighbors b i)
+  in
+  let size = ref 0 in
+  for i = 0 to nl - 1 do
+    Array.fill visited 0 nr false;
+    if try_augment i then incr size
+  done;
+  let pairs = ref [] in
+  for j = 0 to nr - 1 do
+    if match_right.(j) >= 0 then pairs := (match_right.(j), j) :: !pairs
+  done;
+  (!size, !pairs)
+
+(* Hopcroft-Karp: repeatedly build a BFS layering from the free left
+   nodes, then augment along a maximal set of vertex-disjoint shortest
+   augmenting paths found by layered DFS. *)
+let maximum_matching b =
+  let nl = Bipartite.left_count b and nr = Bipartite.right_count b in
+  let match_left = Array.make nl (-1) in
+  let match_right = Array.make nr (-1) in
+  let inf = max_int in
+  let dist = Array.make nl inf in
+  let queue = Queue.create () in
+  let bfs () =
+    Queue.clear queue;
+    for i = 0 to nl - 1 do
+      if match_left.(i) = -1 then begin
+        dist.(i) <- 0;
+        Queue.add i queue
+      end
+      else dist.(i) <- inf
+    done;
+    let found_free = ref false in
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      List.iter
+        (fun j ->
+          match match_right.(j) with
+          | -1 -> found_free := true
+          | i' ->
+            if dist.(i') = inf then begin
+              dist.(i') <- dist.(i) + 1;
+              Queue.add i' queue
+            end)
+        (Bipartite.right_neighbors b i)
+    done;
+    !found_free
+  in
+  let rec dfs i =
+    let attempt j =
+      let ok =
+        match match_right.(j) with
+        | -1 -> true
+        | i' -> dist.(i') = dist.(i) + 1 && dfs i'
+      in
+      if ok then begin
+        match_right.(j) <- i;
+        match_left.(i) <- j;
+        true
+      end
+      else false
+    in
+    if List.exists attempt (Bipartite.right_neighbors b i) then true
+    else begin
+      (* Dead end: remove from this phase's layering. *)
+      dist.(i) <- inf;
+      false
+    end
+  in
+  let size = ref 0 in
+  while bfs () do
+    for i = 0 to nl - 1 do
+      if match_left.(i) = -1 && dfs i then incr size
+    done
+  done;
+  let pairs = ref [] in
+  for j = 0 to nr - 1 do
+    if match_right.(j) >= 0 then pairs := (match_right.(j), j) :: !pairs
+  done;
+  (!size, !pairs)
+
+let is_matching b pairs =
+  let lefts = List.map fst pairs and rights = List.map snd pairs in
+  List.for_all (fun (i, j) -> Bipartite.has_edge b i j) pairs
+  && List.length (List.sort_uniq Stdlib.compare lefts) = List.length lefts
+  && List.length (List.sort_uniq Stdlib.compare rights) = List.length rights

@@ -1,0 +1,19 @@
+(** Maximum-cardinality bipartite matching.  This powers the Lemma B.2
+    polynomial-time test of whether a set of ground facts is a completion
+    of a Codd table, which in turn gives membership of [#Comp_Cd(q)] in #P
+    (Proposition B.1).
+
+    The default algorithm is Hopcroft–Karp (O(E sqrt V)); the simpler
+    Kuhn augmenting-path algorithm is kept as a reference implementation
+    for differential testing. *)
+
+(** [maximum_matching b] returns the size of a maximum matching and the
+    matching itself as pairs [(left, right)]. *)
+val maximum_matching : Bipartite.t -> int * (int * int) list
+
+(** Kuhn's O(V·E) algorithm; same contract, used as a test oracle. *)
+val maximum_matching_kuhn : Bipartite.t -> int * (int * int) list
+
+(** [is_matching b pairs] checks that [pairs] are edges of [b] and no
+    endpoint repeats — for validating the outputs above. *)
+val is_matching : Bipartite.t -> (int * int) list -> bool

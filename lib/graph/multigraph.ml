@@ -1,0 +1,57 @@
+type t = { n : int; ends : (int * int) array; inc : int list array }
+
+let make n endpoints =
+  if n < 0 then invalid_arg "Multigraph.make: negative node count";
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Multigraph.make: endpoint out of range";
+      if u = v then invalid_arg "Multigraph.make: self-loop")
+    endpoints;
+  let inc = Array.make n [] in
+  Array.iteri
+    (fun e (u, v) ->
+      inc.(u) <- e :: inc.(u);
+      inc.(v) <- e :: inc.(v))
+    endpoints;
+  Array.iteri (fun i l -> inc.(i) <- List.rev l) inc;
+  { n; ends = Array.copy endpoints; inc }
+
+let node_count g = g.n
+let edge_count g = Array.length g.ends
+let endpoints g e = g.ends.(e)
+let incident g u = g.inc.(u)
+let degree g u = List.length g.inc.(u)
+
+let is_regular g d =
+  let rec check u = u >= g.n || (degree g u = d && check (u + 1)) in
+  check 0
+
+let of_graph g =
+  make (Graph.node_count g) (Array.of_list (Graph.edges g))
+
+let merging g =
+  let n = Graph.node_count g in
+  (* Renumber the degree-3 nodes. *)
+  let index = Array.make n (-1) in
+  let next = ref 0 in
+  for u = 0 to n - 1 do
+    match Graph.degree g u with
+    | 3 ->
+      index.(u) <- !next;
+      incr next
+    | 2 -> ()
+    | _ -> invalid_arg "Multigraph.merging: node degree not in {2, 3}"
+  done;
+  let merged_edges = ref [] in
+  for u = 0 to n - 1 do
+    if Graph.degree g u = 2 then begin
+      match Graph.neighbors g u with
+      | [ a; b ] ->
+        if index.(a) < 0 || index.(b) < 0 then
+          invalid_arg "Multigraph.merging: adjacent degree-2 nodes";
+        merged_edges := (index.(a), index.(b)) :: !merged_edges
+      | _ -> assert false
+    end
+  done;
+  make !next (Array.of_list (List.rev !merged_edges))

@@ -1,0 +1,38 @@
+(** Multigraphs as in Appendix A.2: undirected, no self-loops, parallel
+    edges allowed.  Nodes are [0 .. n-1]; edges are identified by their
+    index into the edge array so that parallel edges stay distinct (this
+    matters for avoiding assignments, where a node picks an {e edge}, not a
+    neighbor). *)
+
+type t
+
+(** [make n endpoints] builds a multigraph; [endpoints.(e)] are the two
+    distinct endpoints of edge [e].
+    @raise Invalid_argument on a self-loop or out-of-range endpoint. *)
+val make : int -> (int * int) array -> t
+
+val node_count : t -> int
+val edge_count : t -> int
+
+(** Endpoints of an edge id. *)
+val endpoints : t -> int -> int * int
+
+(** Edge ids incident to a node. *)
+val incident : t -> int -> int list
+
+val degree : t -> int -> int
+
+(** Every node has degree exactly [d]. *)
+val is_regular : t -> int -> bool
+
+(** [of_graph g] views a simple graph as a multigraph; edge ids follow
+    [Graph.edges g]. *)
+val of_graph : Graph.t -> t
+
+(** [merging g] of a 2-3-regular bipartite simple graph: merge the two
+    incident edges of every degree-2 node, producing the 3-regular
+    multigraph of Proposition A.3.  Nodes of the result are the degree-3
+    nodes of [g], renumbered in increasing order.
+    @raise Invalid_argument if some node has degree other than 2 or 3, or
+    if merging would create a self-loop. *)
+val merging : Graph.t -> t

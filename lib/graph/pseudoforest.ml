@@ -1,0 +1,122 @@
+open Incdb_bignum
+
+(* Union-find where each class remembers whether it already contains a
+   cycle.  Adding an edge inside a cyclic class, or joining two cyclic
+   classes, would create a second cycle in one component. *)
+module Uf = struct
+  type t = { parent : int array; cyclic : bool array }
+
+  let create n = { parent = Array.init n Fun.id; cyclic = Array.make n false }
+
+  let rec find uf x =
+    if uf.parent.(x) = x then x
+    else begin
+      let r = find uf uf.parent.(x) in
+      uf.parent.(x) <- r;
+      r
+    end
+
+  (* Returns [true] when the edge keeps the subgraph a pseudoforest. *)
+  let add_edge uf u v =
+    let ru = find uf u and rv = find uf v in
+    if ru = rv then
+      if uf.cyclic.(ru) then false
+      else begin
+        uf.cyclic.(ru) <- true;
+        true
+      end
+    else if uf.cyclic.(ru) && uf.cyclic.(rv) then false
+    else begin
+      uf.parent.(ru) <- rv;
+      uf.cyclic.(rv) <- uf.cyclic.(ru) || uf.cyclic.(rv);
+      true
+    end
+end
+
+let bicircular_rank n edges =
+  let uf = Uf.create n in
+  List.fold_left
+    (fun rank (u, v) -> if Uf.add_edge uf u v then rank + 1 else rank)
+    0 edges
+
+let edge_subset_is_pseudoforest g sub =
+  let n = Graph.node_count g in
+  let uf = Uf.create n in
+  List.for_all (fun (u, v) -> Uf.add_edge uf u v) sub
+
+let is_pseudoforest g = edge_subset_is_pseudoforest g (Graph.edges g)
+
+let count_pseudoforests g =
+  let es = Array.of_list (Graph.edges g) in
+  let m = Array.length es in
+  if m > 24 then invalid_arg "Pseudoforest.count_pseudoforests: too many edges";
+  let n = Graph.node_count g in
+  let count = ref Nat.zero in
+  for mask = 0 to (1 lsl m) - 1 do
+    let uf = Uf.create n in
+    let ok = ref true in
+    for e = 0 to m - 1 do
+      if !ok && mask land (1 lsl e) <> 0 then begin
+        let u, v = es.(e) in
+        if not (Uf.add_edge uf u v) then ok := false
+      end
+    done;
+    if !ok then count := Nat.succ !count
+  done;
+  !count
+
+let find_outdegree_one_orientation g =
+  if not (is_pseudoforest g) then None
+  else begin
+    (* Peel degree-1 nodes, orienting their unique remaining edge away from
+       them; what remains is a disjoint union of cycles, oriented around. *)
+    let n = Graph.node_count g in
+    let alive_edges = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.replace alive_edges e ()) (Graph.edges g);
+    let deg = Array.init n (Graph.degree g) in
+    let oriented = ref [] in
+    let remove_edge u v =
+      let e = if u < v then (u, v) else (v, u) in
+      Hashtbl.remove alive_edges e;
+      deg.(u) <- deg.(u) - 1;
+      deg.(v) <- deg.(v) - 1
+    in
+    let queue = Queue.create () in
+    for u = 0 to n - 1 do
+      if deg.(u) = 1 then Queue.add u queue
+    done;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      if deg.(u) = 1 then begin
+        let v =
+          List.find
+            (fun v ->
+              let e = if u < v then (u, v) else (v, u) in
+              Hashtbl.mem alive_edges e)
+            (Graph.neighbors g u)
+        in
+        oriented := (u, v) :: !oriented;
+        remove_edge u v;
+        if deg.(v) = 1 then Queue.add v queue
+      end
+    done;
+    (* Remaining alive edges form disjoint cycles (every degree is 2). *)
+    while Hashtbl.length alive_edges > 0 do
+      let (u0, v0) = Hashtbl.fold (fun e () _ -> e) alive_edges (0, 0) in
+      let rec walk u v =
+        (* orient u -> v, continue from v *)
+        oriented := (u, v) :: !oriented;
+        remove_edge u v;
+        let next =
+          List.find_opt
+            (fun w ->
+              let e = if v < w then (v, w) else (w, v) in
+              Hashtbl.mem alive_edges e)
+            (Graph.neighbors g v)
+        in
+        match next with Some w -> walk v w | None -> ()
+      in
+      walk u0 v0
+    done;
+    Some !oriented
+  end

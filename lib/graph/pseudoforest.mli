@@ -1,0 +1,34 @@
+(** Pseudoforests and the bicircular matroid (Definition B.3, B.9).
+
+    A graph is a pseudoforest when every connected component has at most
+    one cycle — equivalently (Lemma B.4) when it admits an orientation of
+    maximum outdegree 1.  Edge subsets inducing pseudoforests are exactly
+    the independent sets of the bicircular matroid, and counting them
+    ([#PF]) is #P-hard even on bipartite graphs (Proposition B.5); this is
+    the source problem of the Proposition 4.5(b) reduction. *)
+
+open Incdb_bignum
+
+(** [is_pseudoforest g] checks the at-most-one-cycle-per-component
+    condition (each component has [#edges <= #nodes]). *)
+val is_pseudoforest : Graph.t -> bool
+
+(** [edge_subset_is_pseudoforest g sub] checks the subgraph induced by the
+    edge subset [sub] (a sublist of [Graph.edges g]). *)
+val edge_subset_is_pseudoforest : Graph.t -> (int * int) list -> bool
+
+(** [count_pseudoforests g] is [#PF(g)]: the number of edge subsets [S]
+    with [G[S]] a pseudoforest (the empty set counts).  Enumerates the
+    [2^m] subsets; restricted to small graphs. *)
+val count_pseudoforests : Graph.t -> Nat.t
+
+(** [bicircular_rank n edges] is the rank of the given edge multiset in the
+    bicircular matroid of the host graph on [n] nodes: the size of a
+    largest sub-multiset inducing a pseudoforest.  Computed greedily (the
+    independence structure is a matroid, Definition B.9). *)
+val bicircular_rank : int -> (int * int) list -> int
+
+(** [find_outdegree_one_orientation g] returns [Some dir] with one oriented
+    pair per edge of [g], each node appearing as a source at most once, or
+    [None] when [g] is not a pseudoforest (Lemma B.4). *)
+val find_outdegree_one_orientation : Graph.t -> (int * int) list option

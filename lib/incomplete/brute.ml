@@ -1,0 +1,59 @@
+open Incdb_bignum
+open Incdb_relational
+open Incdb_cq
+
+module Cdb_set = Set.Make (struct
+  type t = Cdb.t
+
+  let compare = Cdb.compare
+end)
+
+let count_valuations ?limit q db =
+  let count = ref Nat.zero in
+  let visit v = if Query.eval q (Idb.apply db v) then count := Nat.succ !count in
+  Idb.iter_valuations ?limit db visit;
+  !count
+
+let fold_completions ?limit db =
+  let acc = ref Cdb_set.empty in
+  Idb.iter_valuations ?limit db (fun v -> acc := Cdb_set.add (Idb.apply db v) !acc);
+  !acc
+
+let count_completions ?limit q db =
+  let sat = ref Cdb_set.empty in
+  let visit v =
+    let c = Idb.apply db v in
+    if Query.eval q c then sat := Cdb_set.add c !sat
+  in
+  Idb.iter_valuations ?limit db visit;
+  Nat.of_int (Cdb_set.cardinal !sat)
+
+let completions ?limit db = Cdb_set.elements (fold_completions ?limit db)
+
+let count_all_completions ?limit db =
+  Nat.of_int (Cdb_set.cardinal (fold_completions ?limit db))
+
+module Bag_set = Set.Make (struct
+  type t = Cdb.fact list
+
+  let compare = Stdlib.compare
+end)
+
+let count_all_completions_bag ?limit db =
+  let acc = ref Bag_set.empty in
+  Idb.iter_valuations ?limit db (fun v ->
+      acc := Bag_set.add (Idb.apply_bag db v) !acc);
+  Nat.of_int (Bag_set.cardinal !acc)
+
+let count_completions_bag ?limit q db =
+  let acc = ref Bag_set.empty in
+  Idb.iter_valuations ?limit db (fun v ->
+      let bag = Idb.apply_bag db v in
+      if Query.eval q (Cdb.of_list bag) then acc := Bag_set.add bag !acc);
+  Nat.of_int (Bag_set.cardinal !acc)
+
+let satisfying_valuations ?limit q db =
+  let acc = ref [] in
+  let visit v = if Query.eval q (Idb.apply db v) then acc := v :: !acc in
+  Idb.iter_valuations ?limit db visit;
+  List.rev !acc

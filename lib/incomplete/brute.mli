@@ -1,0 +1,40 @@
+(** Brute-force counting of valuations and completions by exhaustive
+    enumeration.  These are the problem {e definitions} turned into code
+    ([#Val(q)] and [#Comp(q)] of Section 2) and serve as the ground truth
+    for every polynomial-time algorithm and every reduction in the test
+    suite.  They are exponential in the number of nulls by design. *)
+
+open Incdb_bignum
+open Incdb_relational
+open Incdb_cq
+
+(** [count_valuations ?limit q db] is [#Val(q)(db)]: the number of
+    valuations [v] with [v(db) |= q].
+    @raise Invalid_argument if the number of valuations exceeds [limit]. *)
+val count_valuations : ?limit:int -> Query.t -> Idb.t -> Nat.t
+
+(** [count_completions ?limit q db] is [#Comp(q)(db)]: the number of
+    distinct completions satisfying [q]. *)
+val count_completions : ?limit:int -> Query.t -> Idb.t -> Nat.t
+
+(** All distinct completions, satisfying the query or not. *)
+val completions : ?limit:int -> Idb.t -> Cdb.t list
+
+(** [count_all_completions ?limit db] is the number of distinct
+    completions; already #P-hard for Codd tables over a single unary
+    relation in the non-uniform setting (Proposition 4.2). *)
+val count_all_completions : ?limit:int -> Idb.t -> Nat.t
+
+(** [count_all_completions_bag ?limit db] counts distinct completions
+    under bag semantics (Section 8 future work): duplicates inside a
+    completion are kept, so collisions between valuations are rarer and
+    [#Comp <= #Comp_bag <= #Val(true)]. *)
+val count_all_completions_bag : ?limit:int -> Idb.t -> Nat.t
+
+(** [count_completions_bag ?limit q db] is [#Comp(q)] under bag
+    semantics; [q] is evaluated on the underlying set of facts. *)
+val count_completions_bag : ?limit:int -> Query.t -> Idb.t -> Nat.t
+
+(** [satisfying_valuations ?limit q db] lists the satisfying valuations —
+    for the Figure 1 style exhibits. *)
+val satisfying_valuations : ?limit:int -> Query.t -> Idb.t -> Idb.valuation list

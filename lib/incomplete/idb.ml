@@ -1,0 +1,186 @@
+open Incdb_bignum
+open Incdb_relational
+
+type fact = { rel : string; args : Term.t array }
+
+let fact rel args = { rel; args = Array.of_list args }
+
+let fact_of_strings rel args =
+  let term s =
+    if String.length s > 0 && s.[0] = '?' then
+      Term.null (String.sub s 1 (String.length s - 1))
+    else Term.const s
+  in
+  fact rel (List.map term args)
+
+let pp_fact fmt f =
+  Format.fprintf fmt "%s(%s)" f.rel
+    (String.concat "," (List.map Term.to_string (Array.to_list f.args)))
+
+type domain_spec =
+  | Nonuniform of (string * string list) list
+  | Uniform of string list
+
+module Smap = Map.Make (String)
+
+type t = {
+  facts : fact list;
+  spec : domain_spec;
+  doms : string list Smap.t; (* resolved domain of each null of the table *)
+  null_order : string list;
+}
+
+let fact_nulls f =
+  Array.to_list f.args
+  |> List.filter_map (function Term.Null n -> Some n | Term.Const _ -> None)
+
+let dedup_keep_order l =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.replace seen x ();
+        true
+      end)
+    l
+
+let check_domain name dom =
+  if dom = [] then
+    invalid_arg (Printf.sprintf "Idb.make: empty domain for null %s" name);
+  if List.length (List.sort_uniq String.compare dom) <> List.length dom then
+    invalid_arg (Printf.sprintf "Idb.make: duplicate values in domain of %s" name)
+
+let make facts spec =
+  let facts = dedup_keep_order facts in
+  let null_order = dedup_keep_order (List.concat_map fact_nulls facts) in
+  let doms =
+    match spec with
+    | Uniform dom ->
+      check_domain "(uniform)" dom;
+      List.fold_left (fun m n -> Smap.add n dom m) Smap.empty null_order
+    | Nonuniform assoc ->
+      let lookup n =
+        match List.assoc_opt n assoc with
+        | Some dom ->
+          check_domain n dom;
+          dom
+        | None ->
+          invalid_arg (Printf.sprintf "Idb.make: no domain for null %s" n)
+      in
+      List.fold_left (fun m n -> Smap.add n (lookup n) m) Smap.empty null_order
+  in
+  { facts; spec; doms; null_order }
+
+let facts db = db.facts
+let domain_spec db = db.spec
+let is_uniform db = match db.spec with Uniform _ -> true | Nonuniform _ -> false
+let nulls db = db.null_order
+
+let table_constants db =
+  dedup_keep_order
+    (List.concat_map
+       (fun f ->
+         Array.to_list f.args
+         |> List.filter_map (function Term.Const c -> Some c | Term.Null _ -> None))
+       db.facts)
+
+let domain_of db n =
+  match Smap.find_opt n db.doms with
+  | Some dom -> dom
+  | None -> raise Not_found
+
+let is_codd db =
+  let seen = Hashtbl.create 16 in
+  let fresh n =
+    if Hashtbl.mem seen n then false
+    else begin
+      Hashtbl.replace seen n ();
+      true
+    end
+  in
+  List.for_all (fun f -> List.for_all fresh (fact_nulls f)) db.facts
+
+let relations db = dedup_keep_order (List.map (fun f -> f.rel) db.facts)
+let facts_of db rel = List.filter (fun f -> f.rel = rel) db.facts
+
+type valuation = (string * string) list
+
+let apply db v =
+  let value n =
+    match List.assoc_opt n v with
+    | Some c ->
+      if not (List.mem c (domain_of db n)) then
+        invalid_arg
+          (Printf.sprintf "Idb.apply: value %s outside domain of null %s" c n);
+      c
+    | None -> invalid_arg (Printf.sprintf "Idb.apply: null %s not valued" n)
+  in
+  let ground f =
+    let arg = function Term.Const c -> c | Term.Null n -> value n in
+    { Cdb.rel = f.rel; args = Array.map arg f.args }
+  in
+  Cdb.of_list (List.map ground db.facts)
+
+let apply_bag db v =
+  let value n =
+    match List.assoc_opt n v with
+    | Some c ->
+      if not (List.mem c (domain_of db n)) then
+        invalid_arg
+          (Printf.sprintf "Idb.apply_bag: value %s outside domain of null %s" c n);
+      c
+    | None -> invalid_arg (Printf.sprintf "Idb.apply_bag: null %s not valued" n)
+  in
+  let ground f =
+    let arg = function Term.Const c -> c | Term.Null n -> value n in
+    { Cdb.rel = f.rel; args = Array.map arg f.args }
+  in
+  List.sort Cdb.compare_fact (List.map ground db.facts)
+
+let total_valuations db =
+  Nat.product
+    (List.map (fun n -> Nat.of_int (List.length (domain_of db n))) db.null_order)
+
+let iter_valuations ?(limit = 4_000_000) db f =
+  (match Nat.to_int_opt (total_valuations db) with
+  | Some t when t <= limit -> ()
+  | _ ->
+    invalid_arg
+      "Idb.iter_valuations: too many valuations for exhaustive enumeration");
+  let names = Array.of_list db.null_order in
+  let doms = Array.map (fun n -> Array.of_list (domain_of db n)) names in
+  let k = Array.length names in
+  let current = Array.make k "" in
+  let rec go i =
+    if i = k then
+      f (List.init k (fun j -> (names.(j), current.(j))))
+    else
+      Array.iter
+        (fun c ->
+          current.(i) <- c;
+          go (i + 1))
+        doms.(i)
+  in
+  go 0
+
+let restrict db rels =
+  let facts = List.filter (fun f -> List.mem f.rel rels) db.facts in
+  make facts db.spec
+
+let map_table db f = make (f db.facts) db.spec
+
+let pp fmt db =
+  Format.fprintf fmt "@[<v>table:@,";
+  List.iter (fun f -> Format.fprintf fmt "  %a@," pp_fact f) db.facts;
+  (match db.spec with
+  | Uniform dom ->
+    Format.fprintf fmt "dom = {%s}@," (String.concat "," dom)
+  | Nonuniform _ ->
+    List.iter
+      (fun n ->
+        Format.fprintf fmt "dom(%s) = {%s}@,"
+          (Term.to_string (Term.Null n))
+          (String.concat "," (domain_of db n)))
+      db.null_order);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,89 @@
+(** Incomplete databases (Section 2): a naïve table [T] over constants and
+    nulls, together with a finite domain for every null.
+
+    Two flavours of domain assignment are supported, matching the paper's
+    non-uniform (each null carries its own domain, the default) and uniform
+    (one shared domain) settings.  The table is kept under set semantics:
+    duplicate incomplete facts are collapsed at construction. *)
+
+open Incdb_bignum
+open Incdb_relational
+
+type fact = { rel : string; args : Term.t array }
+
+val fact : string -> Term.t list -> fact
+
+(** Shorthand: [fact_of_strings "R" ["a"; "?x"]] reads arguments starting
+    with ['?'] as nulls and everything else as constants. *)
+val fact_of_strings : string -> string list -> fact
+
+val pp_fact : Format.formatter -> fact -> unit
+
+type domain_spec =
+  | Nonuniform of (string * string list) list
+      (** domain of each null, keyed by null name *)
+  | Uniform of string list  (** one domain shared by all nulls *)
+
+type t
+
+(** [make facts dom] builds an incomplete database.
+    @raise Invalid_argument if some null of the table has no (or an empty)
+    domain, or if a domain list contains duplicates. *)
+val make : fact list -> domain_spec -> t
+
+val facts : t -> fact list
+val domain_spec : t -> domain_spec
+val is_uniform : t -> bool
+
+(** Nulls of the table, in order of first appearance. *)
+val nulls : t -> string list
+
+(** Constants appearing in the table (not the domains). *)
+val table_constants : t -> string list
+
+(** Domain of one null.
+    @raise Not_found if the null does not occur in the table. *)
+val domain_of : t -> string -> string list
+
+(** Every null occurs at most once in the whole table (Codd condition). *)
+val is_codd : t -> bool
+
+(** Relation names of the table. *)
+val relations : t -> string list
+
+(** Facts of one relation. *)
+val facts_of : t -> string -> fact list
+
+(** A valuation: one constant per null of the table, within its domain. *)
+type valuation = (string * string) list
+
+(** [apply db v] is the completion [v(db)], with duplicate facts collapsed
+    by set semantics.
+    @raise Invalid_argument if [v] misses a null or picks a value outside
+    its domain. *)
+val apply : t -> valuation -> Cdb.t
+
+(** [apply_bag db v] is the completion under {e bag semantics}: duplicate
+    facts are kept (as a sorted list with multiplicities).  The paper
+    works under set semantics and lists bag semantics as future work
+    (Section 8); under bags, distinct valuations can still collide only
+    when they permute nulls within identical facts. *)
+val apply_bag : t -> valuation -> Cdb.fact list
+
+(** Total number of valuations: the product of the domain sizes. *)
+val total_valuations : t -> Nat.t
+
+(** [iter_valuations ?limit db f] enumerates every valuation.
+    @raise Invalid_argument if the total exceeds [limit]
+    (default [4_000_000]). *)
+val iter_valuations : ?limit:int -> t -> (valuation -> unit) -> unit
+
+(** Restrict the table to the facts of the given relations, keeping the
+    domain spec (used by the Lemma 3.3 / 4.1 pattern reductions). *)
+val restrict : t -> string list -> t
+
+(** [map_table db f] rebuilds the database with table [f (facts db)],
+    keeping the domain spec. *)
+val map_table : t -> (fact list -> fact list) -> t
+
+val pp : Format.formatter -> t -> unit

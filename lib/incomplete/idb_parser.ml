@@ -1,0 +1,97 @@
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokenize s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+(* Parse "R(a, ?x)" into relation and argument strings. *)
+let parse_fact lineno line =
+  let fail msg = invalid_arg (Printf.sprintf "Idb_parser: line %d: %s" lineno msg) in
+  match String.index_opt line '(' with
+  | None -> fail "expected a fact like R(a, ?x)"
+  | Some open_paren ->
+    let rel = String.trim (String.sub line 0 open_paren) in
+    if rel = "" then fail "empty relation name";
+    (match String.rindex_opt line ')' with
+    | None -> fail "missing closing parenthesis"
+    | Some close_paren when close_paren < open_paren -> fail "mismatched parentheses"
+    | Some close_paren ->
+      let inner =
+        String.sub line (open_paren + 1) (close_paren - open_paren - 1)
+      in
+      let args = String.split_on_char ',' inner |> List.map String.trim in
+      if List.exists (fun a -> a = "") args then fail "empty argument";
+      Idb.fact_of_strings rel args)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let uniform = ref None in
+  let nonuniform = ref [] in
+  let facts = ref [] in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim (strip_comment raw) in
+      let fail msg =
+        invalid_arg (Printf.sprintf "Idb_parser: line %d: %s" lineno msg)
+      in
+      if line <> "" then
+        if String.length line >= 4 && String.sub line 0 4 = "dom " then begin
+          match tokenize (String.sub line 4 (String.length line - 4)) with
+          | [] -> fail "empty domain declaration"
+          | first :: rest when String.length first > 0 && first.[0] = '?' ->
+            let null = String.sub first 1 (String.length first - 1) in
+            if rest = [] then fail "empty domain for null";
+            if !uniform <> None then fail "mixing uniform and per-null domains";
+            nonuniform := (null, rest) :: !nonuniform
+          | values ->
+            if !nonuniform <> [] then fail "mixing uniform and per-null domains";
+            (match !uniform with
+            | Some _ -> fail "duplicate uniform domain declaration"
+            | None -> uniform := Some values)
+        end
+        else facts := parse_fact lineno line :: !facts)
+    lines;
+  let spec =
+    match (!uniform, !nonuniform) with
+    | Some dom, [] -> Idb.Uniform dom
+    | None, assoc -> Idb.Nonuniform (List.rev assoc)
+    | Some _, _ :: _ -> assert false
+  in
+  Idb.make (List.rev !facts) spec
+
+let of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+let term_to_syntax = function
+  | Term.Const c -> c
+  | Term.Null n -> "?" ^ n
+
+let to_string db =
+  let buf = Buffer.create 256 in
+  (match Idb.domain_spec db with
+  | Idb.Uniform dom ->
+    Buffer.add_string buf ("dom " ^ String.concat " " dom ^ "\n")
+  | Idb.Nonuniform _ ->
+    List.iter
+      (fun n ->
+        Buffer.add_string buf
+          (Printf.sprintf "dom ?%s %s\n" n
+             (String.concat " " (Idb.domain_of db n))))
+      (Idb.nulls db));
+  List.iter
+    (fun (f : Idb.fact) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s(%s)\n" f.Idb.rel
+           (String.concat ", "
+              (List.map term_to_syntax (Array.to_list f.Idb.args)))))
+    (Idb.facts db);
+  Buffer.contents buf

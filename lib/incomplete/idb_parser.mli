@@ -1,0 +1,34 @@
+(** A small text format for incomplete databases, used by the [idbcount]
+    command-line tool and the examples.
+
+    {v
+    # Example 2.2 of the paper
+    dom ?n1 a b c        # per-null domain (non-uniform database)
+    dom ?n2 a b
+    S(a, b)
+    S(?n1, a)
+    S(a, ?n2)
+    v}
+
+    A uniform database instead declares one shared domain:
+
+    {v
+    dom 0 1
+    R(?x, ?y)
+    v}
+
+    Arguments starting with ['?'] are nulls, everything else is a
+    constant.  ['#'] starts a comment; blank lines are skipped. *)
+
+(** [of_string s] parses a database.
+    @raise Invalid_argument with a line-numbered message on errors
+    (unknown directives, mixing uniform and per-null domains, facts with
+    no domain for a null, syntax errors). *)
+val of_string : string -> Idb.t
+
+(** [of_file path] reads and parses a file. *)
+val of_file : string -> Idb.t
+
+(** [to_string db] renders a database in the same format ([of_string] of
+    the output reconstructs an equal database). *)
+val to_string : Idb.t -> string

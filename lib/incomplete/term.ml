@@ -1,0 +1,9 @@
+type t = Const of string | Null of string
+
+let const c = Const c
+let null n = Null n
+let is_null = function Null _ -> true | Const _ -> false
+let compare = Stdlib.compare
+let equal = Stdlib.( = )
+let to_string = function Const c -> c | Null n -> "\xe2\x8a\xa5" ^ n
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,13 @@
+(** Terms of a naïve table: constants from [Consts] or labeled nulls from
+    [Nulls] (Section 2).  Constants and nulls live in disjoint namespaces;
+    a null is written [⊥name] when printed. *)
+
+type t = Const of string | Null of string
+
+val const : string -> t
+val null : string -> t
+val is_null : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

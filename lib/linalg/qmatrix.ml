@@ -1,0 +1,166 @@
+open Incdb_bignum
+
+type t = Qnum.t array array
+
+let make rows cols f =
+  if rows <= 0 || cols <= 0 then invalid_arg "Qmatrix.make: non-positive dimension";
+  Array.init rows (fun i -> Array.init cols (fun j -> f i j))
+
+let rows (m : t) = Array.length m
+let cols (m : t) = Array.length m.(0)
+let get (m : t) i j = m.(i).(j)
+let identity n = make n n (fun i j -> if i = j then Qnum.one else Qnum.zero)
+
+let equal (a : t) (b : t) =
+  rows a = rows b && cols a = cols b
+  && begin
+       let ok = ref true in
+       for i = 0 to rows a - 1 do
+         for j = 0 to cols a - 1 do
+           if not (Qnum.equal a.(i).(j) b.(i).(j)) then ok := false
+         done
+       done;
+       !ok
+     end
+
+let mul (a : t) (b : t) =
+  if cols a <> rows b then invalid_arg "Qmatrix.mul: dimension mismatch";
+  let inner i j =
+    let acc = ref Qnum.zero in
+    for k = 0 to cols a - 1 do
+      acc := Qnum.add !acc (Qnum.mul a.(i).(k) b.(k).(j))
+    done;
+    !acc
+  in
+  make (rows a) (cols b) inner
+
+let mul_vec (a : t) (v : Qnum.t array) =
+  if cols a <> Array.length v then invalid_arg "Qmatrix.mul_vec: dimension mismatch";
+  let entry i =
+    let acc = ref Qnum.zero in
+    for k = 0 to cols a - 1 do
+      acc := Qnum.add !acc (Qnum.mul a.(i).(k) v.(k))
+    done;
+    !acc
+  in
+  Array.init (rows a) entry
+
+let kronecker (a : t) (b : t) =
+  let ra = rows a and ca = cols a and rb = rows b and cb = cols b in
+  make (ra * rb) (ca * cb) (fun i j ->
+      Qnum.mul a.(i / rb).(j / cb) b.(i mod rb).(j mod cb))
+
+(* Gauss–Jordan elimination of [a], applying the same row operations to the
+   augmented columns [aug].  Returns the transformed augmentation. *)
+let gauss_jordan (a : t) (aug : t) : t =
+  let n = rows a in
+  if cols a <> n then failwith "Qmatrix: non-square system";
+  if rows aug <> n then invalid_arg "Qmatrix: augmentation rows mismatch";
+  let m = Array.map Array.copy a in
+  let g = Array.map Array.copy aug in
+  let caug = cols aug in
+  for col = 0 to n - 1 do
+    (* Find a pivot row at or below [col]. *)
+    let rec find r =
+      if r >= n then failwith "Qmatrix: singular matrix"
+      else if Qnum.is_zero m.(r).(col) then find (r + 1)
+      else r
+    in
+    let piv = find col in
+    if piv <> col then begin
+      let tmp = m.(col) in m.(col) <- m.(piv); m.(piv) <- tmp;
+      let tmp = g.(col) in g.(col) <- g.(piv); g.(piv) <- tmp
+    end;
+    let inv_p = Qnum.inv m.(col).(col) in
+    for j = 0 to n - 1 do m.(col).(j) <- Qnum.mul m.(col).(j) inv_p done;
+    for j = 0 to caug - 1 do g.(col).(j) <- Qnum.mul g.(col).(j) inv_p done;
+    for r = 0 to n - 1 do
+      if r <> col && not (Qnum.is_zero m.(r).(col)) then begin
+        let f = m.(r).(col) in
+        for j = 0 to n - 1 do
+          m.(r).(j) <- Qnum.sub m.(r).(j) (Qnum.mul f m.(col).(j))
+        done;
+        for j = 0 to caug - 1 do
+          g.(r).(j) <- Qnum.sub g.(r).(j) (Qnum.mul f g.(col).(j))
+        done
+      end
+    done
+  done;
+  g
+
+let solve a b =
+  let aug = make (rows a) 1 (fun i _ -> b.(i)) in
+  let sol = gauss_jordan a aug in
+  Array.init (rows a) (fun i -> sol.(i).(0))
+
+let inverse a = gauss_jordan a (identity (rows a))
+
+let determinant (a : t) =
+  let n = rows a in
+  if cols a <> n then failwith "Qmatrix.determinant: non-square";
+  let m = Array.map Array.copy a in
+  let det = ref Qnum.one in
+  (try
+     for col = 0 to n - 1 do
+       let rec find r =
+         if r >= n then raise Exit
+         else if Qnum.is_zero m.(r).(col) then find (r + 1)
+         else r
+       in
+       let piv = find col in
+       if piv <> col then begin
+         let tmp = m.(col) in m.(col) <- m.(piv); m.(piv) <- tmp;
+         det := Qnum.neg !det
+       end;
+       det := Qnum.mul !det m.(col).(col);
+       let inv_p = Qnum.inv m.(col).(col) in
+       for r = col + 1 to n - 1 do
+         if not (Qnum.is_zero m.(r).(col)) then begin
+           let f = Qnum.mul m.(r).(col) inv_p in
+           for j = col to n - 1 do
+             m.(r).(j) <- Qnum.sub m.(r).(j) (Qnum.mul f m.(col).(j))
+           done
+         end
+       done
+     done
+   with Exit -> det := Qnum.zero);
+  !det
+
+let eval_poly coeffs x =
+  (* Horner, from the high-degree end. *)
+  let acc = ref Qnum.zero in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := Qnum.add (Qnum.mul !acc x) coeffs.(i)
+  done;
+  !acc
+
+let lagrange_interpolate points =
+  let pts = Array.of_list points in
+  let n = Array.length pts in
+  if n = 0 then [||]
+  else begin
+    (* Solve the Vandermonde system exactly; n is small in our uses. *)
+    let vander =
+      make n n (fun i j ->
+          let x, _ = pts.(i) in
+          let rec pow acc k = if k = 0 then acc else pow (Qnum.mul acc x) (k - 1) in
+          pow Qnum.one j)
+    in
+    let b = Array.map snd pts in
+    try solve vander b
+    with Failure _ -> failwith "Qmatrix.lagrange_interpolate: duplicate abscissae"
+  end
+
+let pp fmt (m : t) =
+  Format.fprintf fmt "@[<v>";
+  Array.iter
+    (fun row ->
+      Format.fprintf fmt "@[<h>[";
+      Array.iteri
+        (fun j q ->
+          if j > 0 then Format.fprintf fmt ", ";
+          Qnum.pp fmt q)
+        row;
+      Format.fprintf fmt "]@]@,")
+    m;
+  Format.fprintf fmt "@]"

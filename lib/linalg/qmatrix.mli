@@ -1,0 +1,52 @@
+(** Exact dense linear algebra over the rationals.
+
+    Used by the Proposition 3.11 Turing reduction (inverting the Kronecker
+    square of the surjection matrix to recover [#BIS] from oracle answers)
+    and by the Appendix B.5 Lagrange interpolation of bicircular Tutte
+    polynomials. *)
+
+open Incdb_bignum
+
+type t
+
+(** [make rows cols f] builds the matrix with entry [f i j] at row [i],
+    column [j] (0-indexed).
+    @raise Invalid_argument on non-positive dimensions. *)
+val make : int -> int -> (int -> int -> Qnum.t) -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Qnum.t
+val identity : int -> t
+val equal : t -> t -> bool
+val mul : t -> t -> t
+
+(** [mul_vec m v] is the matrix–vector product. *)
+val mul_vec : t -> Qnum.t array -> Qnum.t array
+
+(** Kronecker (tensor) product; for the [(n+1)^2]-dimensional system of
+    Proposition 3.11. *)
+val kronecker : t -> t -> t
+
+(** [solve a b] solves [a x = b] by Gaussian elimination with exact pivots.
+    @raise Failure if [a] is singular or non-square. *)
+val solve : t -> Qnum.t array -> Qnum.t array
+
+(** [inverse a] computes the exact inverse.
+    @raise Failure if [a] is singular or non-square. *)
+val inverse : t -> t
+
+(** [determinant a] by fraction-free elimination over [Qnum].
+    @raise Failure if [a] is non-square. *)
+val determinant : t -> Qnum.t
+
+(** [lagrange_interpolate points] returns the coefficients (low degree
+    first) of the unique polynomial of degree [< n] through the [n] given
+    [(x, y)] pairs with pairwise distinct abscissae.
+    @raise Failure on duplicate abscissae. *)
+val lagrange_interpolate : (Qnum.t * Qnum.t) list -> Qnum.t array
+
+(** [eval_poly coeffs x] evaluates a polynomial given low-first coefficients. *)
+val eval_poly : Qnum.t array -> Qnum.t -> Qnum.t
+
+val pp : Format.formatter -> t -> unit

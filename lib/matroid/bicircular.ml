@@ -1,0 +1,44 @@
+open Incdb_bignum
+open Incdb_graph
+
+let rank g sub = Pseudoforest.bicircular_rank (Graph.node_count g) sub
+
+(* Exact rational exponentiation with non-negative machine exponent. *)
+let qpow q e =
+  let rec go acc e = if e = 0 then acc else go (Qnum.mul acc q) (e - 1) in
+  go Qnum.one e
+
+let tutte g x y =
+  let es = Array.of_list (Graph.edges g) in
+  let m = Array.length es in
+  if m > 22 then invalid_arg "Bicircular.tutte: too many edges";
+  let full_rank = rank g (Array.to_list es) in
+  let x1 = Qnum.sub x Qnum.one and y1 = Qnum.sub y Qnum.one in
+  let acc = ref Qnum.zero in
+  for mask = 0 to (1 lsl m) - 1 do
+    let sub =
+      List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list es)
+    in
+    let r = rank g sub in
+    let size = List.length sub in
+    acc := Qnum.add !acc (Qnum.mul (qpow x1 (full_rank - r)) (qpow y1 (size - r)))
+  done;
+  !acc
+
+let q_to_nat q =
+  if not (Qnum.is_integer q) then failwith "Bicircular: expected an integer";
+  Zint.to_nat (Qnum.to_zint q)
+
+let count_independent_sets g =
+  q_to_nat (tutte g (Qnum.of_int 2) Qnum.one)
+
+let basis_count g = q_to_nat (tutte g Qnum.one Qnum.one)
+
+let stretch_identity_holds g k =
+  let stretched = Generators.k_stretch g k in
+  let lhs = tutte stretched (Qnum.of_int 2) Qnum.one in
+  let m = Graph.edge_count g in
+  let rk_e = rank g (Graph.edges g) in
+  let factor = qpow (Qnum.of_int ((1 lsl k) - 1)) (m - rk_e) in
+  let rhs = Qnum.mul factor (tutte g (Qnum.of_int (1 lsl k)) Qnum.one) in
+  Qnum.equal lhs rhs

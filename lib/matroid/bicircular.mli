@@ -1,0 +1,33 @@
+(** The bicircular matroid of a graph and its Tutte polynomial
+    (Appendix B.5, Definitions B.6–B.11).
+
+    The independent sets of [B(G)] are the edge subsets inducing
+    pseudoforests; [T(B(G); 2, 1)] counts them ([#PF], Observation B.8).
+    The #P-hardness of [#PF] on bipartite graphs follows from hardness of
+    [T(B(G); 1, 1)] plus the Brylawski k-stretch identity
+    [T(B(s_k(G)); 2, 1) = (2^k - 1)^(rank deficiency) · T(B(G); 2^k, 1)]
+    evaluated at even stretches; this module makes all the ingredients
+    executable so the identity can be checked numerically. *)
+
+open Incdb_bignum
+open Incdb_graph
+
+(** Rank of an edge subset in [B(G)] (size of a largest pseudoforest
+    sub-subset). *)
+val rank : Graph.t -> (int * int) list -> int
+
+(** [tutte g x y] evaluates the Tutte polynomial of [B(G)] exactly, by
+    summing over all all 2^|E| edge subsets; restricted to small graphs.
+    @raise Invalid_argument beyond 22 edges. *)
+val tutte : Graph.t -> Qnum.t -> Qnum.t -> Qnum.t
+
+(** [count_independent_sets g] is [T(B(G); 2, 1)], i.e. [#PF(G)]. *)
+val count_independent_sets : Graph.t -> Nat.t
+
+(** [basis_count g] is [T(B(G); 1, 1)], the number of maximum-size induced
+    pseudoforests — the quantity that is #P-hard by Proposition B.10. *)
+val basis_count : Graph.t -> Nat.t
+
+(** [stretch_identity_holds g k] checks the Brylawski identity for the
+    [k]-stretch of [g] numerically. *)
+val stretch_identity_holds : Graph.t -> int -> bool

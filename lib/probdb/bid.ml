@@ -1,0 +1,57 @@
+open Incdb_bignum
+open Incdb_relational
+open Incdb_cq
+
+type block = (Cdb.fact * Qnum.t) list
+type t = block list
+
+let make blocks =
+  List.iter
+    (fun block ->
+      let total =
+        List.fold_left (fun acc (_, p) -> Qnum.add acc p) Qnum.zero block
+      in
+      if
+        List.exists (fun (_, p) -> Qnum.sign p < 0) block
+        || Qnum.compare total Qnum.one > 0
+      then invalid_arg "Bid.make: invalid block probabilities")
+    blocks;
+  blocks
+
+let blocks t = t
+
+let worlds ?(max_worlds = 200_000) t =
+  (* Choices per block: each candidate fact, plus "absent" when mass is
+     left over. *)
+  let block_choices block =
+    let total =
+      List.fold_left (fun acc (_, p) -> Qnum.add acc p) Qnum.zero block
+    in
+    let absent = Qnum.sub Qnum.one total in
+    let choices = List.map (fun (f, p) -> (Some f, p)) block in
+    if Qnum.is_zero absent then choices else (None, absent) :: choices
+  in
+  let count =
+    List.fold_left (fun acc b -> acc * List.length (block_choices b)) 1 t
+  in
+  if count > max_worlds then
+    invalid_arg "Bid.worlds: too many worlds for exhaustive enumeration";
+  let rec go = function
+    | [] -> [ ([], Qnum.one) ]
+    | b :: rest ->
+      let tails = go rest in
+      List.concat_map
+        (fun (choice, p) ->
+          List.map
+            (fun (facts, q) ->
+              ( (match choice with Some f -> f :: facts | None -> facts),
+                Qnum.mul p q ))
+            tails)
+        (block_choices b)
+  in
+  List.map (fun (facts, p) -> (Cdb.of_list facts, p)) (go t)
+
+let probability ?max_worlds q t =
+  List.fold_left
+    (fun acc (w, p) -> if Query.eval q w then Qnum.add acc p else acc)
+    Qnum.zero (worlds ?max_worlds t)

@@ -1,0 +1,27 @@
+(** Block-independent-disjoint probabilistic databases (Section 7; the
+    model under which counting repairs embeds, Dalvi–Ré–Suciu).  Facts are
+    partitioned into blocks; within a block at most one fact is present,
+    chosen with the block's probabilities (whose sum may be below 1,
+    leaving mass for "no fact"); blocks are independent. *)
+
+open Incdb_bignum
+open Incdb_relational
+open Incdb_cq
+
+(** One block: the candidate facts with their probabilities. *)
+type block = (Cdb.fact * Qnum.t) list
+
+type t
+
+(** @raise Invalid_argument if some block's probabilities are negative or
+    sum above 1. *)
+val make : block list -> t
+
+val blocks : t -> block list
+
+(** All worlds with probabilities (product over blocks of choices,
+    including the "absent" choice when mass remains).
+    @raise Invalid_argument beyond [max_worlds] (default 200000). *)
+val worlds : ?max_worlds:int -> t -> (Cdb.t * Qnum.t) list
+
+val probability : ?max_worlds:int -> Query.t -> t -> Qnum.t

@@ -1,0 +1,147 @@
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+module Smap = Map.Make (String)
+
+type t = { idb : Idb.t; weights : Qnum.t Smap.t Smap.t }
+
+let make db assoc =
+  let weights =
+    List.fold_left
+      (fun acc (null, dist) ->
+        let dom = try Idb.domain_of db null with Not_found ->
+          invalid_arg (Printf.sprintf "Indnull.make: %s is not a null" null)
+        in
+        let total =
+          List.fold_left (fun s (_, p) -> Qnum.add s p) Qnum.zero dist
+        in
+        if not (Qnum.equal total Qnum.one) then
+          invalid_arg
+            (Printf.sprintf "Indnull.make: weights of %s do not sum to 1" null);
+        List.iter
+          (fun (v, p) ->
+            if not (List.mem v dom) then
+              invalid_arg
+                (Printf.sprintf "Indnull.make: %s outside domain of %s" v null);
+            if Qnum.sign p < 0 then
+              invalid_arg "Indnull.make: negative weight")
+          dist;
+        Smap.add null
+          (List.fold_left (fun m (v, p) -> Smap.add v p m) Smap.empty dist)
+          acc)
+      Smap.empty assoc
+  in
+  List.iter
+    (fun n ->
+      if not (Smap.mem n weights) then
+        invalid_arg (Printf.sprintf "Indnull.make: no distribution for %s" n))
+    (Idb.nulls db);
+  { idb = db; weights }
+
+let uniform db =
+  make db
+    (List.map
+       (fun n ->
+         let dom = Idb.domain_of db n in
+         let p = Qnum.of_ints 1 (List.length dom) in
+         (n, List.map (fun v -> (v, p)) dom))
+       (Idb.nulls db))
+
+let idb t = t.idb
+
+let weight t null value =
+  match Smap.find_opt null t.weights with
+  | None -> Qnum.zero
+  | Some dist -> Option.value ~default:Qnum.zero (Smap.find_opt value dist)
+
+let valuation_weight t v =
+  List.fold_left (fun acc (n, c) -> Qnum.mul acc (weight t n c)) Qnum.one v
+
+let probability_brute ?limit q t =
+  let acc = ref Qnum.zero in
+  Idb.iter_valuations ?limit t.idb (fun v ->
+      if Query.eval q (Idb.apply t.idb v) then
+        acc := Qnum.add !acc (valuation_weight t v));
+  !acc
+
+let probability_single_occurrence q t =
+  if not (List.for_all (fun v -> Cq.occurrences q v = 1) (Cq.variables q)) then
+    invalid_arg "Indnull.probability_single_occurrence: a variable repeats";
+  let atom_has_fact (a : Cq.atom) =
+    List.exists
+      (fun (f : Idb.fact) -> Array.length f.Idb.args = Array.length a.Cq.vars)
+      (Idb.facts_of t.idb a.Cq.rel)
+  in
+  if List.for_all atom_has_fact q then Qnum.one else Qnum.zero
+
+(* Probability that a term takes value [a]. *)
+let term_prob t a = function
+  | Term.Const c -> if c = a then Qnum.one else Qnum.zero
+  | Term.Null n -> weight t n a
+
+(* Values a term could take at all. *)
+let term_values t = function
+  | Term.Const c -> [ c ]
+  | Term.Null n -> Idb.domain_of t.idb n
+
+let probability_codd q t =
+  if not (Idb.is_codd t.idb) then
+    invalid_arg "Indnull.probability_codd: requires a Codd table";
+  let shared a b =
+    List.exists
+      (fun v -> Array.exists (String.equal v) b.Cq.vars)
+      (Array.to_list a.Cq.vars)
+  in
+  let rec disjoint = function
+    | [] -> true
+    | a :: rest -> List.for_all (fun b -> not (shared a b)) rest && disjoint rest
+  in
+  if not (disjoint q) then
+    invalid_arg "Indnull.probability_codd: atoms share a variable";
+  (* P(q) = prod over atoms of (1 - prod over tuples of (1 - P(match))).
+     Within a tuple, P(match) = prod over the atom's distinct variables of
+     P(all its positions agree) = sum_a prod_p P(term_p = a). *)
+  let atom_probability (a : Cq.atom) =
+    let tuples = Idb.facts_of t.idb a.Cq.rel in
+    let tuple_match (f : Idb.fact) =
+      if Array.length f.Idb.args <> Array.length a.Cq.vars then Qnum.zero
+      else begin
+        let vars = List.sort_uniq String.compare (Array.to_list a.Cq.vars) in
+        List.fold_left
+          (fun acc v ->
+            let positions =
+              List.filteri
+                (fun i _ -> a.Cq.vars.(i) = v)
+                (Array.to_list f.Idb.args)
+            in
+            let candidates =
+              match positions with
+              | [] -> []
+              | p :: rest ->
+                List.filter
+                  (fun a' ->
+                    List.for_all (fun p' -> List.mem a' (term_values t p')) rest)
+                  (term_values t p)
+            in
+            let p_var =
+              List.fold_left
+                (fun s a' ->
+                  Qnum.add s
+                    (List.fold_left
+                       (fun prod pos -> Qnum.mul prod (term_prob t a' pos))
+                       Qnum.one positions))
+                Qnum.zero candidates
+            in
+            Qnum.mul acc p_var)
+          Qnum.one vars
+      end
+    in
+    let p_none =
+      List.fold_left
+        (fun acc f -> Qnum.mul acc (Qnum.sub Qnum.one (tuple_match f)))
+        Qnum.one tuples
+    in
+    Qnum.sub Qnum.one p_none
+  in
+  List.fold_left (fun acc a -> Qnum.mul acc (atom_probability a)) Qnum.one q

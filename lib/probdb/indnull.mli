@@ -1,0 +1,47 @@
+(** Independent-null probabilistic incomplete databases: each null draws
+    its value from its domain under its own distribution, independently.
+
+    With uniform weights this is exactly the paper's counting setting —
+    [Prob(q) = #Val(q) / total] — and the tractable counting algorithms
+    generalize to weighted versions; with non-uniform weights it is the
+    natural probabilistic refinement the Section 7 comparison with
+    probabilistic databases suggests.  The Theorem 3.6 and 3.7 shapes
+    stay polynomial (implemented here); the Theorem 3.9 block DP relies
+    on nulls being interchangeable, which breaks under per-null weights,
+    so general shapes fall back to enumeration. *)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+type t
+
+(** [make db weights] with, for every null of [db], a distribution over
+    exactly its domain (rationals summing to 1).
+    @raise Invalid_argument on a missing null, a value outside the
+    domain, or weights not summing to 1. *)
+val make : Idb.t -> (string * (string * Qnum.t) list) list -> t
+
+(** Uniform weights: the paper's setting. *)
+val uniform : Idb.t -> t
+
+val idb : t -> Idb.t
+
+(** Probability of one value for one null. *)
+val weight : t -> string -> string -> Qnum.t
+
+(** [probability_brute q t] sums the weight product over satisfying
+    valuations (enumeration; the semantics). *)
+val probability_brute : ?limit:int -> Query.t -> t -> Qnum.t
+
+(** [probability_single_occurrence q t] — weighted Theorem 3.6: when
+    every variable of [q] occurs once, the probability is 1 or 0
+    (non-empty relations decide).
+    @raise Invalid_argument on other shapes. *)
+val probability_single_occurrence : Cq.t -> t -> Qnum.t
+
+(** [probability_codd q t] — weighted Theorem 3.7: atoms pairwise
+    variable-disjoint over a Codd table; per-tuple match probabilities
+    multiply out exactly.
+    @raise Invalid_argument on other shapes or non-Codd tables. *)
+val probability_codd : Cq.t -> t -> Qnum.t

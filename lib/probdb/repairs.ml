@@ -1,0 +1,65 @@
+open Incdb_bignum
+open Incdb_relational
+open Incdb_cq
+
+type t = Cdb.fact list list (* key groups *)
+
+let make ~keys facts =
+  let key_of (f : Cdb.fact) =
+    match List.assoc_opt f.Cdb.rel keys with
+    | None -> (f.Cdb.rel, Array.to_list f.Cdb.args)
+    | Some positions ->
+      let arity = Array.length f.Cdb.args in
+      let values =
+        List.map
+          (fun p ->
+            if p < 0 || p >= arity then
+              invalid_arg "Repairs.make: key position out of range"
+            else f.Cdb.args.(p))
+          positions
+      in
+      (f.Cdb.rel, values)
+  in
+  let table = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun f ->
+      let k = key_of f in
+      match Hashtbl.find_opt table k with
+      | Some group -> Hashtbl.replace table k (f :: group)
+      | None ->
+        Hashtbl.replace table k [ f ];
+        order := k :: !order)
+    (List.sort_uniq Cdb.compare_fact facts);
+  List.rev_map (fun k -> List.rev (Hashtbl.find table k)) !order
+
+let groups t = t
+
+let total_repairs t =
+  Nat.product (List.map (fun g -> Nat.of_int (List.length g)) t)
+
+let count_repairs ?(max_repairs = 200_000) ?query t =
+  (match Nat.to_int_opt (total_repairs t) with
+  | Some n when n <= max_repairs -> ()
+  | _ -> invalid_arg "Repairs.count_repairs: too many repairs");
+  let rec go groups chosen =
+    match groups with
+    | [] -> begin
+      match query with
+      | None -> Nat.one
+      | Some q -> if Query.eval q (Cdb.of_list chosen) then Nat.one else Nat.zero
+    end
+    | g :: rest ->
+      List.fold_left
+        (fun acc f -> Nat.add acc (go rest (f :: chosen)))
+        Nat.zero g
+  in
+  go t []
+
+let to_bid t =
+  Bid.make
+    (List.map
+       (fun g ->
+         let p = Qnum.of_ints 1 (List.length g) in
+         List.map (fun f -> (f, p)) g)
+       t)

@@ -1,0 +1,39 @@
+(** Counting database repairs under primary keys (Section 7;
+    Maslowski–Wijsen, Calautti–Console–Pieris).
+
+    An inconsistent database may contain several facts agreeing on the key
+    attributes of their relation; a {e repair} picks exactly one fact per
+    key group.  [#Repairs(q)] counts the repairs satisfying [q].  Counting
+    repairs is the special case of a BID database in which each block's
+    choices are uniform and sum to 1 — an embedding this module makes
+    executable ({!to_bid}), together with the structural contrast the
+    paper draws: every repair choice yields a {e distinct} database,
+    whereas distinct valuations of an incomplete database can collide. *)
+
+open Incdb_bignum
+open Incdb_relational
+open Incdb_cq
+
+type t
+
+(** [make ~keys facts]: [keys] maps each relation name to the list of its
+    key positions (0-based); facts of unlisted relations are treated as
+    all-attributes-key (never conflicting).
+    @raise Invalid_argument on an out-of-range key position. *)
+val make : keys:(string * int list) list -> Cdb.fact list -> t
+
+(** The key groups (each a non-empty list of facts sharing key values). *)
+val groups : t -> Cdb.fact list list
+
+(** Total number of repairs: the product of the group sizes. *)
+val total_repairs : t -> Nat.t
+
+(** [count_repairs ?query t] is [#Repairs(q)]; all repairs if omitted.
+    Enumerates the choice space.
+    @raise Invalid_argument beyond [max_repairs] (default 200000). *)
+val count_repairs : ?max_repairs:int -> ?query:Query.t -> t -> Nat.t
+
+(** The uniform-BID view: each group becomes a block with uniform
+    probabilities summing to one, so
+    [Prob_BID(q) = #Repairs(q) / total_repairs]. *)
+val to_bid : t -> Bid.t

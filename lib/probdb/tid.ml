@@ -1,0 +1,43 @@
+open Incdb_bignum
+open Incdb_relational
+open Incdb_cq
+
+type t = (Cdb.fact * Qnum.t) list
+
+let in_unit p = Qnum.compare p Qnum.zero >= 0 && Qnum.compare p Qnum.one <= 0
+
+let make assoc =
+  List.iter
+    (fun (_, p) ->
+      if not (in_unit p) then
+        invalid_arg "Tid.make: probability outside [0,1]")
+    assoc;
+  let keys = List.map fst assoc in
+  if List.length (List.sort_uniq Cdb.compare_fact keys) <> List.length keys then
+    invalid_arg "Tid.make: duplicate fact";
+  assoc
+
+let facts t = t
+
+let worlds ?(max_facts = 20) t =
+  if List.length t > max_facts then
+    invalid_arg "Tid.worlds: too many facts for exhaustive enumeration";
+  let arr = Array.of_list t in
+  let n = Array.length arr in
+  List.init (1 lsl n) (fun mask ->
+      let present = ref [] in
+      let prob = ref Qnum.one in
+      for i = 0 to n - 1 do
+        let f, p = arr.(i) in
+        if mask land (1 lsl i) <> 0 then begin
+          present := f :: !present;
+          prob := Qnum.mul !prob p
+        end
+        else prob := Qnum.mul !prob (Qnum.sub Qnum.one p)
+      done;
+      (Cdb.of_list !present, !prob))
+
+let probability ?max_facts q t =
+  List.fold_left
+    (fun acc (w, p) -> if Query.eval q w then Qnum.add acc p else acc)
+    Qnum.zero (worlds ?max_facts t)

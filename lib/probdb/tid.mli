@@ -1,0 +1,29 @@
+(** Tuple-independent probabilistic databases (Section 7 related work;
+    Dalvi–Suciu).  Every fact is present independently with its own
+    probability; [Prob(q)] is the total probability of the worlds
+    satisfying [q].
+
+    This substrate exists to make the paper's comparison concrete: query
+    probability over a TID is a weighted count over an independent
+    product space, whereas the paper's [#Val]/[#Comp] count valuations
+    whose completions may {e collide} — see [Worlds.of_incomplete]. *)
+
+open Incdb_bignum
+open Incdb_relational
+open Incdb_cq
+
+type t
+
+(** [make assoc] with exact rational probabilities in [0,1].
+    @raise Invalid_argument on an out-of-range probability or a duplicate
+    fact. *)
+val make : (Cdb.fact * Qnum.t) list -> t
+
+val facts : t -> (Cdb.fact * Qnum.t) list
+
+(** All possible worlds with their probabilities ([2^n] of them).
+    @raise Invalid_argument beyond [max_facts] (default 20). *)
+val worlds : ?max_facts:int -> t -> (Cdb.t * Qnum.t) list
+
+(** [probability q t] is [Prob(q)], exactly, by world enumeration. *)
+val probability : ?max_facts:int -> Query.t -> t -> Qnum.t

@@ -1,0 +1,37 @@
+open Incdb_bignum
+open Incdb_relational
+open Incdb_cq
+open Incdb_incomplete
+
+module Cdb_map = Map.Make (struct
+  type t = Cdb.t
+
+  let compare = Cdb.compare
+end)
+
+let of_incomplete ?limit db =
+  let counts = ref Cdb_map.empty in
+  let total = ref 0 in
+  Idb.iter_valuations ?limit db (fun v ->
+      incr total;
+      let c = Idb.apply db v in
+      counts :=
+        Cdb_map.update c
+          (fun cur -> Some (1 + Option.value ~default:0 cur))
+          !counts);
+  let denom = Zint.of_int !total in
+  Cdb_map.fold
+    (fun world count acc ->
+      (world, Qnum.make (Zint.of_int count) denom) :: acc)
+    !counts []
+  |> List.rev
+
+let probability ?limit q db =
+  List.fold_left
+    (fun acc (w, p) -> if Query.eval q w then Qnum.add acc p else acc)
+    Qnum.zero
+    (of_incomplete ?limit db)
+
+let collision_count ?limit db =
+  let distinct = Incdb_incomplete.Brute.count_all_completions ?limit db in
+  Nat.sub (Idb.total_valuations db) distinct

@@ -1,0 +1,31 @@
+(** The bridge between the paper's setting and the probabilistic models
+    it is compared against in Section 7.
+
+    A uniform-or-not incomplete database, with each null drawn uniformly
+    and independently from its domain, induces a probability distribution
+    over {e completions}.  Under this distribution
+    [Prob(q) = #Val(q) / total valuations] — the numerator is exactly the
+    paper's counting problem — while the number of {e distinct} worlds is
+    [#Comp(true)], which can be strictly smaller than the number of
+    valuations.  In BID databases and repairs this collapse never happens
+    (each choice yields a different database); the functions here make
+    that contrast checkable. *)
+
+open Incdb_bignum
+open Incdb_relational
+open Incdb_cq
+open Incdb_incomplete
+
+(** [of_incomplete db] lists the distinct completions with their induced
+    probabilities (summing to 1).
+    @raise Invalid_argument beyond the valuation enumeration limit. *)
+val of_incomplete : ?limit:int -> Idb.t -> (Cdb.t * Qnum.t) list
+
+(** [probability q db] is [Prob(q)] under the induced distribution;
+    always equals [#Val(q) / total]. *)
+val probability : ?limit:int -> Query.t -> Idb.t -> Qnum.t
+
+(** [collision_count db] is [total valuations − #distinct completions] —
+    zero exactly when the incomplete database behaves like a BID space
+    (no two valuations collide). *)
+val collision_count : ?limit:int -> Idb.t -> Nat.t

@@ -1,0 +1,48 @@
+open Incdb_bignum
+open Incdb_graph
+open Incdb_cq
+open Incdb_incomplete
+
+let query = Cq.q_rx_sx
+
+let edge_const i = Printf.sprintf "e%d" i
+
+let encode b =
+  (* Identify each bipartite edge with its index. *)
+  let edges = Array.of_list (Bipartite.edges b) in
+  let incident_left i =
+    Array.to_list edges
+    |> List.mapi (fun e (u, _) -> (e, u))
+    |> List.filter_map (fun (e, u) -> if u = i then Some (edge_const e) else None)
+  in
+  let incident_right j =
+    Array.to_list edges
+    |> List.mapi (fun e (_, v) -> (e, v))
+    |> List.filter_map (fun (e, v) -> if v = j then Some (edge_const e) else None)
+  in
+  let left_null i = Printf.sprintf "u%d" i in
+  let right_null j = Printf.sprintf "w%d" j in
+  let doms = ref [] in
+  let facts = ref [] in
+  for i = 0 to Bipartite.left_count b - 1 do
+    let dom = incident_left i in
+    if dom = [] then
+      invalid_arg "Avoidance_red.encode: isolated left node";
+    doms := (left_null i, dom) :: !doms;
+    facts := Idb.fact "R" [ Term.null (left_null i) ] :: !facts
+  done;
+  for j = 0 to Bipartite.right_count b - 1 do
+    let dom = incident_right j in
+    if dom = [] then
+      invalid_arg "Avoidance_red.encode: isolated right node";
+    doms := (right_null j, dom) :: !doms;
+    facts := Idb.fact "S" [ Term.null (right_null j) ] :: !facts
+  done;
+  Idb.make (List.rev !facts) (Idb.Nonuniform !doms)
+
+let default_oracle db =
+  Incdb_incomplete.Brute.count_valuations (Query.Bcq query) db
+
+let avoidance_via_val ?(oracle = default_oracle) b =
+  let db = encode b in
+  Nat.sub (Idb.total_valuations db) (oracle db)

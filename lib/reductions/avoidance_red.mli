@@ -1,0 +1,25 @@
+(** Proposition 3.5: counting avoiding assignments of a bipartite graph
+    reduces to [#Val_Cd(R(x) ∧ S(x))] on Codd tables.
+
+    Every node [t] becomes a null whose (non-uniform) domain is the set of
+    its incident edge identifiers; left nodes populate [R], right nodes
+    populate [S].  A valuation is exactly an assignment, and it satisfies
+    [R(x) ∧ S(x)] precisely when two adjacent nodes picked the same edge —
+    i.e. when the assignment is {e not} avoiding. *)
+
+open Incdb_bignum
+open Incdb_graph
+open Incdb_incomplete
+
+(** The encoding Codd table; edge [i] of [Bipartite.edges b] is the
+    constant ["e<i>"].
+    @raise Invalid_argument if some node of [b] is isolated (an isolated
+    node has no assignment at all, matching the convention that its
+    [#Avoidance] is zero). *)
+val encode : Bipartite.t -> Idb.t
+
+val query : Incdb_cq.Cq.t
+
+(** [avoidance_via_val ?oracle b] recovers the number of avoiding
+    assignments of [b] as [total - #Val_Cd(R(x) ∧ S(x))]. *)
+val avoidance_via_val : ?oracle:(Idb.t -> Nat.t) -> Bipartite.t -> Nat.t

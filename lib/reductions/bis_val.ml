@@ -1,0 +1,68 @@
+open Incdb_bignum
+open Incdb_linalg
+open Incdb_graph
+open Incdb_cq
+open Incdb_incomplete
+
+let query = Cq.q_rx_sxy_ty
+
+let value_const i = Printf.sprintf "c%d" (i + 1)
+
+let encode b a_count b_count =
+  let n = max (Bipartite.left_count b) (Bipartite.right_count b) in
+  let dom = List.init n value_const in
+  let s_facts =
+    List.map
+      (fun (i, j) -> Idb.fact "S" [ Term.const (value_const i); Term.const (value_const j) ])
+      (Bipartite.edges b)
+  in
+  let r_facts =
+    List.init a_count (fun i -> Idb.fact "R" [ Term.null (Printf.sprintf "r%d" i) ])
+  in
+  let t_facts =
+    List.init b_count (fun j -> Idb.fact "T" [ Term.null (Printf.sprintf "t%d" j) ])
+  in
+  Idb.make (s_facts @ r_facts @ t_facts) (Idb.Uniform dom)
+
+let default_oracle db =
+  Incdb_incomplete.Brute.count_valuations (Query.Bcq query) db
+
+let bis_via_val ?(oracle = default_oracle) b =
+  let left = Bipartite.left_count b and right = Bipartite.right_count b in
+  let n = max left right in
+  if n = 0 then Nat.one
+  else begin
+    (* (n+1)^2 oracle calls: C_{a,b} = (number of valuations of D_{a,b}
+       whose spanned pair of index sets is independent). *)
+    let dim = n + 1 in
+    let c = Array.make (dim * dim) Qnum.zero in
+    for a = 0 to n do
+      for bb = 0 to n do
+        let db = encode b a bb in
+        let total = Combinat.power n (a + bb) in
+        let non_satisfying = Nat.sub total (oracle db) in
+        c.((a * dim) + bb) <- Qnum.of_nat non_satisfying
+      done
+    done;
+    let surj_matrix =
+      Qmatrix.make dim dim (fun a i -> Qnum.of_nat (Combinat.surj a i))
+    in
+    let system = Qmatrix.kronecker surj_matrix surj_matrix in
+    let z = Qmatrix.solve system c in
+    let total =
+      Array.fold_left (fun acc zi -> Qnum.add acc zi) Qnum.zero z
+    in
+    (* The solution counts independent pairs of the n+n padded graph;
+       remove the padding factor 2^{(n-left)+(n-right)}. *)
+    let padded =
+      match Zint.to_nat (Qnum.to_zint total) with
+      | nat -> nat
+      | exception Invalid_argument _ ->
+        failwith "Bis_val: non-integral solution (oracle inconsistent?)"
+    in
+    let pad = n - left + (n - right) in
+    let q, r = Nat.divmod padded (Combinat.pow2 pad) in
+    if not (Nat.is_zero r) then
+      failwith "Bis_val: padding factor does not divide the solution";
+    q
+  end

@@ -1,0 +1,27 @@
+(** Proposition 3.11: [#Val^u_Cd(R(x) ∧ S(x,y) ∧ T(y))] is #P-hard, by a
+    Turing reduction from counting independent sets of a bipartite graph
+    ([#BIS]).
+
+    The reduction makes [(n+1)^2] oracle calls on databases [D_{a,b}]
+    ([a] nulls in [R], [b] nulls in [T], the edge relation [S] ground,
+    uniform domain of size [n]), producing counts
+    [C_{a,b} = Σ_{i,j} surj(a,i) surj(b,j) Z_{i,j}] where [Z_{i,j}] counts
+    independent pairs by size.  The matrix of this linear system is the
+    Kronecker square of the triangular surjection matrix, hence
+    invertible; solving it exactly over the rationals recovers
+    [#BIS = Σ Z_{i,j}]. *)
+
+open Incdb_bignum
+open Incdb_graph
+open Incdb_incomplete
+
+(** [encode b a_count b_count] is the database [D_{a,b}] for the bipartite
+    graph [b], padded so both sides have [n = max(|X|,|Y|)] nodes. *)
+val encode : Bipartite.t -> int -> int -> Idb.t
+
+val query : Incdb_cq.Cq.t
+
+(** [bis_via_val ?oracle b] runs the full Turing reduction and returns
+    [#BIS(b)].  [oracle] computes [#Val] of the query on each [D_{a,b}]
+    (brute force by default). *)
+val bis_via_val : ?oracle:(Idb.t -> Nat.t) -> Bipartite.t -> Nat.t

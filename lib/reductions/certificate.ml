@@ -1,0 +1,100 @@
+open Incdb_bignum
+open Incdb_graph
+open Incdb_cq
+open Incdb_incomplete
+
+type t = {
+  pattern : Cq.t;
+  source : string;
+  encode : Graph.t -> Idb.t;
+  recover : Graph.t -> Nat.t -> Nat.t;
+  direct : Graph.t -> Nat.t;
+}
+
+let isolated_count g =
+  List.length
+    (List.filter (fun u -> Graph.degree g u = 0)
+       (List.init (Graph.node_count g) Fun.id))
+
+(* The transform preserves the null set and domains, so the total number
+   of valuations of the lifted instance equals the source instance's. *)
+let total db = Idb.total_valuations db
+
+let for_val q =
+  if Pattern.has_rxx q then
+    Some
+      {
+        pattern = Cq.q_rxx;
+        source = "#3COL";
+        encode =
+          (fun g ->
+            Pattern_red.transform ~pattern:Cq.q_rxx ~target:q
+              (Coloring_red.encode g));
+        recover =
+          (fun g count ->
+            let g_enc =
+              Pattern_red.transform ~pattern:Cq.q_rxx ~target:q
+                (Coloring_red.encode g)
+            in
+            Nat.mul
+              (Nat.sub (total g_enc) count)
+              (Combinat.power 3 (isolated_count g)));
+        direct = (fun g -> Colorings.count_colorings g 3);
+      }
+  else if Pattern.has_rx_sxy_ty q then
+    Some
+      {
+        pattern = Cq.q_rx_sxy_ty;
+        source = "#IS";
+        encode =
+          (fun g ->
+            Pattern_red.transform ~pattern:Cq.q_rx_sxy_ty ~target:q
+              (Indep_val.encode_rst g));
+        recover =
+          (fun g count ->
+            let g_enc =
+              Pattern_red.transform ~pattern:Cq.q_rx_sxy_ty ~target:q
+                (Indep_val.encode_rst g)
+            in
+            Nat.mul
+              (Nat.sub (total g_enc) count)
+              (Combinat.pow2 (isolated_count g)));
+        direct = Independent.count_independent_sets;
+      }
+  else if Pattern.has_rxy_sxy q then
+    Some
+      {
+        pattern = Cq.q_rxy_sxy;
+        source = "#IS";
+        encode =
+          (fun g ->
+            Pattern_red.transform ~pattern:Cq.q_rxy_sxy ~target:q
+              (Indep_val.encode_rs g));
+        recover =
+          (fun g count ->
+            let g_enc =
+              Pattern_red.transform ~pattern:Cq.q_rxy_sxy ~target:q
+                (Indep_val.encode_rs g)
+            in
+            Nat.mul
+              (Nat.sub (total g_enc) count)
+              (Combinat.pow2 (isolated_count g)));
+        direct = Independent.count_independent_sets;
+      }
+  else None
+
+let for_comp q =
+  {
+    pattern = Cq.q_rx;
+    source = "#VC";
+    encode =
+      (fun g ->
+        Pattern_red.transform ~pattern:Cq.q_rx ~target:q (Vc_comp.encode g));
+    recover = (fun _ count -> count);
+    direct = Independent.count_vertex_covers;
+  }
+
+let check cert ~count g =
+  let db = cert.encode g in
+  let recovered = cert.recover g (count db) in
+  (recovered, cert.direct g)

@@ -1,0 +1,89 @@
+open Incdb_bignum
+
+type literal = { var : int; positive : bool }
+type t = { nvars : int; clauses : (literal * literal * literal) list }
+
+let lit ?(positive = true) var = { var; positive }
+
+let make ~nvars clauses =
+  List.iter
+    (fun (a, b, c) ->
+      List.iter
+        (fun l ->
+          if l.var < 0 || l.var >= nvars then
+            invalid_arg "Cnf.make: variable out of range")
+        [ a; b; c ])
+    clauses;
+  { nvars; clauses }
+
+let eval_literal assignment l = if l.positive then assignment.(l.var) else not assignment.(l.var)
+
+let eval f assignment =
+  List.for_all
+    (fun (a, b, c) ->
+      eval_literal assignment a || eval_literal assignment b
+      || eval_literal assignment c)
+    f.clauses
+
+let for_all_assignments n f =
+  let a = Array.make n false in
+  let rec go i = if i = n then f a else (a.(i) <- false; go (i + 1); a.(i) <- true; go (i + 1)) in
+  go 0
+
+let count_sat f =
+  let count = ref Nat.zero in
+  for_all_assignments f.nvars (fun a -> if eval f a then count := Nat.succ !count);
+  !count
+
+let count_k3sat f k =
+  if k < 0 || k > f.nvars then invalid_arg "Cnf.count_k3sat: bad k";
+  (* Enumerate prefixes; for each, search for a satisfying extension. *)
+  let count = ref Nat.zero in
+  let a = Array.make f.nvars false in
+  let rec extend i =
+    if i = f.nvars then eval f a
+    else begin
+      a.(i) <- false;
+      if extend (i + 1) then true
+      else begin
+        a.(i) <- true;
+        extend (i + 1)
+      end
+    end
+  in
+  let rec prefix i =
+    if i = k then begin
+      if extend k then count := Nat.succ !count
+    end else begin
+      a.(i) <- false;
+      prefix (i + 1);
+      a.(i) <- true;
+      prefix (i + 1)
+    end
+  in
+  prefix 0;
+  !count
+
+let random ~seed ~nvars ~nclauses =
+  if nvars < 3 then invalid_arg "Cnf.random: need at least 3 variables";
+  let st = Random.State.make [| seed |] in
+  let clause _ =
+    let v1 = Random.State.int st nvars in
+    let rec distinct exclude =
+      let v = Random.State.int st nvars in
+      if List.mem v exclude then distinct exclude else v
+    in
+    let v2 = distinct [ v1 ] in
+    let v3 = distinct [ v1; v2 ] in
+    let l v = { var = v; positive = Random.State.bool st } in
+    (l v1, l v2, l v3)
+  in
+  { nvars; clauses = List.init nclauses clause }
+
+let to_string f =
+  let lit_str l = (if l.positive then "" else "~") ^ "x" ^ string_of_int l.var in
+  String.concat " & "
+    (List.map
+       (fun (a, b, c) ->
+         Printf.sprintf "(%s | %s | %s)" (lit_str a) (lit_str b) (lit_str c))
+       f.clauses)

@@ -1,0 +1,33 @@
+(** 3-CNF formulas and the [#k3SAT] oracle (Definition D.2), the SpanP-hard
+    source problem of the Theorem 6.3 reduction. *)
+
+open Incdb_bignum
+
+(** A literal: variable index (0-based) and polarity. *)
+type literal = { var : int; positive : bool }
+
+(** A clause is exactly three literals; a formula is a clause list over
+    variables [0 .. nvars-1]. *)
+type t = { nvars : int; clauses : (literal * literal * literal) list }
+
+(** @raise Invalid_argument on out-of-range variables. *)
+val make : nvars:int -> (literal * literal * literal) list -> t
+
+val lit : ?positive:bool -> int -> literal
+
+(** [eval f assignment] with [assignment.(v)] the truth value of [v]. *)
+val eval : t -> bool array -> bool
+
+(** Number of satisfying assignments, by enumeration. *)
+val count_sat : t -> Nat.t
+
+(** [count_k3sat f k] is [#k3SAT]: the number of assignments to the first
+    [k] variables extendable to a satisfying assignment of [f].
+    @raise Invalid_argument unless [0 <= k <= nvars]. *)
+val count_k3sat : t -> int -> Nat.t
+
+(** [random ~seed ~nvars ~nclauses] draws clauses uniformly (distinct
+    variables within a clause). *)
+val random : seed:int -> nvars:int -> nclauses:int -> t
+
+val to_string : t -> string

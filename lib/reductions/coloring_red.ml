@@ -1,0 +1,39 @@
+open Incdb_bignum
+open Incdb_graph
+open Incdb_cq
+open Incdb_incomplete
+
+let query = Cq.q_rxx
+
+let node_null u = Printf.sprintf "v%d" u
+
+let encode ?(k = 3) g =
+  let dom = List.init k (fun i -> string_of_int (i + 1)) in
+  let edge_facts (u, v) =
+    [
+      Idb.fact "R" [ Term.null (node_null u); Term.null (node_null v) ];
+      Idb.fact "R" [ Term.null (node_null v); Term.null (node_null u) ];
+    ]
+  in
+  Idb.make (List.concat_map edge_facts (Graph.edges g)) (Idb.Uniform dom)
+
+let default_oracle db =
+  Incdb_incomplete.Brute.count_valuations (Query.Bcq query) db
+
+let colorings_via_val ?(k = 3) ?(oracle = default_oracle) g =
+  if Graph.edge_count g = 0 then
+    (* No edges: every assignment is proper. *)
+    Combinat.power k (Graph.node_count g)
+  else begin
+    let db = encode ~k g in
+    let satisfying = oracle db in
+    (* Isolated nodes carry no null; each contributes a free factor k. *)
+    let isolated =
+      List.length
+        (List.filter (fun u -> Graph.degree g u = 0)
+           (List.init (Graph.node_count g) Fun.id))
+    in
+    Nat.mul
+      (Nat.sub (Idb.total_valuations db) satisfying)
+      (Combinat.power k isolated)
+  end

@@ -1,0 +1,23 @@
+(** Proposition 3.4: counting k-colorings reduces to [#Val^u(R(x,x))].
+
+    Given a graph [G], build the uniform incomplete database with one null
+    per node (domain [{1..k}]) and facts [R(⊥u, ⊥v)], [R(⊥v, ⊥u)] per
+    edge: the valuations {e falsifying} [R(x,x)] are exactly the proper
+    [k]-colorings. *)
+
+open Incdb_bignum
+open Incdb_graph
+open Incdb_incomplete
+
+(** The encoding database.  Nulls are named after nodes; the uniform
+    domain is [{"1", ..., "k"}]. *)
+val encode : ?k:int -> Graph.t -> Idb.t
+
+(** The query [R(x,x)]. *)
+val query : Incdb_cq.Cq.t
+
+(** [colorings_via_val ?k ?oracle g] recovers the number of proper
+    [k]-colorings as [total valuations - #Val(R(x,x))], where [#Val] is
+    computed by [oracle] (brute force by default — the problem is #P-hard,
+    Proposition 3.4). *)
+val colorings_via_val : ?k:int -> ?oracle:(Idb.t -> Nat.t) -> Graph.t -> Nat.t

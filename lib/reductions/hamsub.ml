@@ -1,0 +1,61 @@
+open Incdb_bignum
+open Incdb_graph
+open Incdb_incomplete
+open Incdb_relational
+
+let node_const u = Printf.sprintf "a%d" u
+
+let encode g k =
+  let edge_facts =
+    List.concat_map
+      (fun (u, v) ->
+        [
+          Idb.fact "R" [ Term.const (node_const u); Term.const (node_const v) ];
+          Idb.fact "R" [ Term.const (node_const v); Term.const (node_const u) ];
+        ])
+      (Graph.edges g)
+  in
+  let marker_facts =
+    List.init (Graph.node_count g) (fun u ->
+        Idb.fact "T"
+          [ Term.const (node_const u); Term.null (Printf.sprintf "m%d" u) ])
+  in
+  let size_facts =
+    List.init k (fun j -> Idb.fact "K" [ Term.const (string_of_int (j + 1)) ])
+  in
+  Idb.make (edge_facts @ marker_facts @ size_facts) (Idb.Uniform [ "0"; "1" ])
+
+let query_holds db =
+  (* S = nodes marked T(v, 1); check |S| = |K| and that the R-edges inside
+     S form a Hamiltonian graph. *)
+  let marked =
+    List.filter_map
+      (fun (f : Cdb.fact) ->
+        if Array.length f.Cdb.args = 2 && f.Cdb.args.(1) = "1" then
+          Some f.Cdb.args.(0)
+        else None)
+      (Cdb.facts_of db "T")
+  in
+  let k = List.length (Cdb.facts_of db "K") in
+  List.length marked = k
+  &&
+  let index = List.mapi (fun i v -> (v, i)) marked in
+  let edges =
+    List.filter_map
+      (fun (f : Cdb.fact) ->
+        match
+          ( List.assoc_opt f.Cdb.args.(0) index,
+            List.assoc_opt f.Cdb.args.(1) index )
+        with
+        | Some i, Some j when i <> j -> Some (i, j)
+        | _ -> None)
+      (Cdb.facts_of db "R")
+  in
+  Hamiltonicity.is_hamiltonian (Graph.make (List.length marked) edges)
+
+let ham_subgraphs_via_val g k =
+  let db = encode g k in
+  let count = ref Nat.zero in
+  Idb.iter_valuations db (fun v ->
+      if query_holds (Idb.apply db v) then count := Nat.succ !count);
+  !count

@@ -1,0 +1,25 @@
+(** Theorem 6.4: [#Val^u(q)] is SpanP-complete for a Boolean query [q]
+    with NP model checking, by a parsimonious reduction from
+    [#HamSubgraphs].
+
+    The query of the proof is an ∃SO sentence ("the set marked by
+    [T(·,1)] has the same size as [K] and induces a Hamiltonian
+    subgraph"); here it is implemented as a semantic checker over
+    completions, and the valuation count is taken over the Codd table
+    [{R edges, T(u,⊥u), K(1..k)}] with uniform domain [{0,1}]. *)
+
+open Incdb_bignum
+open Incdb_graph
+open Incdb_incomplete
+open Incdb_relational
+
+(** The encoding database for graph [g] and size [k]. *)
+val encode : Graph.t -> int -> Idb.t
+
+(** The ∃SO query as a semantic test on complete databases. *)
+val query_holds : Cdb.t -> bool
+
+(** [ham_subgraphs_via_val g k] counts the valuations of the encoding
+    whose completion satisfies the query; equals
+    [#HamSubgraphs(g, k)]. *)
+val ham_subgraphs_via_val : Graph.t -> int -> Nat.t

@@ -1,0 +1,37 @@
+open Incdb_bignum
+open Incdb_graph
+open Incdb_incomplete
+
+let node_const u = Printf.sprintf "v%d" u
+let node_null u = Printf.sprintf "x%d" u
+
+let encode g =
+  let n = Graph.node_count g in
+  let anchor_facts =
+    List.init n (fun u ->
+        Idb.fact "R" [ Term.const (node_const u); Term.null (node_null u) ])
+  in
+  let edge_facts =
+    List.concat_map
+      (fun (u, v) ->
+        [
+          Idb.fact "R" [ Term.null (node_null u); Term.null (node_null v) ];
+          Idb.fact "R" [ Term.null (node_null v); Term.null (node_null u) ];
+        ])
+      (Graph.edges g)
+  in
+  let constant_facts =
+    [
+      Idb.fact "R" [ Term.const "0"; Term.const "0" ];
+      Idb.fact "R" [ Term.const "0"; Term.const "1" ];
+      Idb.fact "R" [ Term.const "1"; Term.const "0" ];
+      Idb.fact "R" [ Term.null "loop"; Term.null "loop" ];
+    ]
+  in
+  Idb.make (anchor_facts @ edge_facts @ constant_facts) (Idb.Uniform [ "0"; "1" ])
+
+let default_oracle db = Incdb_incomplete.Brute.count_all_completions db
+
+let independent_sets_via_comp ?(oracle = default_oracle) g =
+  let completions = oracle (encode g) in
+  Nat.sub completions (Combinat.pow2 (Graph.node_count g))

@@ -1,0 +1,19 @@
+(** Proposition 4.5(a): [#Comp^u(R(x,x))] and [#Comp^u(R(x,y))] are
+    #P-hard over the fixed domain [{0,1}], by a Turing reduction from
+    counting independent sets: the constructed database has exactly
+    [2^{|V|} + #IS(G)] completions, and every completion satisfies both
+    queries. *)
+
+open Incdb_bignum
+open Incdb_graph
+open Incdb_incomplete
+
+(** The uniform naive table over the binary relation [R] and the domain
+    [{0,1}] described in the proposition (anchor facts [R(u,⊥u)], edge
+    facts, the constants square minus [R(1,1)], and the [R(⊥,⊥)] escape
+    fact). *)
+val encode : Graph.t -> Idb.t
+
+(** [independent_sets_via_comp ?oracle g] recovers
+    [#IS(G) = #Comp(D_G) - 2^{|V|}]. *)
+val independent_sets_via_comp : ?oracle:(Idb.t -> Nat.t) -> Graph.t -> Nat.t

@@ -1,0 +1,49 @@
+open Incdb_bignum
+open Incdb_graph
+open Incdb_cq
+open Incdb_incomplete
+
+let query_rst = Cq.q_rx_sxy_ty
+let query_rs = Cq.q_rxy_sxy
+
+let node_null u = Printf.sprintf "v%d" u
+
+let edge_facts g =
+  List.concat_map
+    (fun (u, v) ->
+      [
+        Idb.fact "S" [ Term.null (node_null u); Term.null (node_null v) ];
+        Idb.fact "S" [ Term.null (node_null v); Term.null (node_null u) ];
+      ])
+    (Graph.edges g)
+
+let encode_rst g =
+  Idb.make
+    (edge_facts g
+    @ [ Idb.fact "R" [ Term.const "1" ]; Idb.fact "T" [ Term.const "1" ] ])
+    (Idb.Uniform [ "0"; "1" ])
+
+let encode_rs g =
+  Idb.make
+    (edge_facts g @ [ Idb.fact "R" [ Term.const "1"; Term.const "1" ] ])
+    (Idb.Uniform [ "0"; "1" ])
+
+let default_oracle q db =
+  Incdb_incomplete.Brute.count_valuations (Query.Bcq q) db
+
+let independent_sets_via_val ~variant ?(oracle = default_oracle) g =
+  let q, db =
+    match variant with
+    | `Rst -> (query_rst, encode_rst g)
+    | `Rs -> (query_rs, encode_rs g)
+  in
+  let satisfying = oracle q db in
+  (* Isolated nodes contribute no null; their subsets are free. *)
+  let isolated =
+    List.length
+      (List.filter (fun u -> Graph.degree g u = 0)
+         (List.init (Graph.node_count g) Fun.id))
+  in
+  Nat.mul
+    (Nat.sub (Idb.total_valuations db) satisfying)
+    (Combinat.pow2 isolated)

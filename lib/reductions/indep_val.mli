@@ -1,0 +1,28 @@
+(** Proposition 3.8: counting independent sets reduces to
+    [#Val^u(R(x) ∧ S(x,y) ∧ T(y))] and to [#Val^u(R(x,y) ∧ S(x,y))], with
+    the fixed uniform domain [{0,1}].
+
+    Valuations are in bijection with node subsets ([⊥u = 1] means "u in
+    the subset"); a valuation falsifies the query exactly when the subset
+    is independent, so [#IS(G) = 2^{|V|} - #Val(q)(D_G)]. *)
+
+open Incdb_bignum
+open Incdb_graph
+open Incdb_incomplete
+
+(** Encoding for [R(x) ∧ S(x,y) ∧ T(y)]: facts [S(⊥u,⊥v)], [S(⊥v,⊥u)]
+    per edge plus [R(1)] and [T(1)]. *)
+val encode_rst : Graph.t -> Idb.t
+
+(** Encoding for [R(x,y) ∧ S(x,y)]: the same [S] encoding plus
+    [R(1,1)]. *)
+val encode_rs : Graph.t -> Idb.t
+
+val query_rst : Incdb_cq.Cq.t
+val query_rs : Incdb_cq.Cq.t
+
+(** [independent_sets_via_val ~variant ?oracle g] recovers [#IS(G)] as
+    [2^{|V|} - #Val(q)(D_G)]; [variant] picks the query/encoding pair. *)
+val independent_sets_via_val :
+  variant:[ `Rst | `Rs ] -> ?oracle:(Incdb_cq.Cq.t -> Idb.t -> Nat.t) ->
+  Graph.t -> Nat.t

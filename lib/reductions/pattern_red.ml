@@ -1,0 +1,69 @@
+open Incdb_cq
+open Incdb_incomplete
+
+(* All tuples over positions, where each position is either fixed to a
+   term or free over the constant list [a]. *)
+let fill_tuples fixed_or_free a =
+  let rec go = function
+    | [] -> [ [] ]
+    | `Fixed t :: rest ->
+      List.map (fun tl -> t :: tl) (go rest)
+    | `Free :: rest ->
+      let tails = go rest in
+      List.concat_map (fun c -> List.map (fun tl -> Term.const c :: tl) tails) a
+  in
+  go fixed_or_free
+
+let transform ~pattern ~target db' =
+  let prels = Cq.relations pattern in
+  List.iter
+    (fun (f : Idb.fact) ->
+      if not (List.mem f.Idb.rel prels) then
+        invalid_arg "Pattern_red.transform: input database not over sig(q')")
+    (Idb.facts db');
+  match Pattern.find_embedding pattern target with
+  | None -> invalid_arg "Pattern_red.transform: not a pattern"
+  | Some { Pattern.atom_images } ->
+    let pattern_atoms = Array.of_list pattern in
+    let target_atoms = Array.of_list target in
+    (* Active domain: table constants plus every domain value. *)
+    let a =
+      let dom_consts =
+        match Idb.domain_spec db' with
+        | Idb.Uniform dom -> dom
+        | Idb.Nonuniform assoc -> List.concat_map snd assoc
+      in
+      List.sort_uniq String.compare (Idb.table_constants db' @ dom_consts)
+    in
+    (* atom_images.(i) = (target index, posmap) for pattern atom i. *)
+    let image_of_target = Hashtbl.create 8 in
+    List.iteri
+      (fun p (t, posmap) -> Hashtbl.replace image_of_target t (p, posmap))
+      atom_images;
+    let facts =
+      List.concat
+        (List.init (Array.length target_atoms) (fun t ->
+             let tatom = target_atoms.(t) in
+             let arity = Array.length tatom.Cq.vars in
+             match Hashtbl.find_opt image_of_target t with
+             | Some (p, posmap) ->
+               let source_rel = pattern_atoms.(p).Cq.rel in
+               List.concat_map
+                 (fun (f' : Idb.fact) ->
+                   let spec =
+                     List.init arity (fun j ->
+                         match posmap.(j) with
+                         | Some pp -> `Fixed f'.Idb.args.(pp)
+                         | None -> `Free)
+                   in
+                   List.map
+                     (fun args -> Idb.fact tatom.Cq.rel args)
+                     (fill_tuples spec a))
+                 (Idb.facts_of db' source_rel)
+             | None ->
+               (* Deleted atom: every possible fact over A. *)
+               List.map
+                 (fun args -> Idb.fact tatom.Cq.rel args)
+                 (fill_tuples (List.init arity (fun _ -> `Free)) a)))
+    in
+    Idb.make facts (Idb.domain_spec db')

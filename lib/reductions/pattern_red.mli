@@ -1,0 +1,23 @@
+(** The pattern reductions of Lemmas 3.3 and 4.1, executable: if [q'] is a
+    pattern of [q], transform any input database [D'] for [q'] into a
+    database [D] for [q] with [#Val(q')(D') = #Val(q)(D)] and
+    [#Comp(q')(D') = #Comp(q)(D)] (the same transformation works for both,
+    and preserves Codd-ness and uniformity). *)
+
+open Incdb_cq
+open Incdb_incomplete
+
+(** [transform ~pattern ~target db'] builds [D] from [D'].
+    Deleted variable occurrences and deleted atoms are filled with every
+    constant of the active domain [A] (constants of [D'] plus all domain
+    values), exactly as in the proof of Lemma 3.3.
+
+    Deviation note (documented in DESIGN.md): filling a deleted column of
+    a null-bearing tuple replicates that tuple once per constant of [A],
+    so a null can end up occurring several times and the output is not
+    always a Codd table, contrary to the parenthetical claim in the
+    paper's proof.  The counting identities (which the test suite checks
+    exhaustively) and uniformity are preserved unconditionally; Codd-ness
+    is preserved exactly when no null-bearing tuple has a deleted column.
+    @raise Invalid_argument if [pattern] is not a pattern of [target]. *)
+val transform : pattern:Cq.t -> target:Cq.t -> Idb.t -> Idb.t

@@ -1,0 +1,43 @@
+open Incdb_graph
+open Incdb_incomplete
+
+let left_const i = Printf.sprintf "u%d" i
+let right_const j = Printf.sprintf "w%d" j
+let anchor = "f"
+
+let encode b =
+  let lefts = List.init (Bipartite.left_count b) left_const in
+  let rights = List.init (Bipartite.right_count b) right_const in
+  let all_nodes = lefts @ rights in
+  let is_edge t t' =
+    (* Only the left-to-right orientation represents an edge. *)
+    List.exists
+      (fun (i, j) -> t = left_const i && t' = right_const j)
+      (Bipartite.edges b)
+  in
+  let complementary =
+    List.concat_map
+      (fun t ->
+        List.filter_map
+          (fun t' ->
+            if is_edge t t' then None
+            else Some (Idb.fact "R" [ Term.const t; Term.const t' ]))
+          all_nodes)
+      all_nodes
+  in
+  let left_facts =
+    List.init (Bipartite.left_count b) (fun i ->
+        Idb.fact "R" [ Term.const (left_const i); Term.null (Printf.sprintf "lu%d" i) ])
+  in
+  let right_facts =
+    List.init (Bipartite.right_count b) (fun j ->
+        Idb.fact "R" [ Term.null (Printf.sprintf "rw%d" j); Term.const (right_const j) ])
+  in
+  let anchor_fact = Idb.fact "R" [ Term.const anchor; Term.const anchor ] in
+  Idb.make
+    (complementary @ left_facts @ right_facts @ [ anchor_fact ])
+    (Idb.Uniform all_nodes)
+
+let default_oracle db = Incdb_incomplete.Brute.count_all_completions db
+
+let pseudoforests_via_comp ?(oracle = default_oracle) b = oracle (encode b)

@@ -1,0 +1,24 @@
+(** Proposition 4.5(b): [#Comp^u_Cd] over a single binary relation is
+    #P-hard, by a parsimonious reduction from counting induced
+    pseudoforests of a bipartite graph ([#PF], itself #P-hard on bipartite
+    graphs by Proposition B.5).
+
+    The uniform Codd table contains all "complementary" pairs (the
+    non-edges, in both orientations, over [U ∪ V]), one fact [R(u, ⊥u)]
+    per left node and [R(⊥v, v)] per right node, and an [R(f,f)] anchor;
+    a candidate completion corresponds to an edge subset, and it is
+    reachable exactly when the subset induces a pseudoforest (via the
+    outdegree-1 orientation characterization, Lemma B.4). *)
+
+open Incdb_bignum
+open Incdb_graph
+open Incdb_incomplete
+
+(** The Codd table.  Left node [i] is the constant ["u<i>"], right node
+    [j] is ["w<j>"], the anchor constant is ["f"]; the uniform domain is
+    all node constants. *)
+val encode : Bipartite.t -> Idb.t
+
+(** [pseudoforests_via_comp ?oracle b] recovers [#PF] of the bipartite
+    graph as the number of completions of the encoding. *)
+val pseudoforests_via_comp : ?oracle:(Idb.t -> Nat.t) -> Bipartite.t -> Nat.t

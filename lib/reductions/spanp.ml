@@ -1,0 +1,70 @@
+open Incdb_cq
+open Incdb_incomplete
+
+let bits = [ 0; 1 ]
+
+let triples =
+  List.concat_map
+    (fun a -> List.concat_map (fun b -> List.map (fun c -> (a, b, c)) bits) bits)
+    bits
+
+let c_rel (a, b, c) = Printf.sprintf "C%d%d%d" a b c
+
+let query =
+  (* S(x0,y0) ∧ ⋀_{abc} C_abc(x,y,z): an sjfBCQ (Equation (8)). *)
+  Cq.make
+    (Cq.atom "S" [ "x0"; "y0" ]
+    :: List.map (fun t -> Cq.atom (c_rel t) [ "x"; "y"; "z" ]) triples)
+
+let var_null v = Printf.sprintf "y%d" v
+
+let encode (f : Cnf.t) k =
+  if k < 1 || k > f.Cnf.nvars then invalid_arg "Spanp.encode: need 1 <= k <= n";
+  (* Seven ground facts per C_abc: the tuples agreeing somewhere. *)
+  let ground_facts =
+    List.concat_map
+      (fun (a, b, c) ->
+        List.concat_map
+          (fun a' ->
+            List.concat_map
+              (fun b' ->
+                List.filter_map
+                  (fun c' ->
+                    if a = a' || b = b' || c = c' then
+                      Some
+                        (Idb.fact (c_rel (a, b, c))
+                           [
+                             Term.const (string_of_int a');
+                             Term.const (string_of_int b');
+                             Term.const (string_of_int c');
+                           ])
+                    else None)
+                  bits)
+              bits)
+          bits)
+      triples
+  in
+  let clause_facts =
+    List.map
+      (fun (l1, l2, l3) ->
+        let bit (l : Cnf.literal) = if l.Cnf.positive then 1 else 0 in
+        Idb.fact
+          (c_rel (bit l1, bit l2, bit l3))
+          [
+            Term.null (var_null l1.Cnf.var);
+            Term.null (var_null l2.Cnf.var);
+            Term.null (var_null l3.Cnf.var);
+          ])
+      f.Cnf.clauses
+  in
+  let s_facts =
+    List.init k (fun i ->
+        Idb.fact "S"
+          [ Term.const (Printf.sprintf "p%d" (i + 1)); Term.null (var_null i) ])
+  in
+  Idb.make (ground_facts @ clause_facts @ s_facts) (Idb.Uniform [ "0"; "1" ])
+
+let default_oracle db =
+  Incdb_incomplete.Brute.count_completions (Query.Not (Query.Bcq query)) db
+
+let k3sat_via_comp ?(oracle = default_oracle) f k = oracle (encode f k)

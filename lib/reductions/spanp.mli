@@ -1,0 +1,26 @@
+(** Theorem 6.3: [#Comp^u(¬q)] is SpanP-complete for a fixed sjfBCQ [q],
+    by a parsimonious reduction from [#k3SAT].
+
+    The schema has a binary relation [S] and eight ternary relations
+    [C_abc]; each [C_abc] starts with the seven ground tuples that agree
+    with [(a,b,c)] in some coordinate, each clause contributes one
+    null-tuple, and [S] anchors the first [k] variables so that distinct
+    prefixes give distinct completions.  A completion fails
+    [q = S(x0,y0) ∧ ⋀ C_abc(x,y,z)] exactly when the underlying
+    assignment satisfies the formula, so the completions of [¬q] count
+    the [#k3SAT] prefixes. *)
+
+open Incdb_bignum
+open Incdb_incomplete
+
+(** The fixed sjfBCQ [q] of Equation (8). *)
+val query : Incdb_cq.Cq.t
+
+(** [encode f k] is the uniform database over [{0,1}] built from the 3-CNF
+    [f] and prefix length [k].
+    @raise Invalid_argument unless [1 <= k <= nvars]. *)
+val encode : Cnf.t -> int -> Idb.t
+
+(** [k3sat_via_comp ?oracle f k] recovers [#k3SAT(f,k)] as the number of
+    completions of the encoding that falsify [q]. *)
+val k3sat_via_comp : ?oracle:(Idb.t -> Nat.t) -> Cnf.t -> int -> Nat.t

@@ -1,0 +1,44 @@
+open Incdb_bignum
+open Incdb_graph
+open Incdb_incomplete
+
+let node_null u = Printf.sprintf "x%d" u
+
+let encode g =
+  let encoding_facts =
+    List.concat_map
+      (fun (u, v) ->
+        [
+          Idb.fact "R" [ Term.null (node_null u); Term.null (node_null v) ];
+          Idb.fact "R" [ Term.null (node_null v); Term.null (node_null u) ];
+        ])
+      (Graph.edges g)
+  in
+  let triangle_facts =
+    List.map
+      (fun (a, b) -> Idb.fact "R" [ Term.const a; Term.const b ])
+      [ ("1", "2"); ("2", "1"); ("2", "3"); ("3", "2"); ("1", "3"); ("3", "1") ]
+  in
+  let auxiliary_facts =
+    List.concat_map
+      (fun i ->
+        let p = Printf.sprintf "aux%d" i and p' = Printf.sprintf "aux%d'" i in
+        [
+          Idb.fact "R" [ Term.null p; Term.null p' ];
+          Idb.fact "R" [ Term.null p'; Term.null p ];
+        ])
+      [ 1; 2; 3 ]
+  in
+  let anchor = Idb.fact "R" [ Term.const "c"; Term.const "c" ] in
+  Idb.make
+    (encoding_facts @ triangle_facts @ auxiliary_facts @ [ anchor ])
+    (Idb.Uniform [ "1"; "2"; "3" ])
+
+let default_oracle db = Incdb_incomplete.Brute.count_all_completions db
+
+let completion_count ?(oracle = default_oracle) g = oracle (encode g)
+
+let decide_3colorable ~count = count >= 7.5
+
+let is_3colorable_via_comp ?oracle g =
+  decide_3colorable ~count:(Nat.to_float (completion_count ?oracle g))

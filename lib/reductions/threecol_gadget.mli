@@ -1,0 +1,28 @@
+(** Proposition 5.6: no FPRAS for [#Comp^u(R(x,x))] or [#Comp^u(R(x,y))]
+    unless NP = RP.
+
+    The gadget maps a graph [G] to a uniform database over one binary
+    relation and the fixed domain [{1,2,3}] whose completion count is
+    exactly [8] if [G] is 3-colorable and [7] otherwise; any [1/16]-good
+    approximation therefore decides 3-colorability with the paper's
+    [>= 7.5] threshold. *)
+
+open Incdb_bignum
+open Incdb_graph
+open Incdb_incomplete
+
+(** The gadget database: edge-encoding facts, the triangle facts, three
+    pairs of auxiliary nulls, and the fresh [R(c,c)] anchor. *)
+val encode : Graph.t -> Idb.t
+
+(** [completion_count ?oracle g] is the gadget's number of completions —
+    [8] iff [g] is 3-colorable, else [7]. *)
+val completion_count : ?oracle:(Idb.t -> Nat.t) -> Graph.t -> Nat.t
+
+(** [decide_3colorable ~count g] applies the paper's decision rule to an
+    (exact or approximate) completion count: colorable iff
+    [count >= 7.5]. *)
+val decide_3colorable : count:float -> bool
+
+(** [is_3colorable_via_comp ?oracle g] runs the full pipeline. *)
+val is_3colorable_via_comp : ?oracle:(Idb.t -> Nat.t) -> Graph.t -> bool

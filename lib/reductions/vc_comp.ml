@@ -1,0 +1,34 @@
+open Incdb_graph
+open Incdb_cq
+open Incdb_incomplete
+
+let query = Cq.q_rx
+
+let node_const u = Printf.sprintf "v%d" u
+let absorber = "abs"
+
+let encode g =
+  let edge_nulls =
+    List.mapi
+      (fun i (u, v) ->
+        let name = Printf.sprintf "e%d" i in
+        (name, [ node_const u; node_const v ]))
+      (Graph.edges g)
+  in
+  let node_nulls =
+    List.init (Graph.node_count g) (fun u ->
+        (Printf.sprintf "n%d" u, [ node_const u; absorber ]))
+  in
+  let facts =
+    List.map (fun (name, _) -> Idb.fact "R" [ Term.null name ])
+      (edge_nulls @ node_nulls)
+    @ [ Idb.fact "R" [ Term.const absorber ] ]
+  in
+  Idb.make facts (Idb.Nonuniform (edge_nulls @ node_nulls))
+
+let default_oracle db =
+  Incdb_incomplete.Brute.count_completions (Query.Bcq query) db
+
+let vertex_covers_via_comp ?(oracle = default_oracle) g = oracle (encode g)
+
+let independent_sets_via_comp ?oracle g = vertex_covers_via_comp ?oracle g

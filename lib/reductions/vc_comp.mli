@@ -1,0 +1,26 @@
+(** Proposition 4.2: counting vertex covers (equivalently, independent
+    sets) reduces {e parsimoniously} to [#Comp_Cd(R(x))] — counting the
+    completions of a single unary Codd table in the non-uniform setting.
+
+    Edge nulls ([dom(⊥e) = {u,v}]) force one endpoint of every edge into
+    the completion; node nulls ([dom(⊥u) = {u, a}] with a fresh absorber
+    constant [a]) let any superset be reached, so completions are exactly
+    the vertex covers of [G]. *)
+
+open Incdb_bignum
+open Incdb_graph
+open Incdb_incomplete
+
+(** The Codd table; node [u] is constant ["v<u>"], the absorber is
+    ["abs"]. *)
+val encode : Graph.t -> Idb.t
+
+val query : Incdb_cq.Cq.t
+
+(** [vertex_covers_via_comp ?oracle g] recovers [#VC(G)] as
+    [#Comp_Cd(R(x))(D_G)], parsimoniously. *)
+val vertex_covers_via_comp : ?oracle:(Idb.t -> Nat.t) -> Graph.t -> Nat.t
+
+(** The same count read as [#IS(G)] through complementation — the form
+    used in the Theorem 5.5 non-approximability argument. *)
+val independent_sets_via_comp : ?oracle:(Idb.t -> Nat.t) -> Graph.t -> Nat.t

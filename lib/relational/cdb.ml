@@ -1,0 +1,55 @@
+type fact = { rel : string; args : string array }
+
+let fact rel args = { rel; args = Array.of_list args }
+
+let compare_fact (a : fact) (b : fact) =
+  match String.compare a.rel b.rel with
+  | 0 -> Stdlib.compare a.args b.args
+  | c -> c
+
+let pp_fact fmt f =
+  Format.fprintf fmt "%s(%s)" f.rel (String.concat "," (Array.to_list f.args))
+
+module Fact_set = Set.Make (struct
+  type t = fact
+
+  let compare = compare_fact
+end)
+
+type t = Fact_set.t
+
+let empty = Fact_set.empty
+let of_list facts = Fact_set.of_list facts
+let to_list db = Fact_set.elements db
+let add f db = Fact_set.add f db
+let mem f db = Fact_set.mem f db
+let cardinal = Fact_set.cardinal
+let union = Fact_set.union
+let subset = Fact_set.subset
+
+let relations db =
+  Fact_set.fold
+    (fun f acc -> if List.mem f.rel acc then acc else f.rel :: acc)
+    db []
+  |> List.sort String.compare
+
+let facts_of db rel = List.filter (fun f -> f.rel = rel) (to_list db)
+
+let constants db =
+  let module S = Set.Make (String) in
+  Fact_set.fold
+    (fun f acc -> Array.fold_left (fun acc a -> S.add a acc) acc f.args)
+    db S.empty
+  |> S.elements
+
+let compare = Fact_set.compare
+let equal = Fact_set.equal
+
+let pp fmt db =
+  Format.fprintf fmt "{";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Format.fprintf fmt ", ";
+      pp_fact fmt f)
+    (to_list db);
+  Format.fprintf fmt "}"

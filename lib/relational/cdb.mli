@@ -1,0 +1,41 @@
+(** Complete relational databases under set semantics (Section 2).
+
+    A database is a finite set of facts [R(a1, ..., ak)] whose arguments
+    are constants.  Set semantics matters: applying a valuation to a naïve
+    table can collapse distinct facts into one, which is the entire reason
+    [#Val(q)] and [#Comp(q)] differ. *)
+
+(** A single fact; [args] are constants. *)
+type fact = { rel : string; args : string array }
+
+val fact : string -> string list -> fact
+val pp_fact : Format.formatter -> fact -> unit
+val compare_fact : fact -> fact -> int
+
+(** A database: a set of facts. *)
+type t
+
+val empty : t
+val of_list : fact list -> t
+val to_list : t -> fact list
+val add : fact -> t -> t
+val mem : fact -> t -> bool
+val cardinal : t -> int
+val union : t -> t -> t
+val subset : t -> t -> bool
+
+(** Relation names present in the database. *)
+val relations : t -> string list
+
+(** Facts over one relation. *)
+val facts_of : t -> string -> fact list
+
+(** All constants appearing in the database (the active domain). *)
+val constants : t -> string list
+
+(** Total order on databases, compatible with set equality; used to count
+    distinct completions. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,264 @@
+(* The classifier must reproduce Table 1 exactly on the paper's pattern
+   queries, and its tractable verdicts must be consistent with the
+   dispatching counters. *)
+
+open Incdb_cq
+open Incdb_core
+
+let q = Cq.of_string
+
+let setting table domain problem = { Setting.table; domain; problem }
+
+let verdict_kind = function
+  | Classify.Tractable _ -> "FP"
+  | Classify.Hard _ -> "hard"
+  | Classify.Open_case _ -> "open"
+
+let check s query expected =
+  Alcotest.(check string)
+    (Printf.sprintf "%s on %s" (Setting.to_string s) query)
+    expected
+    (verdict_kind (Classify.exact s (q query)))
+
+(* Shorthands for the eight settings. *)
+let val_nn = setting Setting.Naive Setting.Non_uniform Setting.Valuations
+let val_cn = setting Setting.Codd Setting.Non_uniform Setting.Valuations
+let val_nu = setting Setting.Naive Setting.Uniform Setting.Valuations
+let val_cu = setting Setting.Codd Setting.Uniform Setting.Valuations
+let comp_nn = setting Setting.Naive Setting.Non_uniform Setting.Completions
+let comp_cn = setting Setting.Codd Setting.Non_uniform Setting.Completions
+let comp_nu = setting Setting.Naive Setting.Uniform Setting.Completions
+let comp_cu = setting Setting.Codd Setting.Uniform Setting.Completions
+
+(* ------------------------------------------------------------------ *)
+(* Column 1: #Val non-uniform naive (Theorem 3.6)                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_val_nonuniform_naive () =
+  check val_nn "R(x,x)" "hard";
+  check val_nn "R(x), S(x)" "hard";
+  check val_nn "R(x,y)" "FP";
+  check val_nn "R(x), S(y,z)" "FP";
+  check val_nn "R(x,y), S(x)" "hard" (* contains R(x) ∧ S(x) *)
+
+(* ------------------------------------------------------------------ *)
+(* Column 1b: #Val non-uniform Codd (Theorem 3.7)                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_val_nonuniform_codd () =
+  check val_cn "R(x,x)" "FP" (* tractable on Codd tables! *);
+  check val_cn "R(x), S(x)" "hard";
+  check val_cn "R(x,y), S(y)" "hard";
+  check val_cn "R(x,y), S(z)" "FP"
+
+(* ------------------------------------------------------------------ *)
+(* Column 2: #Val uniform naive (Theorem 3.9)                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_val_uniform_naive () =
+  check val_nu "R(x,x)" "hard";
+  check val_nu "R(x), S(x,y), T(y)" "hard";
+  check val_nu "R(x,y), S(x,y)" "hard";
+  check val_nu "R(x), S(x)" "FP" (* Example 3.10 *);
+  check val_nu "R(x), S(x), T(x)" "FP";
+  check val_nu "R(x,u), S(x,v)" "FP";
+  (* Two binary atoms sharing one variable: the path pattern needs three
+     atoms, so this stays tractable (its other variables occur once). *)
+  check val_nu "R(x,y), S(y,z)" "FP";
+  check val_nu "R(x), S(x,y), T(y), U(u,v)" "hard"
+
+(* ------------------------------------------------------------------ *)
+(* Column 2b: #Val uniform Codd (open dichotomy)                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_val_uniform_codd () =
+  check val_cu "R(x), S(x,y), T(y)" "hard" (* Proposition 3.11 *);
+  check val_cu "R(x,x)" "FP" (* via Theorem 3.7 *);
+  check val_cu "R(x), S(x)" "FP" (* via Theorem 3.9 *);
+  check val_cu "R(x,y), S(x,y)" "open" (* genuinely open *)
+
+(* ------------------------------------------------------------------ *)
+(* Columns 3-4: #Comp                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_comp_nonuniform () =
+  (* Theorem 4.3: always hard, R(x) is a pattern of everything. *)
+  List.iter
+    (fun query ->
+      check comp_nn query "hard";
+      check comp_cn query "hard")
+    [ "R(x)"; "R(x,y)"; "R(x), S(y)"; "R(x,x), S(y,z), T(u)" ]
+
+let test_comp_uniform () =
+  check comp_nu "R(x,x)" "hard";
+  check comp_nu "R(x,y)" "hard";
+  check comp_nu "R(x)" "FP";
+  check comp_nu "R(x), S(x)" "FP";
+  check comp_nu "R(x), S(y), T(x)" "FP";
+  check comp_nu "R(x), S(y,z)" "hard";
+  check comp_cu "R(x,x)" "hard";
+  check comp_cu "R(x,y)" "hard";
+  check comp_cu "R(x)" "FP";
+  check comp_cu "R(x), S(x)" "FP"
+
+(* ------------------------------------------------------------------ *)
+(* Approximability (Section 5)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let approx_kind = function
+  | Classify.Fpras _ -> "fpras"
+  | Classify.Fp _ -> "fp"
+  | Classify.No_fpras _ -> "no-fpras"
+  | Classify.Approx_open _ -> "open"
+
+let check_approx s query expected =
+  Alcotest.(check string)
+    (Printf.sprintf "approx %s on %s" (Setting.to_string s) query)
+    expected
+    (approx_kind (Classify.approximate s (q query)))
+
+let test_approx () =
+  (* Corollary 5.3: valuations always admit an FPRAS. *)
+  check_approx val_nn "R(x,x)" "fpras";
+  check_approx val_nu "R(x,y), S(x,y)" "fpras";
+  check_approx val_nn "R(x,y)" "fp";
+  (* Theorem 5.5: completions, non-uniform: no FPRAS. *)
+  check_approx comp_nn "R(x)" "no-fpras";
+  check_approx comp_cn "R(x)" "no-fpras";
+  (* Theorem 5.7: uniform naive. *)
+  check_approx comp_nu "R(x,y)" "no-fpras";
+  check_approx comp_nu "R(x)" "fp";
+  (* Open: uniform Codd completions with a hard pattern. *)
+  check_approx comp_cu "R(x,y)" "open";
+  check_approx comp_cu "R(x)" "fp"
+
+let test_membership () =
+  Alcotest.(check bool) "val in #P" true
+    (String.length (Classify.membership val_nn) > 0);
+  let m = Classify.membership comp_nn in
+  Alcotest.(check bool) "comp naive mentions SpanP" true
+    (String.length m > 0
+    && String.sub m 0 8 = "in SpanP")
+
+let test_witnesses () =
+  (match Classify.exact val_nn (q "T(a,b,a), U(z)") with
+  | Classify.Hard p ->
+    Alcotest.(check string) "witness is Rxx" "R(x,x)" (Cq.to_string p)
+  | _ -> Alcotest.fail "expected hard");
+  match Classify.exact comp_nn (q "T(a,b)") with
+  | Classify.Hard p -> Alcotest.(check string) "witness is Rx" "R(x)" (Cq.to_string p)
+  | _ -> Alcotest.fail "expected hard"
+
+(* A hand-derived golden corpus: expected verdicts for all eight settings
+   (order: Val, Val_Cd, Val^u, Val^u_Cd, Comp, Comp_Cd, Comp^u,
+   Comp^u_Cd), each reasoned from the Table 1 patterns by hand. *)
+let golden_corpus =
+  [
+    ("R(x,y,z)", [ "FP"; "FP"; "FP"; "FP"; "hard"; "hard"; "hard"; "hard" ]);
+    ("R(x), S(y), T(z)", [ "FP"; "FP"; "FP"; "FP"; "hard"; "hard"; "FP"; "FP" ]);
+    ("R(x,x,y)", [ "hard"; "FP"; "hard"; "FP"; "hard"; "hard"; "hard"; "hard" ]);
+    ("R(x,y), S(z,w)", [ "FP"; "FP"; "FP"; "FP"; "hard"; "hard"; "hard"; "hard" ]);
+    (* Rxx and RxSx present, but none of the uniform-Codd resolutions: open *)
+    ("R(x,x), S(x)", [ "hard"; "hard"; "hard"; "open"; "hard"; "hard"; "hard"; "hard" ]);
+    (* atoms disjoint: Codd settings tractable even with diagonals *)
+    ("R(x,x), S(y,y)", [ "hard"; "FP"; "hard"; "FP"; "hard"; "hard"; "hard"; "hard" ]);
+    (* two separate joins but no 3-atom path: uniform tractable *)
+    ("A(x), B(x), C(y), D(y,z)", [ "hard"; "hard"; "FP"; "FP"; "hard"; "hard"; "hard"; "hard" ]);
+    (* two atoms sharing two variables *)
+    ("E(x,y), F(y,x)", [ "hard"; "hard"; "hard"; "open"; "hard"; "hard"; "hard"; "hard" ]);
+    ("P(u,u,u)", [ "hard"; "FP"; "hard"; "FP"; "hard"; "hard"; "hard"; "hard" ]);
+    ("A(x), B(x,x)", [ "hard"; "hard"; "hard"; "open"; "hard"; "hard"; "hard"; "hard" ]);
+  ]
+
+let test_golden_corpus () =
+  List.iter
+    (fun (query, expected) ->
+      List.iter2
+        (fun s exp ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s on %s" (Setting.to_string s) query)
+            exp
+            (verdict_kind (Classify.exact s (q query))))
+        Setting.all expected)
+    golden_corpus
+
+let test_rejects_self_join () =
+  Alcotest.check_raises "self join rejected"
+    (Invalid_argument "Classify: the dichotomies are stated for self-join-free BCQs")
+    (fun () -> ignore (Classify.exact val_nn (q "R(x), R(y)")))
+
+let test_table1_render () =
+  let table =
+    Classify.table1 [ q "R(x,x)"; q "R(x)"; q "R(x), S(x)" ]
+  in
+  Alcotest.(check bool) "mentions all settings" true
+    (List.for_all
+       (fun s ->
+         let needle = Setting.to_string s in
+         let rec contains i =
+           i + String.length needle <= String.length table
+           && (String.sub table i (String.length needle) = needle
+              || contains (i + 1))
+         in
+         contains 0)
+       Setting.all)
+
+(* The classifier's FP claims must be backed by a non-brute algorithm in
+   the dispatcher, for the matching database shape. *)
+let test_fp_has_algorithm () =
+  let queries =
+    [ "R(x,y)"; "R(x,x)"; "R(x), S(x)"; "R(x,u), S(x,v)"; "R(x)" ]
+  in
+  List.iter
+    (fun query ->
+      let cq = q query in
+      (* Uniform Codd database over the query's schema. *)
+      let facts =
+        List.concat_map
+          (fun (a : Cq.atom) ->
+            [
+              Incdb_incomplete.Idb.fact a.Cq.rel
+                (List.init (Array.length a.Cq.vars) (fun i ->
+                     Incdb_incomplete.Term.null
+                       (Printf.sprintf "%s%d" a.Cq.rel i)));
+            ])
+          cq
+      in
+      let db =
+        Incdb_incomplete.Idb.make facts (Incdb_incomplete.Idb.Uniform [ "0"; "1" ])
+      in
+      match Classify.exact val_cu cq with
+      | Classify.Tractable _ ->
+        let algo, _ = Count_val.count cq db in
+        Alcotest.(check bool)
+          (Printf.sprintf "no brute force for %s" query)
+          true (algo <> Count_val.Brute_force)
+      | _ -> ())
+    queries
+
+let () =
+  Alcotest.run "classify"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "#Val non-uniform naive" `Quick test_val_nonuniform_naive;
+          Alcotest.test_case "#Val non-uniform codd" `Quick test_val_nonuniform_codd;
+          Alcotest.test_case "#Val uniform naive" `Quick test_val_uniform_naive;
+          Alcotest.test_case "#Val uniform codd" `Quick test_val_uniform_codd;
+          Alcotest.test_case "#Comp non-uniform" `Quick test_comp_nonuniform;
+          Alcotest.test_case "#Comp uniform" `Quick test_comp_uniform;
+          Alcotest.test_case "render" `Quick test_table1_render;
+        ] );
+      ( "approx",
+        [
+          Alcotest.test_case "section 5" `Quick test_approx;
+          Alcotest.test_case "membership notes" `Quick test_membership;
+        ] );
+      ( "meta",
+        [
+          Alcotest.test_case "witnesses" `Quick test_witnesses;
+          Alcotest.test_case "self-join rejection" `Quick test_rejects_self_join;
+          Alcotest.test_case "fp implies algorithm" `Quick test_fp_has_algorithm;
+          Alcotest.test_case "golden corpus" `Quick test_golden_corpus;
+        ] );
+    ]

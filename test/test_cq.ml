@@ -1,0 +1,278 @@
+open Incdb_relational
+open Incdb_cq
+
+let q s = Cq.of_string s
+
+(* ------------------------------------------------------------------ *)
+(* Parser and printer                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse () =
+  let parsed = q "R(x,y), S(x)" in
+  Alcotest.(check int) "two atoms" 2 (List.length parsed);
+  Alcotest.(check (list string)) "relations" [ "R"; "S" ] (Cq.relations parsed);
+  Alcotest.(check (list string)) "variables" [ "x"; "y" ] (Cq.variables parsed);
+  let round = Cq.of_string (Cq.to_string parsed) in
+  Alcotest.(check string) "round trip" (Cq.to_string parsed) (Cq.to_string round)
+
+let test_parse_wedge () =
+  let parsed = q "R(x) \xe2\x88\xa7 S(x,y) \xe2\x88\xa7 T(y)" in
+  Alcotest.(check int) "three atoms" 3 (List.length parsed);
+  let slash = q {|R(x) /\ S(x,y) /\ T(y)|} in
+  Alcotest.(check string) "same query" (Cq.to_string parsed) (Cq.to_string slash)
+
+let test_parse_errors () =
+  let fails s =
+    match Cq.of_string s with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "empty" true (fails "");
+  Alcotest.(check bool) "no parens" true (fails "R");
+  Alcotest.(check bool) "empty args" true (fails "R()");
+  Alcotest.(check bool) "dangling comma" true (fails "R(x),")
+
+let test_sjf () =
+  Alcotest.(check bool) "sjf" true (Cq.is_self_join_free (q "R(x), S(x)"));
+  Alcotest.(check bool) "self join" false (Cq.is_self_join_free (q "R(x), R(y)"));
+  Alcotest.(check int) "occurrences" 2 (Cq.occurrences (q "R(x,x), S(y)") "x")
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let db facts = Cdb.of_list (List.map (fun (r, args) -> Cdb.fact r args) facts)
+
+let test_eval () =
+  let d = db [ ("R", [ "a"; "b" ]); ("R", [ "b"; "b" ]); ("S", [ "b" ]) ] in
+  Alcotest.(check bool) "R(x,x)" true (Cq.eval (q "R(x,x)") d);
+  Alcotest.(check bool) "R(x,y),S(y)" true (Cq.eval (q "R(x,y), S(y)") d);
+  Alcotest.(check bool) "R(x,y),S(x)" true (Cq.eval (q "R(x,y), S(x)") d);
+  Alcotest.(check bool) "S(x),T(x) no T" false (Cq.eval (q "S(x), T(x)") d);
+  let d2 = db [ ("R", [ "a"; "b" ]); ("S", [ "c" ]) ] in
+  Alcotest.(check bool) "join fails" false (Cq.eval (q "R(x,y), S(y)") d2);
+  Alcotest.(check bool) "no diag" false (Cq.eval (q "R(x,x)") d2)
+
+let test_homomorphisms () =
+  let d = db [ ("R", [ "a"; "b" ]); ("R", [ "b"; "c" ]) ] in
+  let homs = Cq.homomorphisms (q "R(x,y)") d in
+  Alcotest.(check int) "two homs" 2 (List.length homs);
+  let homs2 = Cq.homomorphisms (q "R(x,y), S(y)") d in
+  Alcotest.(check int) "no homs" 0 (List.length homs2)
+
+let test_query_eval () =
+  let d = db [ ("R", [ "a" ]) ] in
+  let union = Query.Union [ q "S(x)"; q "R(x)" ] in
+  Alcotest.(check bool) "union" true (Query.eval union d);
+  Alcotest.(check bool) "negation" false (Query.eval (Query.Not union) d);
+  Alcotest.(check bool) "monotone" true (Query.is_monotone union);
+  Alcotest.(check bool) "not monotone" false (Query.is_monotone (Query.Not union))
+
+(* ------------------------------------------------------------------ *)
+(* The pattern relation (Definition 3.1)                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_pat p target = Pattern.is_pattern_of (q p) (q target)
+
+let test_pattern_example_3_2 () =
+  (* q' = R'(u,u,y) ∧ S'(z) is a pattern of
+     q = R(u,x,u) ∧ S'(y,y) ∧ T(x,s,z,s). *)
+  Alcotest.(check bool) "Example 3.2" true
+    (is_pat "Rp(u,u,y), Sp(z)" "R(u,x,u), Sp(y,y), T(x,s,z,s)")
+
+let test_pattern_reflexive () =
+  List.iter
+    (fun s -> Alcotest.(check bool) ("refl " ^ s) true (is_pat s s))
+    [ "R(x,x)"; "R(x), S(x)"; "R(x), S(x,y), T(y)"; "R(x,y), S(x,y)" ]
+
+let test_pattern_positive () =
+  Alcotest.(check bool) "Rxx in R(u,x,u)" true (is_pat "R(x,x)" "R(u,x,u)");
+  Alcotest.(check bool) "RxSx in RxySx" true (is_pat "R(x), S(x)" "R(x,y), S(x)");
+  Alcotest.(check bool) "Rx in anything" true (is_pat "R(x)" "T(a,b,c)");
+  Alcotest.(check bool) "Rxy in ternary" true (is_pat "R(x,y)" "T(a,b,c)");
+  Alcotest.(check bool) "path pattern" true
+    (is_pat "R(x), S(x,y), T(y)" "A(x,u), B(x,y), C(y,v)");
+  Alcotest.(check bool) "RxySxy in bigger" true
+    (is_pat "R(x,y), S(x,y)" "A(u,x,y), B(y,x,w)")
+
+let test_pattern_negative () =
+  Alcotest.(check bool) "Rxy not in Rxx" false (is_pat "R(x,y)" "R(x,x)");
+  Alcotest.(check bool) "Rxx not in Rxy" false (is_pat "R(x,x)" "R(x,y)");
+  Alcotest.(check bool) "RxSx not in disjoint" false
+    (is_pat "R(x), S(x)" "R(x,y), S(z)");
+  Alcotest.(check bool) "path not in two-atom" false
+    (is_pat "R(x), S(x,y), T(y)" "R(x,y), S(x,y)");
+  Alcotest.(check bool) "RxySxy needs two shared" false
+    (is_pat "R(x,y), S(x,y)" "R(x,y), S(x,z)");
+  Alcotest.(check bool) "cannot merge atoms" false
+    (is_pat "R(x,y)" "R(x), S(y)")
+
+let test_pattern_helpers () =
+  let check name f query expected =
+    Alcotest.(check bool) name expected (f (q query))
+  in
+  check "has_rxx yes" Pattern.has_rxx "R(a,b,a)" true;
+  check "has_rxx no" Pattern.has_rxx "R(a,b), S(b)" false;
+  check "has_rx_sx yes" Pattern.has_rx_sx "R(a,b), S(b)" true;
+  check "has_rx_sx no" Pattern.has_rx_sx "R(a,b), S(c)" false;
+  check "has_rxy yes" Pattern.has_rxy "R(a,b)" true;
+  check "has_rxy no (unary)" Pattern.has_rxy "R(a), S(b)" false;
+  check "has_rxy no (diag)" Pattern.has_rxy "R(a,a)" false;
+  check "path helper yes" Pattern.has_rx_sxy_ty "R(x), S(x,y), T(y,z), U(z)" true;
+  check "path helper no" Pattern.has_rx_sxy_ty "R(x), S(x), T(x)" false;
+  check "rxysxy helper" Pattern.has_rxy_sxy "R(u,v,w), S(v,w)" true
+
+let test_embedding_witness () =
+  match Pattern.find_embedding (q "R(x,x)") (q "A(u,y,u)") with
+  | None -> Alcotest.fail "expected embedding"
+  | Some e ->
+    (match e.Pattern.atom_images with
+    | [ (0, posmap) ] ->
+      (* positions 0 and 2 (the two u's) survive, position 1 deleted *)
+      Alcotest.(check bool) "pos1 deleted" true (posmap.(1) = None);
+      Alcotest.(check bool) "two kept" true
+        (posmap.(0) <> None && posmap.(2) <> None)
+    | _ -> Alcotest.fail "unexpected embedding shape")
+
+(* ------------------------------------------------------------------ *)
+(* Connectivity graph (Lemma A.11)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_conngraph () =
+  let comps = Conngraph.components (q "R(x), S(x,u), T(y,v), U(y)") in
+  Alcotest.(check int) "two components" 2 (List.length comps);
+  Alcotest.(check bool) "all single-var cliques" true
+    (List.for_all Conngraph.component_is_single_variable_clique comps);
+  let bad = Conngraph.components (q "R(x,y), S(x,y)") in
+  Alcotest.(check bool) "double label not a single-var clique" false
+    (List.for_all Conngraph.component_is_single_variable_clique bad);
+  let path = Conngraph.components (q "R(x), S(x,y), T(y)") in
+  Alcotest.(check int) "path is one component" 1 (List.length path);
+  Alcotest.(check bool) "path not a clique" false
+    (List.for_all Conngraph.component_is_single_variable_clique path)
+
+(* ------------------------------------------------------------------ *)
+(* Containment and minimization (homomorphism theorem)                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_containment () =
+  let c a b = Containment.contained (q a) (q b) in
+  (* R(x,x) |= R(x,y): the diagonal implies the projection. *)
+  Alcotest.(check bool) "Rxx in Rxy" true (c "R(x,x)" "R(x,y)");
+  Alcotest.(check bool) "Rxy not in Rxx" false (c "R(x,y)" "R(x,x)");
+  (* Conjunction is contained in each conjunct. *)
+  Alcotest.(check bool) "RxSx in Rx" true (c "R(x), S(x)" "R(x)");
+  Alcotest.(check bool) "Rx not in RxSx" false (c "R(x)" "R(x), S(x)");
+  (* Shared variable strengthens: R(x),S(x) |= R(x),S(y). *)
+  Alcotest.(check bool) "join in cross" true (c "R(x), S(x)" "R(x), S(y)");
+  Alcotest.(check bool) "cross not in join" false (c "R(x), S(y)" "R(x), S(x)");
+  Alcotest.(check bool) "equivalent to itself" true
+    (Containment.equivalent (q "R(x,y), S(y)") (q "R(x,y), S(y)"))
+
+let test_minimize () =
+  (* Self-join-free queries are their own cores. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check string) ("core of " ^ s) (Cq.to_string (q s))
+        (Cq.to_string (Containment.minimize (q s))))
+    [ "R(x,x)"; "R(x), S(x)"; "R(x), S(x,y), T(y)" ];
+  (* With self-joins, redundant atoms disappear: R(x,y) ∧ R(u,v) has
+     core R(x,y). *)
+  let redundant = Cq.make [ Cq.atom "R" [ "x"; "y" ]; Cq.atom "R" [ "u"; "v" ] ] in
+  Alcotest.(check int) "redundant atom dropped" 1
+    (List.length (Containment.minimize redundant));
+  (* R(x,y) ∧ R(y,x) is already minimal. *)
+  let cycle2 = Cq.make [ Cq.atom "R" [ "x"; "y" ]; Cq.atom "R" [ "y"; "x" ] ] in
+  Alcotest.(check int) "2-cycle stays" 2 (List.length (Containment.minimize cycle2))
+
+let prop_containment_vs_eval =
+  (* Semantic check of the homomorphism theorem on random complete
+     databases: if q ⊑ q' then every database satisfying q satisfies
+     q'. *)
+  QCheck.Test.make ~count:100 ~name:"containment is sound for eval"
+    QCheck.(make (QCheck.Gen.pair (QCheck.Gen.int_range 1 1_000_000)
+                    (QCheck.Gen.int_range 1 1_000_000)))
+    (fun (s1, s2) ->
+      let q1 = Gen.random_sjfbcq ~seed:s1 in
+      (* make q2 comparable: random query over the same relation names *)
+      let q2 = Gen.random_sjfbcq ~seed:s2 in
+      let st = Random.State.make [| s1 + s2 |] in
+      let db =
+        Cdb.of_list
+          (List.concat_map
+             (fun (a : Cq.atom) ->
+               List.init 3 (fun _ ->
+                   Cdb.fact a.Cq.rel
+                     (List.init (Array.length a.Cq.vars) (fun _ ->
+                          string_of_int (Random.State.int st 3)))))
+             (q1 @ q2))
+      in
+      (not (Containment.contained q1 q2))
+      || (not (Cq.eval q1 db))
+      || Cq.eval q2 db)
+
+let prop_pattern_transitive =
+  (* If p is a pattern of q and q is a pattern of r then p is a pattern of
+     r; exercised over a fixed corpus. *)
+  let corpus =
+    [
+      "R(x)";
+      "R(x,y)";
+      "R(x,x)";
+      "R(x), S(x)";
+      "R(x), S(y)";
+      "R(x,y), S(x)";
+      "R(x,y), S(x,y)";
+      "R(x), S(x,y), T(y)";
+      "R(u,x,u), S(y,y), T(x,s,z,s)";
+      "A(x,u), B(x,y), C(y,v)";
+    ]
+  in
+  QCheck.Test.make ~count:200 ~name:"pattern relation is transitive"
+    QCheck.(make (QCheck.Gen.triple
+                    (QCheck.Gen.int_bound 9)
+                    (QCheck.Gen.int_bound 9)
+                    (QCheck.Gen.int_bound 9)))
+    (fun (i, j, k) ->
+      let p = q (List.nth corpus i)
+      and r = q (List.nth corpus j)
+      and s = q (List.nth corpus k) in
+      (not (Pattern.is_pattern_of p r && Pattern.is_pattern_of r s))
+      || Pattern.is_pattern_of p s)
+
+let () =
+  Alcotest.run "cq"
+    [
+      ( "syntax",
+        [
+          Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "wedge syntax" `Quick test_parse_wedge;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "self-join-free" `Quick test_sjf;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "bcq eval" `Quick test_eval;
+          Alcotest.test_case "homomorphisms" `Quick test_homomorphisms;
+          Alcotest.test_case "query eval" `Quick test_query_eval;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "example 3.2" `Quick test_pattern_example_3_2;
+          Alcotest.test_case "reflexive" `Quick test_pattern_reflexive;
+          Alcotest.test_case "positive" `Quick test_pattern_positive;
+          Alcotest.test_case "negative" `Quick test_pattern_negative;
+          Alcotest.test_case "helpers" `Quick test_pattern_helpers;
+          Alcotest.test_case "witness" `Quick test_embedding_witness;
+        ] );
+      ( "conngraph",
+        [ Alcotest.test_case "components" `Quick test_conngraph ] );
+      ( "containment",
+        [
+          Alcotest.test_case "homomorphism theorem" `Quick test_containment;
+          Alcotest.test_case "minimization" `Quick test_minimize;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_pattern_transitive; prop_containment_vs_eval ] );
+    ]

@@ -1,0 +1,195 @@
+(* Positive Datalog: parsing, semi-naive fixpoint, and counting over
+   incomplete databases through the Query.Semantic bridge (Section 6:
+   queries with PTIME model checking keep #Comp in SpanP). *)
+
+open Incdb_bignum
+open Incdb_relational
+open Incdb_cq
+open Incdb_incomplete
+open Incdb_datalog.Datalog
+
+let check_nat = Gen.check_nat
+
+let edges_db pairs =
+  Cdb.of_list (List.map (fun (a, b) -> Cdb.fact "E" [ a; b ]) pairs)
+
+let tc_program =
+  parse "Reach(x,y) :- E(x,y). Reach(x,z) :- Reach(x,y), E(y,z)."
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and validation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse () =
+  Alcotest.(check int) "two rules" 2 (List.length tc_program);
+  let round = parse (to_string tc_program) in
+  Alcotest.(check string) "round trip" (to_string tc_program) (to_string round);
+  let with_consts = parse "Good(x) :- E(x, '42'). Good(x) :- E(x, 7)." in
+  Alcotest.(check int) "constants parsed" 2 (List.length with_consts)
+
+let test_safety () =
+  Alcotest.check_raises "unsafe rule"
+    (Invalid_argument "Datalog.make: unsafe rule, head variable y") (fun () ->
+      ignore (parse "P(x,y) :- E(x,x)."))
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_transitive_closure () =
+  let db = edges_db [ ("a", "b"); ("b", "c"); ("c", "d") ] in
+  let sat = saturate tc_program db in
+  let reach x y = Cdb.mem (Cdb.fact "Reach" [ x; y ]) sat in
+  Alcotest.(check bool) "a->d" true (reach "a" "d");
+  Alcotest.(check bool) "b->d" true (reach "b" "d");
+  Alcotest.(check bool) "no d->a" false (reach "d" "a");
+  (* 3 + 2 + 1 reach facts, plus 3 edges. *)
+  Alcotest.(check int) "fact count" 9 (Cdb.cardinal sat)
+
+let test_cycle_termination () =
+  let db = edges_db [ ("a", "b"); ("b", "a") ] in
+  let sat = saturate tc_program db in
+  Alcotest.(check bool) "a->a through the cycle" true
+    (Cdb.mem (Cdb.fact "Reach" [ "a"; "a" ]) sat);
+  Alcotest.(check int) "terminates with 6 facts" 6 (Cdb.cardinal sat)
+
+let test_holds_goal () =
+  let db = edges_db [ ("a", "b"); ("b", "c") ] in
+  Alcotest.(check bool) "ground goal" true
+    (holds tc_program ~goal:{ rel = "Reach"; args = [ Const "a"; Const "c" ] } db);
+  Alcotest.(check bool) "open goal" true
+    (holds tc_program ~goal:{ rel = "Reach"; args = [ Var "u"; Var "v" ] } db);
+  Alcotest.(check bool) "false ground goal" false
+    (holds tc_program ~goal:{ rel = "Reach"; args = [ Const "c"; Const "a" ] } db)
+
+let test_facts_rules () =
+  (* Rules with empty bodies are just facts. *)
+  let p = parse "Base('a','b'). Reach(x,y) :- Base(x,y)." in
+  let sat = saturate p Cdb.empty in
+  Alcotest.(check bool) "derived from seeded fact" true
+    (Cdb.mem (Cdb.fact "Reach" [ "a"; "b" ]) sat)
+
+let prop_tc_matches_graph_reachability =
+  QCheck.Test.make ~count:60 ~name:"datalog TC = DFS reachability"
+    QCheck.(make (QCheck.Gen.int_range 1 1_000_000))
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 6 in
+      let edges =
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun j ->
+                if i <> j && Random.State.int st 4 = 0 then
+                  Some (string_of_int i, string_of_int j)
+                else None)
+              (List.init n Fun.id))
+          (List.init n Fun.id)
+      in
+      let db = edges_db edges in
+      let sat = saturate tc_program db in
+      (* directed DFS reachability as the reference *)
+      let adj = Hashtbl.create 16 in
+      List.iter
+        (fun (a, b) ->
+          Hashtbl.replace adj a (b :: Option.value ~default:[] (Hashtbl.find_opt adj a)))
+        edges;
+      let reachable_from s =
+        let seen = Hashtbl.create 16 in
+        let rec dfs u =
+          List.iter
+            (fun v ->
+              if not (Hashtbl.mem seen v) then begin
+                Hashtbl.replace seen v ();
+                dfs v
+              end)
+            (Option.value ~default:[] (Hashtbl.find_opt adj u))
+        in
+        dfs s;
+        seen
+      in
+      List.for_all
+        (fun i ->
+          let s = string_of_int i in
+          let seen = reachable_from s in
+          List.for_all
+            (fun j ->
+              let t = string_of_int j in
+              Hashtbl.mem seen t
+              = Cdb.mem (Cdb.fact "Reach" [ s; t ]) sat)
+            (List.init n Fun.id))
+        (List.init n Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Counting reachability over incomplete databases                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_counting_reachability () =
+  (* Network with one uncertain link endpoint: E(a,b), E(b,?x) with
+     ?x in {c, a}.  s->t reachability a->c holds iff x = c. *)
+  let db =
+    Idb.make
+      [
+        Idb.fact_of_strings "E" [ "a"; "b" ];
+        Idb.fact_of_strings "E" [ "b"; "?x" ];
+      ]
+      (Idb.Nonuniform [ ("x", [ "c"; "a" ]) ])
+  in
+  let q = reachability ~from:"a" ~to_:"c" in
+  check_nat "one of two worlds" Nat.one (Brute.count_valuations q db);
+  Alcotest.(check bool) "possible" true (Incdb_core.Certainty.possible q db);
+  Alcotest.(check bool) "not certain" false (Incdb_core.Certainty.certain q db);
+  Alcotest.(check bool) "monotone" true (Query.is_monotone q)
+
+let prop_counting_reachability_brute =
+  (* Cross-validate #Val of the datalog query against an independent
+     computation: enumerate valuations and DFS each completion. *)
+  QCheck.Test.make ~count:40 ~name:"#Val(reachability) = per-world DFS"
+    QCheck.(make (QCheck.Gen.int_range 1 1_000_000))
+    (fun seed ->
+      let db =
+        Gen.random_idb ~seed ~schema:[ ("E", 2) ] ~rows:3 ~codd:(seed mod 2 = 0)
+          ~uniform:true
+      in
+      QCheck.assume (Gen.manageable ~limit:10_000 db);
+      let q = reachability ~from:"a" ~to_:"b" in
+      let direct = ref 0 in
+      Idb.iter_valuations db (fun v ->
+          let world = Idb.apply db v in
+          (* DFS from "a" over E-facts *)
+          let seen = Hashtbl.create 16 in
+          let rec dfs u =
+            List.iter
+              (fun (f : Cdb.fact) ->
+                if f.Cdb.args.(0) = u && not (Hashtbl.mem seen f.Cdb.args.(1))
+                then begin
+                  Hashtbl.replace seen f.Cdb.args.(1) ();
+                  dfs f.Cdb.args.(1)
+                end)
+              (Cdb.facts_of world "E")
+          in
+          dfs "a";
+          if Hashtbl.mem seen "b" then incr direct);
+      Nat.equal (Brute.count_valuations q db) (Nat.of_int !direct))
+
+let () =
+  Alcotest.run "datalog"
+    [
+      ( "syntax",
+        [
+          Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "safety" `Quick test_safety;
+        ] );
+      ( "fixpoint",
+        [
+          Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+          Alcotest.test_case "cycles terminate" `Quick test_cycle_termination;
+          Alcotest.test_case "goals" `Quick test_holds_goal;
+          Alcotest.test_case "fact rules" `Quick test_facts_rules;
+        ] );
+      ( "counting",
+        [ Alcotest.test_case "uncertain network" `Quick test_counting_reachability ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_tc_matches_graph_reachability; prop_counting_reachability_brute ] );
+    ]

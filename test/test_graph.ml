@@ -1,0 +1,403 @@
+open Incdb_bignum
+open Incdb_graph
+
+let check_nat = Gen.check_nat
+let nat_int n = Nat.of_int n
+
+(* ------------------------------------------------------------------ *)
+(* Basic graph structure                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_basics () =
+  let g = Graph.make 4 [ (0, 1); (1, 2); (1, 0) ] in
+  Alcotest.(check int) "nodes" 4 (Graph.node_count g);
+  Alcotest.(check int) "edges dedup" 2 (Graph.edge_count g);
+  Alcotest.(check bool) "has edge both ways" true (Graph.has_edge g 2 1);
+  Alcotest.(check (list int)) "neighbors" [ 0; 2 ] (Graph.neighbors g 1);
+  Alcotest.(check int) "degree" 2 (Graph.degree g 1);
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.make: self-loop")
+    (fun () -> ignore (Graph.make 3 [ (1, 1) ]))
+
+let test_components () =
+  let g = Graph.make 6 [ (0, 1); (2, 3); (3, 4) ] in
+  Alcotest.(check (list (list int)))
+    "components" [ [ 0; 1 ]; [ 2; 3; 4 ]; [ 5 ] ] (Graph.components g)
+
+let test_bipartition () =
+  let c4 = Generators.cycle 4 in
+  Alcotest.(check bool) "C4 bipartite" true (Graph.bipartition c4 <> None);
+  let c5 = Generators.cycle 5 in
+  Alcotest.(check bool) "C5 not bipartite" true (Graph.bipartition c5 = None)
+
+let test_complement () =
+  let g = Generators.path 4 in
+  let co = Graph.complement g in
+  Alcotest.(check int) "complement edges" 3 (Graph.edge_count co);
+  Alcotest.(check bool) "0-3 in complement" true (Graph.has_edge co 0 3)
+
+let test_induced () =
+  let g = Generators.complete 5 in
+  let sub = Graph.induced g [ 0; 2; 4 ] in
+  Alcotest.(check int) "induced K3" 3 (Graph.edge_count sub)
+
+(* ------------------------------------------------------------------ *)
+(* Counters vs. brute force                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_is_known () =
+  (* Path P3: independent sets {}, {0}, {1}, {2}, {0,2} = 5. *)
+  check_nat "IS(P3)" (nat_int 5)
+    (Independent.count_independent_sets (Generators.path 3));
+  (* Triangle: {}, {0}, {1}, {2} = 4 *)
+  check_nat "IS(K3)" (nat_int 4)
+    (Independent.count_independent_sets (Generators.complete 3));
+  check_nat "IS(empty graph on 10)" (Combinat.pow2 10)
+    (Independent.count_independent_sets (Graph.make 10 []))
+
+let prop_is_matches_brute =
+  QCheck.Test.make ~count:60 ~name:"#IS branching = brute force"
+    QCheck.(make (QCheck.Gen.int_range 1 10_000))
+    (fun seed ->
+      let g = Generators.random ~seed 9 1 2 in
+      Nat.equal
+        (Independent.count_independent_sets g)
+        (Independent.count_independent_sets_brute g))
+
+let prop_vc_complement =
+  QCheck.Test.make ~count:60 ~name:"#VC = #IS via complementation"
+    QCheck.(make (QCheck.Gen.int_range 1 10_000))
+    (fun seed ->
+      let g = Generators.random ~seed 8 2 3 in
+      Nat.equal
+        (Independent.count_vertex_covers g)
+        (Independent.count_vertex_covers_brute g))
+
+let test_bis () =
+  let b = Bipartite.make ~left:2 ~right:2 [ (0, 0); (1, 1) ] in
+  (* Independent pairs of a perfect matching on 2+2: 3*3 = 9. *)
+  check_nat "#BIS matching" (nat_int 9)
+    (Independent.count_bipartite_independent_sets b);
+  let z = Independent.independent_pairs_by_size b in
+  check_nat "Z_{0,0}" (nat_int 1) z.(0).(0);
+  check_nat "Z_{1,1}" (nat_int 2) z.(1).(1);
+  check_nat "Z_{2,2}" (nat_int 0) z.(2).(2)
+
+let prop_bis_total =
+  QCheck.Test.make ~count:40 ~name:"#BIS = #IS of the bipartite graph"
+    QCheck.(make (QCheck.Gen.int_range 1 10_000))
+    (fun seed ->
+      let b = Generators.random_bipartite ~seed 5 4 1 2 in
+      Nat.equal
+        (Independent.count_bipartite_independent_sets b)
+        (Independent.count_independent_sets (Bipartite.to_graph b)))
+
+let test_colorings () =
+  check_nat "3-colorings of K3" (nat_int 6)
+    (Colorings.count_colorings (Generators.complete 3) 3);
+  check_nat "2-colorings of C4" (nat_int 2)
+    (Colorings.count_colorings (Generators.cycle 4) 2);
+  check_nat "2-colorings of C5" Nat.zero
+    (Colorings.count_colorings (Generators.cycle 5) 2);
+  (* Chromatic polynomial of a tree with n nodes: k (k-1)^(n-1). *)
+  check_nat "3-colorings of P4" (nat_int (3 * 2 * 2 * 2))
+    (Colorings.count_colorings (Generators.path 4) 3);
+  Alcotest.(check bool) "Petersen 3-colorable" true
+    (Colorings.is_colorable (Generators.petersen ()) 3);
+  Alcotest.(check bool) "K4 not 3-colorable" false
+    (Colorings.is_colorable (Generators.complete 4) 3)
+
+let test_chromatic_polynomial () =
+  (* P(K3; k) = k(k-1)(k-2) = k^3 - 3k^2 + 2k *)
+  let p = Colorings.chromatic_polynomial (Generators.complete 3) in
+  Alcotest.(check (list int)) "K3 coefficients" [ 0; 2; -3; 1 ]
+    (Array.to_list (Array.map Zint.to_int p));
+  (* Cycle: P(C_n; k) = (k-1)^n + (-1)^n (k-1); spot check at k = 5. *)
+  let c5 = Colorings.chromatic_polynomial (Generators.cycle 5) in
+  check_nat "C5 at k=5" (nat_int ((4 * 4 * 4 * 4 * 4) - 4))
+    (Colorings.eval_polynomial c5 5)
+
+let prop_chromatic_polynomial =
+  QCheck.Test.make ~count:40
+    ~name:"deletion-contraction = backtracking coloring counter"
+    QCheck.(make (QCheck.Gen.pair (QCheck.Gen.int_range 1 10_000)
+                    (QCheck.Gen.int_range 0 4)))
+    (fun (seed, k) ->
+      let g = Generators.random ~seed 6 1 2 in
+      QCheck.assume (Graph.edge_count g <= 12);
+      let p = Colorings.chromatic_polynomial g in
+      Nat.equal (Colorings.eval_polynomial p k) (Colorings.count_colorings g k))
+
+(* ------------------------------------------------------------------ *)
+(* Multigraphs and avoidance                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_multigraph () =
+  let m = Multigraph.make 2 [| (0, 1); (0, 1); (1, 0) |] in
+  Alcotest.(check int) "parallel edges kept" 3 (Multigraph.edge_count m);
+  Alcotest.(check int) "degree counts parallels" 3 (Multigraph.degree m 0);
+  Alcotest.(check bool) "3-regular" true (Multigraph.is_regular m 3)
+
+(* Definition-level brute force for #Avoidance. *)
+let avoidance_brute g =
+  let n = Multigraph.node_count g in
+  let rec go u choice =
+    if u = n then
+      let ok =
+        List.for_all
+          (fun e ->
+            let a, b = Multigraph.endpoints g e in
+            not (List.nth choice a = e && List.nth choice b = e))
+          (List.init (Multigraph.edge_count g) Fun.id)
+      in
+      if ok then 1 else 0
+    else
+      List.fold_left
+        (fun acc e -> acc + go (u + 1) (choice @ [ e ]))
+        0 (Multigraph.incident g u)
+  in
+  if n = 0 then 1 else go 0 []
+
+let prop_avoidance =
+  QCheck.Test.make ~count:40 ~name:"#Avoidance backtracking = brute force"
+    QCheck.(make (QCheck.Gen.int_range 1 10_000))
+    (fun seed ->
+      let g = Generators.random_multigraph ~seed 5 7 in
+      QCheck.assume (List.for_all (fun u -> Multigraph.degree g u > 0)
+                       (List.init 5 Fun.id));
+      Nat.to_int (Avoidance.count_avoiding g) = avoidance_brute g)
+
+let test_subdivide () =
+  let g = Generators.random_regular_multigraph ~seed:3 4 3 in
+  let s = Avoidance.subdivide g in
+  (* Subdivision of a 3-regular multigraph on 4 nodes and 6 edges. *)
+  Alcotest.(check int) "subdivision nodes" 10 (Graph.node_count s);
+  Alcotest.(check int) "subdivision edges" 12 (Graph.edge_count s);
+  Alcotest.(check bool) "subdivision bipartite" true (Graph.bipartition s <> None);
+  (* Proposition A.8: #Avoidance(G') = 2^(|E|-|V|) * #Avoidance(G). *)
+  let lhs = Avoidance.count_avoiding (Multigraph.of_graph s) in
+  let rhs =
+    Nat.mul (Combinat.pow2 (6 - 4)) (Avoidance.count_avoiding g)
+  in
+  check_nat "Prop A.8 identity" rhs lhs;
+  (* The merging of the subdivision recovers a 3-regular multigraph with
+     the same avoidance count. *)
+  let merged = Multigraph.merging s in
+  Alcotest.(check int) "merging node count" 4 (Multigraph.node_count merged);
+  check_nat "merging avoidance" (Avoidance.count_avoiding g)
+    (Avoidance.count_avoiding merged)
+
+(* ------------------------------------------------------------------ *)
+(* Pseudoforests                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_pseudoforest_known () =
+  Alcotest.(check bool) "cycle is pseudoforest" true
+    (Pseudoforest.is_pseudoforest (Generators.cycle 5));
+  Alcotest.(check bool) "tree is pseudoforest" true
+    (Pseudoforest.is_pseudoforest (Generators.path 6));
+  Alcotest.(check bool) "K4 is not pseudoforest" false
+    (Pseudoforest.is_pseudoforest (Generators.complete 4));
+  (* A triangle with all 3 edges: every subset is a pseudoforest: 2^3. *)
+  check_nat "#PF(K3)" (nat_int 8)
+    (Pseudoforest.count_pseudoforests (Generators.complete 3));
+  (* K4 has 6 edges, 2^6 = 64 subsets; only those spanning two cycles in
+     one component fail. *)
+  Alcotest.(check bool) "PF(K4) < 64" true
+    (Nat.compare (Pseudoforest.count_pseudoforests (Generators.complete 4))
+       (nat_int 64)
+    < 0)
+
+let prop_pf_orientation =
+  QCheck.Test.make ~count:60
+    ~name:"pseudoforest iff outdegree-1 orientation (Lemma B.4)"
+    QCheck.(make (QCheck.Gen.int_range 1 10_000))
+    (fun seed ->
+      let g = Generators.random ~seed 7 2 5 in
+      let is_pf = Pseudoforest.is_pseudoforest g in
+      match Pseudoforest.find_outdegree_one_orientation g with
+      | None -> not is_pf
+      | Some dir ->
+        is_pf
+        && List.length dir = Graph.edge_count g
+        && (* every node source at most once *)
+        List.for_all
+          (fun u ->
+            List.length (List.filter (fun (a, _) -> a = u) dir) <= 1)
+          (List.init 7 Fun.id)
+        && List.for_all (fun (a, b) -> Graph.has_edge g a b) dir)
+
+let prop_bicircular_rank =
+  QCheck.Test.make ~count:40 ~name:"bicircular rank = max pseudoforest subset"
+    QCheck.(make (QCheck.Gen.int_range 1 10_000))
+    (fun seed ->
+      let g = Generators.random ~seed 6 1 2 in
+      let es = Array.of_list (Graph.edges g) in
+      let m = Array.length es in
+      QCheck.assume (m <= 12);
+      (* brute force the rank *)
+      let best = ref 0 in
+      for mask = 0 to (1 lsl m) - 1 do
+        let sub =
+          List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list es)
+        in
+        if Pseudoforest.edge_subset_is_pseudoforest g sub then
+          best := max !best (List.length sub)
+      done;
+      Pseudoforest.bicircular_rank (Graph.node_count g) (Graph.edges g) = !best)
+
+(* ------------------------------------------------------------------ *)
+(* Matching and Hamiltonicity                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_hopcroft_karp_vs_kuhn =
+  QCheck.Test.make ~count:100 ~name:"Hopcroft-Karp = Kuhn on random graphs"
+    QCheck.(make (QCheck.Gen.int_range 1 100_000))
+    (fun seed ->
+      let b = Generators.random_bipartite ~seed 8 7 1 2 in
+      let size_hk, pairs_hk = Matching.maximum_matching b in
+      let size_k, pairs_k = Matching.maximum_matching_kuhn b in
+      size_hk = size_k
+      && List.length pairs_hk = size_hk
+      && Matching.is_matching b pairs_hk
+      && Matching.is_matching b pairs_k)
+
+let test_matching () =
+  let b = Bipartite.make ~left:3 ~right:3 [ (0, 0); (0, 1); (1, 0); (2, 2) ] in
+  let size, pairs = Matching.maximum_matching b in
+  Alcotest.(check int) "matching size" 3 size;
+  Alcotest.(check int) "matching pairs" 3 (List.length pairs);
+  let b2 = Bipartite.make ~left:2 ~right:2 [ (0, 0); (1, 0) ] in
+  let size2, _ = Matching.maximum_matching b2 in
+  Alcotest.(check int) "bottleneck" 1 size2
+
+let test_hamiltonicity () =
+  Alcotest.(check bool) "C6 hamiltonian" true
+    (Hamiltonicity.is_hamiltonian (Generators.cycle 6));
+  Alcotest.(check bool) "P4 not hamiltonian" false
+    (Hamiltonicity.is_hamiltonian (Generators.path 4));
+  Alcotest.(check bool) "K4 hamiltonian" true
+    (Hamiltonicity.is_hamiltonian (Generators.complete 4));
+  (* The Petersen graph is famously non-Hamiltonian. *)
+  Alcotest.(check bool) "Petersen not hamiltonian" false
+    (Hamiltonicity.is_hamiltonian (Generators.petersen ()));
+  (* #HamSubgraphs(K4, 3) = 4 triangles. *)
+  check_nat "ham subgraphs K4 k=3" (nat_int 4)
+    (Hamiltonicity.count_hamiltonian_subgraphs (Generators.complete 4) 3)
+
+let test_stretch () =
+  let g = Generators.complete 3 in
+  let s2 = Generators.k_stretch g 2 in
+  Alcotest.(check int) "2-stretch nodes" 6 (Graph.node_count s2);
+  Alcotest.(check int) "2-stretch edges" 6 (Graph.edge_count s2);
+  Alcotest.(check bool) "even stretch is bipartite" true
+    (Graph.bipartition s2 <> None);
+  let s1 = Generators.k_stretch g 1 in
+  Alcotest.(check int) "1-stretch = same graph" 3 (Graph.edge_count s1)
+
+(* ------------------------------------------------------------------ *)
+(* Holant framework (Appendix A.2)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Brute-force reference counters over a simple graph's edge subsets. *)
+let subsets_with g pred =
+  let es = Array.of_list (Graph.edges g) in
+  let m = Array.length es in
+  let count = ref 0 in
+  for mask = 0 to (1 lsl m) - 1 do
+    let chosen =
+      List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list es)
+    in
+    if pred chosen then incr count
+  done;
+  !count
+
+let degree_in sub u =
+  List.length (List.filter (fun (a, b) -> a = u || b = u) sub)
+
+let test_holant_example_a6 () =
+  (* A 2-3-regular bipartite simple graph: subdivision of K4. *)
+  let k4 = Generators.complete 4 in
+  let sub = Generators.k_stretch k4 2 in
+  match Holant.of_graph sub with
+  | None -> Alcotest.fail "expected a 2-3-regular bipartite graph"
+  | Some h ->
+    let n = Graph.node_count sub in
+    let matchings =
+      subsets_with sub (fun s ->
+          List.for_all (fun u -> degree_in s u <= 1) (List.init n Fun.id))
+    in
+    let perfect =
+      subsets_with sub (fun s ->
+          List.for_all (fun u -> degree_in s u = 1) (List.init n Fun.id))
+    in
+    let covers =
+      subsets_with sub (fun s ->
+          List.for_all (fun u -> degree_in s u >= 1) (List.init n Fun.id))
+    in
+    check_nat "matchings" (nat_int matchings) (Holant.count_matchings h);
+    check_nat "perfect matchings" (nat_int perfect)
+      (Holant.count_perfect_matchings h);
+    check_nat "edge covers" (nat_int covers) (Holant.count_edge_covers h)
+
+let prop_holant_avoidance =
+  QCheck.Test.make ~count:15
+    ~name:"Prop A.3: Holant([1,1,0]|[0,1,0,0]) = #Avoidance of the merging"
+    QCheck.(make (QCheck.Gen.int_range 1 10_000))
+    (fun seed ->
+      let g3 = Generators.random_regular_multigraph ~seed 4 3 in
+      let sub = Avoidance.subdivide g3 in
+      match Holant.of_graph sub with
+      | None -> false
+      | Some h ->
+        Nat.equal (Holant.avoidance_holant h) (Avoidance.count_avoiding g3))
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_is_matches_brute;
+        prop_vc_complement;
+        prop_bis_total;
+        prop_avoidance;
+        prop_pf_orientation;
+        prop_bicircular_rank;
+        prop_holant_avoidance;
+        prop_hopcroft_karp_vs_kuhn;
+        prop_chromatic_polynomial;
+      ]
+  in
+  Alcotest.run "graph"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "bipartition" `Quick test_bipartition;
+          Alcotest.test_case "complement" `Quick test_complement;
+          Alcotest.test_case "induced" `Quick test_induced;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "independent sets" `Quick test_is_known;
+          Alcotest.test_case "bipartite pairs" `Quick test_bis;
+          Alcotest.test_case "colorings" `Quick test_colorings;
+          Alcotest.test_case "chromatic polynomial" `Quick
+            test_chromatic_polynomial;
+        ] );
+      ( "multigraph",
+        [
+          Alcotest.test_case "parallel edges" `Quick test_multigraph;
+          Alcotest.test_case "subdivision (Prop A.8)" `Quick test_subdivide;
+        ] );
+      ( "pseudoforest",
+        [ Alcotest.test_case "known cases" `Quick test_pseudoforest_known ] );
+      ( "holant",
+        [ Alcotest.test_case "example A.6" `Quick test_holant_example_a6 ] );
+      ( "matching-ham",
+        [
+          Alcotest.test_case "matching" `Quick test_matching;
+          Alcotest.test_case "hamiltonicity" `Quick test_hamiltonicity;
+          Alcotest.test_case "stretch" `Quick test_stretch;
+        ] );
+      ("properties", props);
+    ]

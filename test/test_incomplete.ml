@@ -1,0 +1,245 @@
+open Incdb_bignum
+open Incdb_relational
+open Incdb_cq
+open Incdb_incomplete
+
+let check_nat = Gen.check_nat
+
+let bcq s = Query.Bcq (Cq.of_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Example 2.1                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let example_2_1 () =
+  Idb.make
+    [
+      Idb.fact "S" [ Term.null "1"; Term.null "1" ];
+      Idb.fact "S" [ Term.const "a"; Term.null "2" ];
+    ]
+    (Idb.Nonuniform [ ("1", [ "a"; "b" ]); ("2", [ "a"; "c" ]) ])
+
+let test_example_2_1 () =
+  let d = example_2_1 () in
+  Alcotest.(check bool) "not codd" false (Idb.is_codd d);
+  Alcotest.(check (list string)) "nulls" [ "1"; "2" ] (Idb.nulls d);
+  check_nat "4 valuations" (Nat.of_int 4) (Idb.total_valuations d);
+  (* nu1: 1 -> b, 2 -> c *)
+  let v1 = [ ("1", "b"); ("2", "c") ] in
+  let c1 = Idb.apply d v1 in
+  Alcotest.(check bool) "S(b,b) in nu1(T)" true
+    (Cdb.mem (Cdb.fact "S" [ "b"; "b" ]) c1);
+  Alcotest.(check bool) "S(a,c) in nu1(T)" true
+    (Cdb.mem (Cdb.fact "S" [ "a"; "c" ]) c1);
+  Alcotest.(check int) "two facts" 2 (Cdb.cardinal c1);
+  (* nu2: both to a collapses the two facts into one. *)
+  let c2 = Idb.apply d [ ("1", "a"); ("2", "a") ] in
+  Alcotest.(check int) "set semantics collapse" 1 (Cdb.cardinal c2);
+  (* mapping both to b is not a valuation: b not in dom(2). *)
+  Alcotest.check_raises "outside domain"
+    (Invalid_argument "Idb.apply: value b outside domain of null 2") (fun () ->
+      ignore (Idb.apply d [ ("1", "b"); ("2", "b") ]))
+
+(* ------------------------------------------------------------------ *)
+(* Example 2.2 / Figure 1                                              *)
+(* ------------------------------------------------------------------ *)
+
+let example_2_2 () =
+  Idb.make
+    [
+      Idb.fact "S" [ Term.const "a"; Term.const "b" ];
+      Idb.fact "S" [ Term.null "1"; Term.const "a" ];
+      Idb.fact "S" [ Term.const "a"; Term.null "2" ];
+    ]
+    (Idb.Nonuniform [ ("1", [ "a"; "b"; "c" ]); ("2", [ "a"; "b" ]) ])
+
+let test_figure_1 () =
+  let d = example_2_2 () in
+  let q = bcq "S(x,x)" in
+  check_nat "six valuations" (Nat.of_int 6) (Idb.total_valuations d);
+  check_nat "#Val = 4" (Nat.of_int 4) (Brute.count_valuations q d);
+  check_nat "#Comp = 3" (Nat.of_int 3) (Brute.count_completions q d);
+  Alcotest.(check int) "five distinct completions" 5
+    (List.length (Brute.completions d));
+  check_nat "#Comp(all)" (Nat.of_int 5) (Brute.count_all_completions d);
+  (* The individual verdicts of Figure 1, in lexicographic valuation
+     order (a,a) (a,b) (b,a) (b,b) (c,a) (c,b). *)
+  let expected = [ true; true; true; false; true; false ] in
+  let verdicts = ref [] in
+  Idb.iter_valuations d (fun v ->
+      verdicts := Query.eval q (Idb.apply d v) :: !verdicts);
+  Alcotest.(check (list bool)) "Figure 1 verdicts" expected (List.rev !verdicts)
+
+(* ------------------------------------------------------------------ *)
+(* Construction and enumeration invariants                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_make_validation () =
+  Alcotest.check_raises "missing domain"
+    (Invalid_argument "Idb.make: no domain for null x") (fun () ->
+      ignore (Idb.make [ Idb.fact "R" [ Term.null "x" ] ] (Idb.Nonuniform [])));
+  Alcotest.check_raises "empty domain"
+    (Invalid_argument "Idb.make: empty domain for null x") (fun () ->
+      ignore
+        (Idb.make [ Idb.fact "R" [ Term.null "x" ] ]
+           (Idb.Nonuniform [ ("x", []) ])))
+
+let test_fact_of_strings () =
+  let f = Idb.fact_of_strings "R" [ "a"; "?x" ] in
+  (match f.Idb.args.(0) with
+  | Term.Const c -> Alcotest.(check string) "const" "a" c
+  | Term.Null _ -> Alcotest.fail "expected const");
+  match f.Idb.args.(1) with
+  | Term.Null n -> Alcotest.(check string) "null" "x" n
+  | Term.Const _ -> Alcotest.fail "expected null"
+
+let test_uniform () =
+  let d =
+    Idb.make
+      [ Idb.fact "R" [ Term.null "x" ]; Idb.fact "R" [ Term.null "y" ] ]
+      (Idb.Uniform [ "0"; "1" ])
+  in
+  Alcotest.(check bool) "uniform" true (Idb.is_uniform d);
+  Alcotest.(check bool) "codd" true (Idb.is_codd d);
+  check_nat "4 valuations" (Nat.of_int 4) (Idb.total_valuations d);
+  (* completions: {0}, {1}, {0,1} *)
+  check_nat "3 completions" (Nat.of_int 3) (Brute.count_all_completions d)
+
+let test_valuation_count_property () =
+  let count = ref 0 in
+  let d = example_2_2 () in
+  Idb.iter_valuations d (fun _ -> incr count);
+  Alcotest.(check int) "enumeration = total" 6 !count
+
+(* ------------------------------------------------------------------ *)
+(* Lemma B.2: completion membership for Codd tables                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_is_completion_basic () =
+  let d =
+    Idb.make
+      [
+        Idb.fact "R" [ Term.null "x" ];
+        Idb.fact "R" [ Term.null "y" ];
+        Idb.fact "R" [ Term.const "a" ];
+      ]
+      (Idb.Nonuniform [ ("x", [ "a"; "b" ]); ("y", [ "b"; "c" ]) ])
+  in
+  let yes facts = Cdb.of_list (List.map (fun v -> Cdb.fact "R" [ v ]) facts) in
+  Alcotest.(check bool) "a,b,c" true (Codd.is_completion d (yes [ "a"; "b"; "c" ]));
+  Alcotest.(check bool) "a,b" true (Codd.is_completion d (yes [ "a"; "b" ]));
+  Alcotest.(check bool) "a alone needs x=a,y=?" false
+    (Codd.is_completion d (yes [ "a" ]));
+  Alcotest.(check bool) "missing mandatory a" false
+    (Codd.is_completion d (yes [ "b"; "c" ]));
+  Alcotest.(check bool) "stray fact" false
+    (Codd.is_completion d (yes [ "a"; "b"; "d" ]))
+
+let prop_is_completion_matches_brute =
+  QCheck.Test.make ~count:80 ~name:"Lemma B.2 matching test = brute force"
+    QCheck.(make (QCheck.Gen.int_range 1 100_000))
+    (fun seed ->
+      let db =
+        Gen.random_idb ~seed ~schema:[ ("R", 1); ("S", 2) ] ~rows:2 ~codd:true
+          ~uniform:false
+      in
+      (* Candidate sets: actual completions (must accept) and mutations
+         (should agree with brute force either way). *)
+      let completions = Brute.completions db in
+      List.for_all
+        (fun c -> Codd.is_completion db c && Codd.is_completion_brute db c)
+        completions
+      &&
+      (* mutate: drop a fact from some completion *)
+      List.for_all
+        (fun c ->
+          match Cdb.to_list c with
+          | [] -> true
+          | f :: rest ->
+            ignore f;
+            let c' = Cdb.of_list rest in
+            Codd.is_completion db c' = Codd.is_completion_brute db c')
+        completions)
+
+let prop_is_completion_naive =
+  QCheck.Test.make ~count:60
+    ~name:"naive-table backtracking membership = brute force"
+    QCheck.(make (QCheck.Gen.int_range 1 100_000))
+    (fun seed ->
+      let db =
+        Gen.random_idb ~seed ~schema:[ ("R", 2); ("S", 1) ] ~rows:2 ~codd:false
+          ~uniform:(seed mod 2 = 0)
+      in
+      QCheck.assume (Gen.manageable ~limit:20_000 db);
+      let completions = Brute.completions db in
+      List.for_all (fun c -> Codd.is_completion_naive db c) completions
+      && (* a mutated candidate must agree with brute force *)
+      List.for_all
+        (fun c ->
+          match Cdb.to_list c with
+          | [] -> true
+          | _ :: rest ->
+            let c' = Cdb.of_list rest in
+            Codd.is_completion_naive db c' = Codd.is_completion_brute db c')
+        completions)
+
+let prop_count_query =
+  QCheck.Test.make ~count:60 ~name:"count_query = brute on unions/inequalities"
+    QCheck.(make (QCheck.Gen.pair (QCheck.Gen.int_range 1 100_000)
+                    (QCheck.Gen.int_bound 2)))
+    (fun (seed, which) ->
+      let q =
+        match which with
+        | 0 -> Query.Union [ Cq.of_string "R(x,x)"; Cq.of_string "S(x)" ]
+        | 1 -> Query.Bcq_neq (Cq.of_string "R(x,y)", [ ("x", "y") ])
+        | _ -> Query.Not (Query.Bcq (Cq.of_string "R(x,y), S(x)"))
+      in
+      let db =
+        Gen.random_idb ~seed ~schema:[ ("R", 2); ("S", 1) ] ~rows:2
+          ~codd:(seed mod 2 = 0) ~uniform:(seed mod 3 = 0)
+      in
+      QCheck.assume (Gen.manageable db);
+      let _, n = Incdb_core.Count_val.count_query q db in
+      Incdb_bignum.Nat.equal n (Brute.count_valuations q db))
+
+let prop_completion_count_bounds =
+  QCheck.Test.make ~count:60
+    ~name:"#Comp(q) <= #Val(q) <= total valuations"
+    QCheck.(make (QCheck.Gen.int_range 1 100_000))
+    (fun seed ->
+      let db =
+        Gen.random_idb ~seed ~schema:[ ("R", 2); ("S", 1) ] ~rows:2 ~codd:false
+          ~uniform:(seed mod 2 = 0)
+      in
+      let q = bcq "R(x,y), S(x)" in
+      let comp = Brute.count_completions q db in
+      let value = Brute.count_valuations q db in
+      let total = Idb.total_valuations db in
+      Nat.compare comp value <= 0 && Nat.compare value total <= 0)
+
+let () =
+  Alcotest.run "incomplete"
+    [
+      ( "examples",
+        [
+          Alcotest.test_case "example 2.1" `Quick test_example_2_1;
+          Alcotest.test_case "figure 1 (example 2.2)" `Quick test_figure_1;
+        ] );
+      ( "construction",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "fact_of_strings" `Quick test_fact_of_strings;
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "enumeration" `Quick test_valuation_count_property;
+        ] );
+      ( "codd",
+        [ Alcotest.test_case "is_completion" `Quick test_is_completion_basic ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_is_completion_matches_brute;
+            prop_is_completion_naive;
+            prop_count_query;
+            prop_completion_count_bounds;
+          ] );
+    ]

@@ -1,0 +1,134 @@
+open Incdb_bignum
+open Incdb_linalg
+
+let qn = Alcotest.testable Qnum.pp Qnum.equal
+
+let random_matrix st n =
+  Qmatrix.make n n (fun _ _ -> Qnum.of_int (Random.State.int st 19 - 9))
+
+let test_identity_inverse () =
+  let id = Qmatrix.identity 4 in
+  Alcotest.(check bool) "I^-1 = I" true (Qmatrix.equal (Qmatrix.inverse id) id)
+
+let test_inverse_random () =
+  let st = Random.State.make [| 7 |] in
+  let tried = ref 0 in
+  while !tried < 12 do
+    let m = random_matrix st 4 in
+    if not (Qnum.is_zero (Qmatrix.determinant m)) then begin
+      incr tried;
+      let inv = Qmatrix.inverse m in
+      Alcotest.(check bool)
+        "M * M^-1 = I" true
+        (Qmatrix.equal (Qmatrix.mul m inv) (Qmatrix.identity 4))
+    end
+  done
+
+let test_solve () =
+  let st = Random.State.make [| 13 |] in
+  let solved = ref 0 in
+  while !solved < 12 do
+    let m = random_matrix st 5 in
+    if not (Qnum.is_zero (Qmatrix.determinant m)) then begin
+      incr solved;
+      let x = Array.init 5 (fun i -> Qnum.of_ints (i + 1) 3) in
+      let b = Qmatrix.mul_vec m x in
+      let x' = Qmatrix.solve m b in
+      Array.iteri (fun i xi -> Alcotest.check qn "solve component" xi x'.(i)) x
+    end
+  done
+
+let test_singular () =
+  let m = Qmatrix.make 2 2 (fun _ _ -> Qnum.one) in
+  Alcotest.check qn "det singular" Qnum.zero (Qmatrix.determinant m);
+  Alcotest.check_raises "inverse singular" (Failure "Qmatrix: singular matrix")
+    (fun () -> ignore (Qmatrix.inverse m))
+
+let test_determinant_known () =
+  (* det [[1,2],[3,4]] = -2 *)
+  let m =
+    Qmatrix.make 2 2 (fun i j -> Qnum.of_int [| [| 1; 2 |]; [| 3; 4 |] |].(i).(j))
+  in
+  Alcotest.check qn "det 2x2" (Qnum.of_int (-2)) (Qmatrix.determinant m)
+
+let test_kronecker () =
+  let a = Qmatrix.make 2 2 (fun i j -> Qnum.of_int ((2 * i) + j + 1)) in
+  let b = Qmatrix.identity 3 in
+  let k = Qmatrix.kronecker a b in
+  Alcotest.(check int) "kron rows" 6 (Qmatrix.rows k);
+  Alcotest.check qn "kron entry (0,0)" (Qnum.of_int 1) (Qmatrix.get k 0 0);
+  Alcotest.check qn "kron entry (0,3)" (Qnum.of_int 2) (Qmatrix.get k 0 3);
+  Alcotest.check qn "kron entry (1,4)" (Qnum.of_int 2) (Qmatrix.get k 1 4);
+  (* det(A (x) B) = det A ^ rows(B) * det B ^ rows(A) *)
+  let det_a = Qmatrix.determinant a in
+  let expected =
+    Qnum.mul (Qnum.mul det_a det_a) det_a (* det B = 1 *)
+  in
+  Alcotest.check qn "kron determinant" expected (Qmatrix.determinant k)
+
+let test_surjection_matrix_invertible () =
+  (* The Proposition 3.11 matrix A'_{a,i} = surj(a, i) is triangular with a
+     non-zero diagonal, hence invertible, and so is its Kronecker square. *)
+  let n = 5 in
+  let a' =
+    Qmatrix.make (n + 1) (n + 1) (fun a i -> Qnum.of_nat (Combinat.surj a i))
+  in
+  Alcotest.(check bool)
+    "surjection matrix invertible" false
+    (Qnum.is_zero (Qmatrix.determinant a'));
+  let kron = Qmatrix.kronecker a' a' in
+  let inv = Qmatrix.inverse kron in
+  Alcotest.(check bool)
+    "kron inverse works" true
+    (Qmatrix.equal (Qmatrix.mul kron inv) (Qmatrix.identity ((n + 1) * (n + 1))))
+
+let test_lagrange () =
+  (* p(x) = 3 - 2x + x^3 through 4 points. *)
+  let p x = Qnum.add (Qnum.of_int 3)
+      (Qnum.add (Qnum.mul (Qnum.of_int (-2)) x) (Qnum.mul x (Qnum.mul x x)))
+  in
+  let pts = List.map (fun i ->
+      let x = Qnum.of_int i in
+      (x, p x)) [ 0; 1; 2; 3 ]
+  in
+  let coeffs = Qmatrix.lagrange_interpolate pts in
+  Alcotest.(check int) "degree bound" 4 (Array.length coeffs);
+  Alcotest.check qn "c0" (Qnum.of_int 3) coeffs.(0);
+  Alcotest.check qn "c1" (Qnum.of_int (-2)) coeffs.(1);
+  Alcotest.check qn "c2" Qnum.zero coeffs.(2);
+  Alcotest.check qn "c3" Qnum.one coeffs.(3);
+  (* Evaluate away from the sample points. *)
+  Alcotest.check qn "eval at 10" (p (Qnum.of_int 10))
+    (Qmatrix.eval_poly coeffs (Qnum.of_int 10))
+
+let prop_mulvec_linear =
+  QCheck.Test.make ~count:100 ~name:"mul_vec is linear"
+    QCheck.(make (QCheck.Gen.int_range 1 1000))
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let m = random_matrix st 3 in
+      let v = Array.init 3 (fun _ -> Qnum.of_int (Random.State.int st 9)) in
+      let w = Array.init 3 (fun _ -> Qnum.of_int (Random.State.int st 9)) in
+      let sum = Array.init 3 (fun i -> Qnum.add v.(i) w.(i)) in
+      let mv = Qmatrix.mul_vec m v
+      and mw = Qmatrix.mul_vec m w
+      and msum = Qmatrix.mul_vec m sum in
+      Array.for_all2 Qnum.equal msum (Array.map2 Qnum.add mv mw))
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "qmatrix",
+        [
+          Alcotest.test_case "identity inverse" `Quick test_identity_inverse;
+          Alcotest.test_case "random inverse" `Quick test_inverse_random;
+          Alcotest.test_case "solve" `Quick test_solve;
+          Alcotest.test_case "singular" `Quick test_singular;
+          Alcotest.test_case "determinant" `Quick test_determinant_known;
+          Alcotest.test_case "kronecker" `Quick test_kronecker;
+          Alcotest.test_case "surjection matrix" `Quick
+            test_surjection_matrix_invertible;
+          Alcotest.test_case "lagrange" `Quick test_lagrange;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_mulvec_linear ]);
+    ]

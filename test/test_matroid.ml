@@ -1,0 +1,99 @@
+(* The bicircular matroid machinery of Appendix B.5. *)
+
+open Incdb_bignum
+open Incdb_graph
+open Incdb_matroid
+
+let check_nat = Gen.check_nat
+
+let qn = Alcotest.testable Incdb_bignum.Qnum.pp Incdb_bignum.Qnum.equal
+
+let test_rank () =
+  let g = Generators.complete 4 in
+  (* B(K4) rank: a maximal pseudoforest can carry all nodes with one cycle
+     per component: 4 edges. *)
+  Alcotest.(check int) "rank K4" 4 (Bicircular.rank g (Graph.edges g));
+  let t = Generators.path 4 in
+  Alcotest.(check int) "rank path" 3 (Bicircular.rank t (Graph.edges t))
+
+let test_tutte_counts_pf () =
+  List.iter
+    (fun g ->
+      check_nat "T(2,1) = #PF"
+        (Pseudoforest.count_pseudoforests g)
+        (Bicircular.count_independent_sets g))
+    [
+      Generators.complete 3;
+      Generators.complete 4;
+      Generators.cycle 5;
+      Generators.path 5;
+      Generators.star 5;
+      Generators.grid 2 3;
+    ]
+
+let prop_tutte_pf =
+  QCheck.Test.make ~count:30 ~name:"T(B(G);2,1) = #PF on random graphs"
+    QCheck.(make (QCheck.Gen.int_range 1 1_000_000))
+    (fun seed ->
+      let g = Generators.random ~seed 6 1 2 in
+      QCheck.assume (Graph.edge_count g <= 12);
+      Nat.equal
+        (Pseudoforest.count_pseudoforests g)
+        (Bicircular.count_independent_sets g))
+
+let test_basis_count () =
+  (* For a triangle, the bases of B(K3) are all 3-edge subsets (the whole
+     triangle): one basis. *)
+  check_nat "bases of B(K3)" Nat.one
+    (Bicircular.basis_count (Generators.complete 3));
+  (* For a tree, the single basis is the whole edge set. *)
+  check_nat "bases of a path" Nat.one (Bicircular.basis_count (Generators.path 5))
+
+let test_stretch_identity () =
+  List.iter
+    (fun (g, k) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "Brylawski identity, k=%d" k)
+        true
+        (Bicircular.stretch_identity_holds g k))
+    [
+      (Generators.complete 3, 2);
+      (Generators.complete 3, 3);
+      (Generators.cycle 4, 2);
+      (Generators.path 4, 2);
+      (Generators.star 4, 2);
+    ]
+
+let prop_stretch_identity =
+  QCheck.Test.make ~count:12 ~name:"Brylawski identity on random graphs"
+    QCheck.(make (QCheck.Gen.int_range 1 1_000_000))
+    (fun seed ->
+      let g = Generators.random ~seed 5 1 2 in
+      QCheck.assume
+        (Graph.edge_count g >= 1 && Graph.edge_count g <= 8);
+      Bicircular.stretch_identity_holds g 2)
+
+let test_tutte_rational_point () =
+  (* T at a non-integer point stays exact over Q; evaluate and check
+     against a directly computed value for a single edge: subsets {} and
+     {e}, ranks 0 and 1 -> T(x,y) = (x-1) + 1 = x. *)
+  let g = Generators.path 2 in
+  let x = Incdb_bignum.Qnum.of_ints 7 2 in
+  Alcotest.check qn "T(B(edge); x, y) = x" x
+    (Bicircular.tutte g x (Incdb_bignum.Qnum.of_ints 1 3))
+
+let () =
+  Alcotest.run "matroid"
+    [
+      ( "bicircular",
+        [
+          Alcotest.test_case "rank" `Quick test_rank;
+          Alcotest.test_case "tutte counts PF" `Quick test_tutte_counts_pf;
+          Alcotest.test_case "basis count" `Quick test_basis_count;
+          Alcotest.test_case "stretch identity" `Quick test_stretch_identity;
+          Alcotest.test_case "rational point" `Quick test_tutte_rational_point;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_tutte_pf; prop_stretch_identity ] );
+    ]

@@ -1,0 +1,227 @@
+(* Edge-case coverage for the supporting API surface: settings, database
+   utilities, term/values, error paths of the substrates. *)
+
+open Incdb_bignum
+open Incdb_relational
+open Incdb_cq
+open Incdb_incomplete
+open Incdb_graph
+open Incdb_core
+
+(* ------------------------------------------------------------------ *)
+(* Settings                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_setting_names () =
+  let names = List.map Setting.to_string Setting.all in
+  Alcotest.(check (list string))
+    "paper notation"
+    [
+      "#Val"; "#Val_Cd"; "#Val^u"; "#Val^u_Cd";
+      "#Comp"; "#Comp_Cd"; "#Comp^u"; "#Comp^u_Cd";
+    ]
+    names;
+  Alcotest.(check int) "eight settings" 8 (List.length Setting.all)
+
+let test_setting_of_idb () =
+  let codd_uniform =
+    Idb.make [ Idb.fact "R" [ Term.null "n" ] ] (Idb.Uniform [ "0" ])
+  in
+  Alcotest.(check string) "codd uniform val" "#Val^u_Cd"
+    (Setting.to_string (Setting.of_idb Setting.Valuations codd_uniform));
+  let naive_nonuniform =
+    Idb.make
+      [ Idb.fact "R" [ Term.null "n" ]; Idb.fact "S" [ Term.null "n" ] ]
+      (Idb.Nonuniform [ ("n", [ "0" ]) ])
+  in
+  Alcotest.(check string) "naive non-uniform comp" "#Comp"
+    (Setting.to_string (Setting.of_idb Setting.Completions naive_nonuniform))
+
+(* ------------------------------------------------------------------ *)
+(* Idb utilities                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sample_db () =
+  Idb.make
+    [
+      Idb.fact_of_strings "R" [ "?x"; "a" ];
+      Idb.fact_of_strings "S" [ "?y" ];
+      Idb.fact_of_strings "T" [ "b" ];
+    ]
+    (Idb.Nonuniform [ ("x", [ "0"; "1" ]); ("y", [ "0" ]) ])
+
+let test_idb_restrict () =
+  let db = sample_db () in
+  let restricted = Idb.restrict db [ "R"; "T" ] in
+  Alcotest.(check (list string)) "relations kept" [ "R"; "T" ]
+    (Idb.relations restricted);
+  Alcotest.(check (list string)) "nulls shrink" [ "x" ] (Idb.nulls restricted)
+
+let test_idb_map_table () =
+  let db = sample_db () in
+  let swapped =
+    Idb.map_table db (fun facts ->
+        List.filter (fun (f : Idb.fact) -> f.Idb.rel <> "T") facts)
+  in
+  Alcotest.(check (list string)) "T dropped" [ "R"; "S" ]
+    (Idb.relations swapped);
+  (* duplicate facts are collapsed on reconstruction *)
+  let doubled = Idb.map_table db (fun facts -> facts @ facts) in
+  Alcotest.(check int) "set semantics on rebuild" 3
+    (List.length (Idb.facts doubled))
+
+let test_idb_table_constants () =
+  let db = sample_db () in
+  Alcotest.(check (list string)) "constants in order" [ "a"; "b" ]
+    (Idb.table_constants db);
+  Alcotest.check_raises "domain_of unknown null" Not_found (fun () ->
+      ignore (Idb.domain_of db "zz"))
+
+let test_term_printing () =
+  Alcotest.(check string) "const" "a" (Term.to_string (Term.const "a"));
+  Alcotest.(check bool) "null marker" true
+    (String.length (Term.to_string (Term.null "n")) > 1);
+  Alcotest.(check bool) "is_null" true (Term.is_null (Term.null "n"));
+  Alcotest.(check bool) "not null" false (Term.is_null (Term.const "c"))
+
+(* ------------------------------------------------------------------ *)
+(* Cdb                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cdb_operations () =
+  let a = Cdb.of_list [ Cdb.fact "R" [ "1" ]; Cdb.fact "R" [ "2" ] ] in
+  let b = Cdb.of_list [ Cdb.fact "R" [ "2" ]; Cdb.fact "S" [ "1" ] ] in
+  let u = Cdb.union a b in
+  Alcotest.(check int) "union dedups" 3 (Cdb.cardinal u);
+  Alcotest.(check bool) "subset" true (Cdb.subset a u);
+  Alcotest.(check bool) "not subset" false (Cdb.subset u a);
+  Alcotest.(check (list string)) "relations" [ "R"; "S" ] (Cdb.relations u);
+  Alcotest.(check (list string)) "constants" [ "1"; "2" ] (Cdb.constants u);
+  Alcotest.(check int) "facts_of" 2 (List.length (Cdb.facts_of u "R"))
+
+(* ------------------------------------------------------------------ *)
+(* Zint and Qnum edges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_zint_edges () =
+  Alcotest.(check int) "neg pow odd" (-8) (Zint.to_int (Zint.pow (Zint.of_int (-2)) 3));
+  Alcotest.(check int) "neg pow even" 16 (Zint.to_int (Zint.pow (Zint.of_int (-2)) 4));
+  Alcotest.(check string) "of_string negative" "-42"
+    (Zint.to_string (Zint.of_string "-42"));
+  Alcotest.check_raises "to_nat on negative"
+    (Invalid_argument "Zint.to_nat: negative value") (fun () ->
+      ignore (Zint.to_nat (Zint.of_int (-1))));
+  Alcotest.(check int) "gcd via Zint" 6
+    (Nat.to_int (Zint.gcd (Zint.of_int (-12)) (Zint.of_int 18)))
+
+let test_qnum_edges () =
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () ->
+      ignore (Qnum.make Zint.one Zint.zero));
+  (* sign normalization: 1/-2 = -1/2 *)
+  let q = Qnum.make Zint.one (Zint.of_int (-2)) in
+  Alcotest.(check string) "sign moves to numerator" "-1/2" (Qnum.to_string q);
+  Alcotest.(check int) "sign" (-1) (Qnum.sign q);
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () ->
+      ignore (Qnum.inv Qnum.zero));
+  Alcotest.(check bool) "is_integer" true (Qnum.is_integer (Qnum.of_ints 4 2))
+
+(* ------------------------------------------------------------------ *)
+(* Graph substrate edges                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_generator_errors () =
+  Alcotest.check_raises "cycle too small"
+    (Invalid_argument "Generators.cycle: need at least 3 nodes") (fun () ->
+      ignore (Generators.cycle 2));
+  Alcotest.check_raises "odd configuration"
+    (Invalid_argument "Generators.random_regular_multigraph: n*d must be even")
+    (fun () -> ignore (Generators.random_regular_multigraph ~seed:1 3 3));
+  Alcotest.check_raises "stretch needs k>=1"
+    (Invalid_argument "Generators.k_stretch: k must be positive") (fun () ->
+      ignore (Generators.k_stretch (Generators.complete 3) 0))
+
+let test_multigraph_errors () =
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Multigraph.make: self-loop") (fun () ->
+      ignore (Multigraph.make 2 [| (1, 1) |]));
+  Alcotest.check_raises "merging degree"
+    (Invalid_argument "Multigraph.merging: node degree not in {2, 3}")
+    (fun () -> ignore (Multigraph.merging (Generators.complete 5)))
+
+let test_bipartite_of_graph () =
+  match Bipartite.of_graph (Generators.cycle 6) with
+  | None -> Alcotest.fail "C6 is bipartite"
+  | Some (b, side, index) ->
+    Alcotest.(check int) "3+3 split" 3 (Bipartite.left_count b);
+    Alcotest.(check int) "right side" 3 (Bipartite.right_count b);
+    Alcotest.(check int) "edges preserved" 6 (Bipartite.edge_count b);
+    Alcotest.(check int) "side array length" 6 (Array.length side);
+    Alcotest.(check int) "index array length" 6 (Array.length index)
+
+(* ------------------------------------------------------------------ *)
+(* Qmatrix error paths                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_qmatrix_errors () =
+  Alcotest.check_raises "bad dims"
+    (Invalid_argument "Qmatrix.make: non-positive dimension") (fun () ->
+      ignore (Incdb_linalg.Qmatrix.make 0 1 (fun _ _ -> Qnum.zero)));
+  let a = Incdb_linalg.Qmatrix.identity 2 in
+  let b = Incdb_linalg.Qmatrix.identity 3 in
+  Alcotest.check_raises "mul mismatch"
+    (Invalid_argument "Qmatrix.mul: dimension mismatch") (fun () ->
+      ignore (Incdb_linalg.Qmatrix.mul a b))
+
+(* ------------------------------------------------------------------ *)
+(* Parser odds and ends                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_parser_render_stability () =
+  (* Rendering and reparsing a naive table with repeated nulls is stable. *)
+  let db =
+    Idb.make
+      [
+        Idb.fact_of_strings "E" [ "?n"; "?n" ];
+        Idb.fact_of_strings "E" [ "?n"; "a" ];
+      ]
+      (Idb.Nonuniform [ ("n", [ "a"; "b" ]) ])
+  in
+  let round = Idb_parser.of_string (Idb_parser.to_string db) in
+  Alcotest.(check bool) "still naive" false (Idb.is_codd round);
+  Gen.check_nat "same total" (Idb.total_valuations db)
+    (Idb.total_valuations round);
+  Gen.check_nat "same #Val"
+    (Brute.count_valuations (Query.Bcq (Cq.of_string "E(x,x)")) db)
+    (Brute.count_valuations (Query.Bcq (Cq.of_string "E(x,x)")) round)
+
+let () =
+  Alcotest.run "misc"
+    [
+      ( "settings",
+        [
+          Alcotest.test_case "names" `Quick test_setting_names;
+          Alcotest.test_case "of_idb" `Quick test_setting_of_idb;
+        ] );
+      ( "idb-utils",
+        [
+          Alcotest.test_case "restrict" `Quick test_idb_restrict;
+          Alcotest.test_case "map_table" `Quick test_idb_map_table;
+          Alcotest.test_case "constants & errors" `Quick test_idb_table_constants;
+          Alcotest.test_case "terms" `Quick test_term_printing;
+        ] );
+      ("cdb", [ Alcotest.test_case "set operations" `Quick test_cdb_operations ]);
+      ( "numbers",
+        [
+          Alcotest.test_case "zint edges" `Quick test_zint_edges;
+          Alcotest.test_case "qnum edges" `Quick test_qnum_edges;
+        ] );
+      ( "graph-edges",
+        [
+          Alcotest.test_case "generator errors" `Quick test_generator_errors;
+          Alcotest.test_case "multigraph errors" `Quick test_multigraph_errors;
+          Alcotest.test_case "bipartite split" `Quick test_bipartite_of_graph;
+          Alcotest.test_case "qmatrix errors" `Quick test_qmatrix_errors;
+        ] );
+      ( "parser",
+        [ Alcotest.test_case "render stability" `Quick test_parser_render_stability ] );
+    ]
