@@ -6,12 +6,32 @@
    Each section regenerates one artifact of the paper (Table 1, Figure 1,
    or a proposition's reduction/algorithm) and prints paper-vs-measured;
    see DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
-   the recorded outcomes. *)
+   the recorded outcomes.
+
+   The experiment phase runs with Incdb_obs collection on, so every run
+   also produces a metrics JSON (default BENCH_OBS.json, override with
+   INCDB_METRICS_OUT).  The bechamel timing phase runs with collection
+   *off* unless INCDB_OBS is set, so the published numbers measure the
+   disabled fast path of the probes. *)
 
 let () =
   let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
   Printf.printf
     "Counting Problems over Incomplete Databases - reproduction harness\n";
+  Incdb_obs.Runtime.set_enabled true;
   Experiments.run_all ();
-  if not quick then Timings.run ();
-  Printf.printf "\nAll experiment sections completed.\n"
+  if not quick then begin
+    (* Timings measure the no-op path of the observability probes by
+       default; INCDB_OBS=1 opts the timed code back into collection. *)
+    Incdb_obs.Runtime.set_enabled false;
+    Incdb_obs.Runtime.init_from_env ();
+    Timings.run ()
+  end;
+  let metrics_path =
+    match Sys.getenv_opt "INCDB_METRICS_OUT" with
+    | Some p -> p
+    | None -> "BENCH_OBS.json"
+  in
+  Incdb_obs.Export.write_file metrics_path;
+  Printf.printf "\nObservability metrics written to %s\n" metrics_path;
+  Printf.printf "All experiment sections completed.\n"

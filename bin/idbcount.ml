@@ -28,8 +28,55 @@ let db_arg =
   Arg.(required & opt (some file) None & info [ "db" ] ~docv:"FILE" ~doc)
 
 let load_db path =
-  try Ok (Idb_parser.of_file path)
-  with Invalid_argument msg -> Error msg
+  Incdb_obs.Trace.with_span "idbcount.load_db" (fun () ->
+      try Ok (Idb_parser.of_file path)
+      with Invalid_argument msg -> Error msg)
+
+(* ------------------------------------------------------------------ *)
+(* Observability flags, shared by every subcommand                     *)
+(* ------------------------------------------------------------------ *)
+
+type obs_opts = { trace : bool; verbose : bool; metrics_out : string option }
+
+let obs_term =
+  let trace =
+    let doc =
+      "Record per-phase spans and engine counters; print the span tree and \
+       metric tables to stderr when the command finishes."
+    in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let verbose =
+    let doc =
+      "Enable debug logging to stderr (equivalent to INCDB_LOG=debug)."
+    in
+    Arg.(value & flag & info [ "verbose" ] ~doc)
+  in
+  let metrics_out =
+    let doc =
+      "Write span and metric data as JSON (schema version 1) to $(docv) when \
+       the command finishes.  Implies metric collection."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  Cmdliner.Term.(
+    const (fun trace verbose metrics_out -> { trace; verbose; metrics_out })
+    $ trace $ verbose $ metrics_out)
+
+(* Enable collection before the body runs; flush the requested exports
+   afterwards, also when the body raises. *)
+let with_obs (o : obs_opts) f =
+  if o.trace || o.metrics_out <> None then Incdb_obs.Runtime.set_enabled true;
+  if o.verbose then Incdb_obs.Log.set_level (Some Incdb_obs.Log.Debug);
+  Fun.protect f ~finally:(fun () ->
+      if o.trace then Incdb_obs.Export.pp_summary stderr;
+      match o.metrics_out with
+      | None -> ()
+      | Some path -> (
+        try Incdb_obs.Export.write_file path
+        with Sys_error msg ->
+          prerr_endline ("idbcount: cannot write metrics: " ^ msg);
+          exit 1))
 
 let query_opt =
   let doc = "Boolean conjunctive query, e.g. \"R(x), S(x,y)\"." in
@@ -43,20 +90,33 @@ let classify_cmd =
   let query =
     Arg.(required & pos 0 (some query_conv) None & info [] ~docv:"QUERY")
   in
-  let run q =
-    Printf.printf "query: %s\n\n" (Cq.to_string q);
-    List.iter
-      (fun s ->
-        Printf.printf "%-12s exact: %s\n%-12s approx: %s\n%-12s class: %s\n\n"
-          (Setting.to_string s)
-          (Classify.verdict_to_string (Classify.exact s q))
-          ""
-          (Classify.approx_verdict_to_string (Classify.approximate s q))
-          "" (Classify.membership s))
-      Setting.all
+  let run obs q =
+    with_obs obs (fun () ->
+        Printf.printf "query: %s\n\n" (Cq.to_string q);
+        (* Pad the continuation lines to the widest setting name so the
+           exact/approx/class lines stay aligned whatever the labels are. *)
+        let width =
+          List.fold_left
+            (fun w s -> max w (String.length (Setting.to_string s)))
+            0 Setting.all
+        in
+        List.iter
+          (fun s ->
+            let label = Setting.to_string s in
+            let padded =
+              label ^ String.make (width - String.length label) ' '
+            in
+            let indent = String.make width ' ' in
+            Printf.printf "%s exact: %s\n%s approx: %s\n%s class: %s\n\n"
+              padded
+              (Classify.verdict_to_string (Classify.exact s q))
+              indent
+              (Classify.approx_verdict_to_string (Classify.approximate s q))
+              indent (Classify.membership s))
+          Setting.all)
   in
   let doc = "Classify a query in all eight Table 1 settings." in
-  Cmd.v (Cmd.info "classify" ~doc) Cmdliner.Term.(const run $ query)
+  Cmd.v (Cmd.info "classify" ~doc) Cmdliner.Term.(const run $ obs_term $ query)
 
 (* ------------------------------------------------------------------ *)
 (* count                                                               *)
@@ -74,40 +134,44 @@ let count_cmd =
     let doc = "Maximum number of valuations brute force may enumerate." in
     Arg.(value & opt int 4_000_000 & info [ "brute-limit" ] ~doc)
   in
-  let run db_path q problem brute_limit =
-    match load_db db_path with
-    | Error msg ->
-      prerr_endline msg;
-      exit 1
-    | Ok db ->
-      let setting_problem =
-        match problem with `Val -> Setting.Valuations | `Comp -> Setting.Completions
-      in
-      let setting = Setting.of_idb setting_problem db in
-      Printf.printf "setting: %s\n" (Setting.to_string setting);
-      Printf.printf "classification: %s\n"
-        (Classify.verdict_to_string (Classify.exact setting q));
-      (try
-         let algo_name, result =
-           match problem with
-           | `Val ->
-             let a, n = Count_val.count ~brute_limit q db in
-             (Count_val.algorithm_to_string a, n)
-           | `Comp ->
-             let a, n = Count_comp.count ~brute_limit q db in
-             (Count_comp.algorithm_to_string a, n)
-         in
-         Printf.printf "algorithm: %s\n" algo_name;
-         Printf.printf "total valuations: %s\n"
-           (Nat.to_string (Idb.total_valuations db));
-         Printf.printf "count: %s\n" (Nat.to_string result)
-       with Invalid_argument msg ->
-         prerr_endline ("error: " ^ msg);
-         exit 1)
+  let run obs db_path q problem brute_limit =
+    with_obs obs (fun () ->
+        match load_db db_path with
+        | Error msg ->
+          prerr_endline msg;
+          exit 1
+        | Ok db ->
+          let setting_problem =
+            match problem with
+            | `Val -> Setting.Valuations
+            | `Comp -> Setting.Completions
+          in
+          let setting = Setting.of_idb setting_problem db in
+          Printf.printf "setting: %s\n" (Setting.to_string setting);
+          Printf.printf "classification: %s\n"
+            (Classify.verdict_to_string (Classify.exact setting q));
+          (try
+             let algo_name, result =
+               match problem with
+               | `Val ->
+                 let a, n = Count_val.count ~brute_limit q db in
+                 (Count_val.algorithm_to_string a, n)
+               | `Comp ->
+                 let a, n = Count_comp.count ~brute_limit q db in
+                 (Count_comp.algorithm_to_string a, n)
+             in
+             Printf.printf "algorithm: %s\n" algo_name;
+             Printf.printf "total valuations: %s\n"
+               (Nat.to_string (Idb.total_valuations db));
+             Printf.printf "count: %s\n" (Nat.to_string result)
+           with Invalid_argument msg ->
+             prerr_endline ("error: " ^ msg);
+             exit 1))
   in
   let doc = "Count satisfying valuations or completions exactly." in
   Cmd.v (Cmd.info "count" ~doc)
-    Cmdliner.Term.(const run $ db_arg $ query_opt $ problem $ brute_limit)
+    Cmdliner.Term.(
+      const run $ obs_term $ db_arg $ query_opt $ problem $ brute_limit)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                              *)
@@ -124,28 +188,36 @@ let approx_cmd =
         & opt (enum [ ("karp-luby", `Kl); ("monte-carlo", `Mc) ]) `Kl
         & info [ "method"; "m" ] ~doc)
   in
-  let run db_path q samples seed meth =
-    match load_db db_path with
-    | Error msg ->
-      prerr_endline msg;
-      exit 1
-    | Ok db ->
-      let query = Query.Bcq q in
-      (match meth with
-      | `Kl ->
-        let events = List.length (Incdb_approx.Karp_luby.events query db) in
-        Printf.printf "events: %d\n" events;
-        Printf.printf "estimate (#Val): %.6g\n"
-          (Incdb_approx.Karp_luby.estimate ~seed ~samples query db)
-      | `Mc ->
-        Printf.printf "estimate (#Val): %.6g\n"
-          (Incdb_approx.Montecarlo.estimate ~seed ~samples query db));
-      Printf.printf "total valuations: %s\n"
-        (Nat.to_string (Idb.total_valuations db))
+  let run obs db_path q samples seed meth =
+    with_obs obs (fun () ->
+        match load_db db_path with
+        | Error msg ->
+          prerr_endline msg;
+          exit 1
+        | Ok db -> (
+          let query = Query.Bcq q in
+          try
+            (match meth with
+            | `Kl ->
+              let events =
+                List.length (Incdb_approx.Karp_luby.events query db)
+              in
+              Printf.printf "events: %d\n" events;
+              Printf.printf "estimate (#Val): %.6g\n"
+                (Incdb_approx.Karp_luby.estimate ~seed ~samples query db)
+            | `Mc ->
+              Printf.printf "estimate (#Val): %.6g\n"
+                (Incdb_approx.Montecarlo.estimate ~seed ~samples query db));
+            Printf.printf "total valuations: %s\n"
+              (Nat.to_string (Idb.total_valuations db))
+          with Invalid_argument msg ->
+            prerr_endline ("error: " ^ msg);
+            exit 1))
   in
   let doc = "Estimate #Val with randomized approximation (Section 5)." in
   Cmd.v (Cmd.info "approx" ~doc)
-    Cmdliner.Term.(const run $ db_arg $ query_opt $ samples $ seed $ meth)
+    Cmdliner.Term.(
+      const run $ obs_term $ db_arg $ query_opt $ samples $ seed $ meth)
 
 (* ------------------------------------------------------------------ *)
 (* enumerate                                                           *)
@@ -159,54 +231,60 @@ let enumerate_cmd =
   let limit =
     Arg.(value & opt int 64 & info [ "limit" ] ~doc:"Maximum rows printed.")
   in
-  let run db_path query limit =
-    match load_db db_path with
-    | Error msg ->
-      prerr_endline msg;
-      exit 1
-    | Ok db ->
-      let shown = ref 0 in
-      Idb.iter_valuations db (fun v ->
-          if !shown < limit then begin
-            incr shown;
-            let completion = Idb.apply db v in
-            let mark =
-              match query with
-              | None -> ""
-              | Some q ->
-                if Cq.eval q completion then "  |= q" else "  not |= q"
-            in
-            let binding =
-              String.concat ", " (List.map (fun (n, c) -> "?" ^ n ^ "=" ^ c) v)
-            in
-            Format.printf "%-40s %a%s@." binding Incdb_relational.Cdb.pp
-              completion mark
-          end);
-      let total = Idb.total_valuations db in
-      Printf.printf "(%d of %s valuations shown)\n" !shown (Nat.to_string total)
+  let run obs db_path query limit =
+    with_obs obs (fun () ->
+        match load_db db_path with
+        | Error msg ->
+          prerr_endline msg;
+          exit 1
+        | Ok db ->
+          let shown = ref 0 in
+          Idb.iter_valuations db (fun v ->
+              if !shown < limit then begin
+                incr shown;
+                let completion = Idb.apply db v in
+                let mark =
+                  match query with
+                  | None -> ""
+                  | Some q ->
+                    if Cq.eval q completion then "  |= q" else "  not |= q"
+                in
+                let binding =
+                  String.concat ", "
+                    (List.map (fun (n, c) -> "?" ^ n ^ "=" ^ c) v)
+                in
+                Format.printf "%-40s %a%s@." binding Incdb_relational.Cdb.pp
+                  completion mark
+              end);
+          let total = Idb.total_valuations db in
+          Printf.printf "(%d of %s valuations shown)\n" !shown
+            (Nat.to_string total))
   in
   let doc = "Enumerate valuations and their completions (Figure 1 style)." in
-  Cmd.v (Cmd.info "enumerate" ~doc) Cmdliner.Term.(const run $ db_arg $ query $ limit)
+  Cmd.v (Cmd.info "enumerate" ~doc)
+    Cmdliner.Term.(const run $ obs_term $ db_arg $ query $ limit)
 
 (* ------------------------------------------------------------------ *)
 (* certainty                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let certainty_cmd =
-  let run db_path q =
-    match load_db db_path with
-    | Error msg ->
-      prerr_endline msg;
-      exit 1
-    | Ok db ->
-      let query = Query.Bcq q in
-      Printf.printf "possible: %b\n" (Certainty.possible query db);
-      Printf.printf "certain:  %b\n" (Certainty.certain query db);
-      Printf.printf "support:  %s\n"
-        (Qnum.to_string (Certainty.support_ratio query db))
+  let run obs db_path q =
+    with_obs obs (fun () ->
+        match load_db db_path with
+        | Error msg ->
+          prerr_endline msg;
+          exit 1
+        | Ok db ->
+          let query = Query.Bcq q in
+          Printf.printf "possible: %b\n" (Certainty.possible query db);
+          Printf.printf "certain:  %b\n" (Certainty.certain query db);
+          Printf.printf "support:  %s\n"
+            (Qnum.to_string (Certainty.support_ratio query db)))
   in
   let doc = "Decide possibility/certainty and compute the support ratio." in
-  Cmd.v (Cmd.info "certainty" ~doc) Cmdliner.Term.(const run $ db_arg $ query_opt)
+  Cmd.v (Cmd.info "certainty" ~doc)
+    Cmdliner.Term.(const run $ obs_term $ db_arg $ query_opt)
 
 (* ------------------------------------------------------------------ *)
 (* sample                                                              *)
@@ -217,24 +295,28 @@ let sample_cmd =
   let count =
     Arg.(value & opt int 1 & info [ "count"; "n" ] ~doc:"Number of samples.")
   in
-  let run db_path q seed count =
-    match load_db db_path with
-    | Error msg ->
-      prerr_endline msg;
-      exit 1
-    | Ok db ->
-      let query = Query.Bcq q in
-      for i = 0 to count - 1 do
-        match Incdb_approx.Enumerate.sample_uniform ~seed:(seed + i) query db with
-        | None -> print_endline "(unsatisfiable)"
-        | Some v ->
-          print_endline
-            (String.concat ", " (List.map (fun (n, c) -> "?" ^ n ^ "=" ^ c) v))
-      done
+  let run obs db_path q seed count =
+    with_obs obs (fun () ->
+        match load_db db_path with
+        | Error msg ->
+          prerr_endline msg;
+          exit 1
+        | Ok db ->
+          let query = Query.Bcq q in
+          for i = 0 to count - 1 do
+            match
+              Incdb_approx.Enumerate.sample_uniform ~seed:(seed + i) query db
+            with
+            | None -> print_endline "(unsatisfiable)"
+            | Some v ->
+              print_endline
+                (String.concat ", "
+                   (List.map (fun (n, c) -> "?" ^ n ^ "=" ^ c) v))
+          done)
   in
   let doc = "Sample satisfying valuations uniformly at random." in
   Cmd.v (Cmd.info "sample" ~doc)
-    Cmdliner.Term.(const run $ db_arg $ query_opt $ seed $ count)
+    Cmdliner.Term.(const run $ obs_term $ db_arg $ query_opt $ seed $ count)
 
 (* ------------------------------------------------------------------ *)
 (* mu (zero-one law scan)                                              *)
@@ -242,20 +324,23 @@ let sample_cmd =
 
 let mu_cmd =
   let kmax = Arg.(value & opt int 8 & info [ "kmax" ] ~doc:"Largest domain size.") in
-  let run db_path q kmax =
-    match load_db db_path with
-    | Error msg ->
-      prerr_endline msg;
-      exit 1
-    | Ok db ->
-      (* Only the naive table matters: mu_k replaces the domains with
-         the uniform {1..k}. *)
-      List.iter
-        (fun (k, v) -> Printf.printf "k=%-3d mu_k = %s\n" k (Qnum.to_string v))
-        (Zero_one.scan q (Idb.facts db) ~kmax)
+  let run obs db_path q kmax =
+    with_obs obs (fun () ->
+        match load_db db_path with
+        | Error msg ->
+          prerr_endline msg;
+          exit 1
+        | Ok db ->
+          (* Only the naive table matters: mu_k replaces the domains with
+             the uniform {1..k}. *)
+          List.iter
+            (fun (k, v) ->
+              Printf.printf "k=%-3d mu_k = %s\n" k (Qnum.to_string v))
+            (Zero_one.scan q (Idb.facts db) ~kmax))
   in
   let doc = "Scan Libkin's mu_k relative frequency over growing domains." in
-  Cmd.v (Cmd.info "mu" ~doc) Cmdliner.Term.(const run $ db_arg $ query_opt $ kmax)
+  Cmd.v (Cmd.info "mu" ~doc)
+    Cmdliner.Term.(const run $ obs_term $ db_arg $ query_opt $ kmax)
 
 (* ------------------------------------------------------------------ *)
 (* bounds                                                              *)
@@ -266,23 +351,25 @@ let bounds_cmd =
     Arg.(value & opt int 5000 & info [ "samples"; "n" ] ~doc:"Sampling budget.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
-  let run db_path q samples seed =
-    match load_db db_path with
-    | Error msg ->
-      prerr_endline msg;
-      exit 1
-    | Ok db ->
-      let b = Count_bounds_alias.bounds ~seed ~samples q db in
-      Printf.printf "#Comp(q) is within [%s, %s]\n"
-        (Nat.to_string b.Count_bounds_alias.lower)
-        (Nat.to_string b.Count_bounds_alias.upper);
-      (match Count_bounds_alias.exact_within ~seed ~samples q db with
-      | Some n -> Printf.printf "bounds meet: #Comp = %s\n" (Nat.to_string n)
-      | None -> ())
+  let run obs db_path q samples seed =
+    with_obs obs (fun () ->
+        match load_db db_path with
+        | Error msg ->
+          prerr_endline msg;
+          exit 1
+        | Ok db ->
+          let b = Count_bounds_alias.bounds ~seed ~samples q db in
+          Printf.printf "#Comp(q) is within [%s, %s]\n"
+            (Nat.to_string b.Count_bounds_alias.lower)
+            (Nat.to_string b.Count_bounds_alias.upper);
+          (match Count_bounds_alias.exact_within ~seed ~samples q db with
+          | Some n ->
+            Printf.printf "bounds meet: #Comp = %s\n" (Nat.to_string n)
+          | None -> ()))
   in
   let doc = "Sound lower/upper bounds for #Comp (Section 8 heuristics)." in
   Cmd.v (Cmd.info "bounds" ~doc)
-    Cmdliner.Term.(const run $ db_arg $ query_opt $ samples $ seed)
+    Cmdliner.Term.(const run $ obs_term $ db_arg $ query_opt $ samples $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* reach (datalog reachability counting)                               *)
@@ -295,20 +382,23 @@ let reach_cmd =
   let to_ =
     Arg.(required & opt (some string) None & info [ "to" ] ~doc:"Target node.")
   in
-  let run db_path from_ to_ =
-    match load_db db_path with
-    | Error msg ->
-      prerr_endline msg;
-      exit 1
-    | Ok db ->
-      let q = Incdb_datalog.Datalog.reachability ~from:from_ ~to_ in
-      let sat = Incdb_incomplete.Brute.count_valuations q db in
-      let total = Idb.total_valuations db in
-      Printf.printf "worlds where %s reaches %s (over relation E): %s of %s\n"
-        from_ to_ (Nat.to_string sat) (Nat.to_string total)
+  let run obs db_path from_ to_ =
+    with_obs obs (fun () ->
+        match load_db db_path with
+        | Error msg ->
+          prerr_endline msg;
+          exit 1
+        | Ok db ->
+          let q = Incdb_datalog.Datalog.reachability ~from:from_ ~to_ in
+          let sat = Incdb_incomplete.Brute.count_valuations q db in
+          let total = Idb.total_valuations db in
+          Printf.printf
+            "worlds where %s reaches %s (over relation E): %s of %s\n" from_
+            to_ (Nat.to_string sat) (Nat.to_string total))
   in
   let doc = "Count worlds where one node reaches another (Datalog over E)." in
-  Cmd.v (Cmd.info "reach" ~doc) Cmdliner.Term.(const run $ db_arg $ from_ $ to_)
+  Cmd.v (Cmd.info "reach" ~doc)
+    Cmdliner.Term.(const run $ obs_term $ db_arg $ from_ $ to_)
 
 (* ------------------------------------------------------------------ *)
 (* repairs                                                             *)
@@ -325,51 +415,52 @@ let repairs_cmd =
     Arg.(value & opt (some query_conv) None & info [ "query"; "q" ]
            ~doc:"Optional query to filter repairs.")
   in
-  let run db_path keys query =
-    match load_db db_path with
-    | Error msg ->
-      prerr_endline msg;
-      exit 1
-    | Ok db ->
-      if Idb.nulls db <> [] then begin
-        prerr_endline "repairs: the database must be complete (no nulls)";
-        exit 1
-      end;
-      let parse_key spec =
-        match String.split_on_char ':' spec with
-        | [ rel; positions ] ->
-          ( rel,
-            String.split_on_char ',' positions
-            |> List.map (fun p -> int_of_string (String.trim p)) )
-        | _ -> failwith ("bad --key " ^ spec)
-      in
-      let keys = List.map parse_key keys in
-      let facts =
-        List.map
-          (fun (f : Idb.fact) ->
-            Incdb_relational.Cdb.fact f.Idb.rel
-              (List.map
-                 (function
-                   | Term.Const c -> c
-                   | Term.Null _ -> assert false)
-                 (Array.to_list f.Idb.args)))
-          (Idb.facts db)
-      in
-      let r = Incdb_probdb.Repairs.make ~keys facts in
-      Printf.printf "key groups: %d\n"
-        (List.length (Incdb_probdb.Repairs.groups r));
-      Printf.printf "total repairs: %s\n"
-        (Nat.to_string (Incdb_probdb.Repairs.total_repairs r));
-      (match query with
-      | None -> ()
-      | Some q ->
-        Printf.printf "#Repairs(q): %s\n"
-          (Nat.to_string
-             (Incdb_probdb.Repairs.count_repairs ~query:(Query.Bcq q) r)))
+  let run obs db_path keys query =
+    with_obs obs (fun () ->
+        match load_db db_path with
+        | Error msg ->
+          prerr_endline msg;
+          exit 1
+        | Ok db ->
+          if Idb.nulls db <> [] then begin
+            prerr_endline "repairs: the database must be complete (no nulls)";
+            exit 1
+          end;
+          let parse_key spec =
+            match String.split_on_char ':' spec with
+            | [ rel; positions ] ->
+              ( rel,
+                String.split_on_char ',' positions
+                |> List.map (fun p -> int_of_string (String.trim p)) )
+            | _ -> failwith ("bad --key " ^ spec)
+          in
+          let keys = List.map parse_key keys in
+          let facts =
+            List.map
+              (fun (f : Idb.fact) ->
+                Incdb_relational.Cdb.fact f.Idb.rel
+                  (List.map
+                     (function
+                       | Term.Const c -> c
+                       | Term.Null _ -> assert false)
+                     (Array.to_list f.Idb.args)))
+              (Idb.facts db)
+          in
+          let r = Incdb_probdb.Repairs.make ~keys facts in
+          Printf.printf "key groups: %d\n"
+            (List.length (Incdb_probdb.Repairs.groups r));
+          Printf.printf "total repairs: %s\n"
+            (Nat.to_string (Incdb_probdb.Repairs.total_repairs r));
+          (match query with
+          | None -> ()
+          | Some q ->
+            Printf.printf "#Repairs(q): %s\n"
+              (Nat.to_string
+                 (Incdb_probdb.Repairs.count_repairs ~query:(Query.Bcq q) r))))
   in
   let doc = "Count repairs of an inconsistent database under primary keys." in
   Cmd.v (Cmd.info "repairs" ~doc)
-    Cmdliner.Term.(const run $ db_arg $ keys $ query)
+    Cmdliner.Term.(const run $ obs_term $ db_arg $ keys $ query)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -377,23 +468,24 @@ let repairs_cmd =
 
 let table1_cmd =
   let queries = Arg.(value & pos_all query_conv [] & info [] ~docv:"QUERY...") in
-  let run queries =
-    let queries =
-      if queries <> [] then queries
-      else
-        [
-          Cq.q_rx;
-          Cq.q_rxy;
-          Cq.q_rxx;
-          Cq.q_rx_sx;
-          Cq.q_rx_sxy_ty;
-          Cq.q_rxy_sxy;
-        ]
-    in
-    print_string (Classify.table1 queries)
+  let run obs queries =
+    with_obs obs (fun () ->
+        let queries =
+          if queries <> [] then queries
+          else
+            [
+              Cq.q_rx;
+              Cq.q_rxy;
+              Cq.q_rxx;
+              Cq.q_rx_sx;
+              Cq.q_rx_sxy_ty;
+              Cq.q_rxy_sxy;
+            ]
+        in
+        print_string (Classify.table1 queries))
   in
   let doc = "Print a Table 1 style dichotomy table for a query corpus." in
-  Cmd.v (Cmd.info "table1" ~doc) Cmdliner.Term.(const run $ queries)
+  Cmd.v (Cmd.info "table1" ~doc) Cmdliner.Term.(const run $ obs_term $ queries)
 
 let () =
   let doc = "Counting valuations and completions of incomplete databases" in

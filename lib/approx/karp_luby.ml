@@ -102,16 +102,27 @@ let event_size db partial =
          else Some (Nat.of_int (List.length (Idb.domain_of db n))))
        (Idb.nulls db))
 
+module Trace = Incdb_obs.Trace
+module Metrics = Incdb_obs.Metrics
+module Log = Incdb_obs.Log
+
+let events_built = Metrics.counter "karp_luby.events_built"
+let samples_drawn = Metrics.counter "karp_luby.samples_drawn"
+let coverage_hits = Metrics.counter "karp_luby.coverage_hits"
+let estimate_latency = Metrics.histogram "karp_luby.estimate_ns"
+
 let events q db =
-  let collect = function
-    | Query.Bcq cq -> cq_events cq db
-    | Query.Union cqs -> List.concat_map (fun cq -> cq_events cq db) cqs
-    | Query.Bcq_neq (cq, neqs) -> cq_events ~neqs cq db
-    | Query.Not _ | Query.Semantic _ ->
-      invalid_arg "Karp_luby.events: only monotone (unions of) BCQs"
-  in
-  let sigmas = List.sort_uniq Stdlib.compare (collect q) in
-  List.map (fun partial -> { partial; size = event_size db partial }) sigmas
+  Trace.with_span "karp_luby.build_events" (fun () ->
+      let collect = function
+        | Query.Bcq cq -> cq_events cq db
+        | Query.Union cqs -> List.concat_map (fun cq -> cq_events cq db) cqs
+        | Query.Bcq_neq (cq, neqs) -> cq_events ~neqs cq db
+        | Query.Not _ | Query.Semantic _ ->
+          invalid_arg "Karp_luby.events: only monotone (unions of) BCQs"
+      in
+      let sigmas = List.sort_uniq Stdlib.compare (collect q) in
+      Metrics.incr events_built ~by:(List.length sigmas);
+      List.map (fun partial -> { partial; size = event_size db partial }) sigmas)
 
 let extends partial valuation =
   List.for_all
@@ -127,30 +138,49 @@ let run_estimator ~seed ~samples q db =
     let total_weight = Array.fold_left ( +. ) 0. weights in
     let st = Random.State.make [| seed |] in
     let hits = ref 0 in
-    for _ = 1 to samples do
-      let i = Sampling.weighted_index st weights in
-      let v = Sampling.random_extension st db evs.(i).partial in
-      (* Count the sample iff i is the canonical (first) event covering
-         the sampled valuation. *)
-      let rec first j =
-        if extends evs.(j).partial v then j else first (j + 1)
-      in
-      if first 0 = i then incr hits
-    done;
-    Some (total_weight, float_of_int !hits /. float_of_int samples)
+    (* Snapshot the running estimate ~16 times over the run so a trace
+       shows how (badly) the estimator is converging. *)
+    let snap_every = max 1 (samples / 16) in
+    Trace.with_span "karp_luby.sample" (fun () ->
+        for s = 1 to samples do
+          Metrics.incr samples_drawn;
+          let i = Sampling.weighted_index st weights in
+          let v = Sampling.random_extension st db evs.(i).partial in
+          (* Count the sample iff i is the canonical (first) event covering
+             the sampled valuation. *)
+          let rec first j =
+            if extends evs.(j).partial v then j else first (j + 1)
+          in
+          if first 0 = i then begin
+            Metrics.incr coverage_hits;
+            incr hits
+          end;
+          if s mod snap_every = 0 then
+            Metrics.set_gauge "karp_luby.running_estimate"
+              (total_weight *. float_of_int !hits /. float_of_int s)
+        done);
+    let rate = float_of_int !hits /. float_of_int samples in
+    Log.debugf "karp_luby: %d events, %d/%d canonical hits, estimate %.6g"
+      (Array.length evs) !hits samples (total_weight *. rate);
+    Some (total_weight, rate)
   end
 
 let estimate ~seed ~samples q db =
-  match run_estimator ~seed ~samples q db with
-  | None -> 0.
-  | Some (total_weight, rate) -> total_weight *. rate
+  if samples <= 0 then invalid_arg "Karp_luby.estimate: need positive samples";
+  Metrics.time estimate_latency (fun () ->
+      Trace.with_span "karp_luby.estimate" (fun () ->
+          match run_estimator ~seed ~samples q db with
+          | None -> 0.
+          | Some (total_weight, rate) -> total_weight *. rate))
 
 let estimate_with_ci ~seed ~samples q db =
-  match run_estimator ~seed ~samples q db with
-  | None -> (0., 0.)
-  | Some (total_weight, rate) ->
-    let stderr = sqrt (rate *. (1. -. rate) /. float_of_int samples) in
-    (total_weight *. rate, 1.96 *. total_weight *. stderr)
+  if samples <= 0 then invalid_arg "Karp_luby.estimate: need positive samples";
+  Trace.with_span "karp_luby.estimate" (fun () ->
+      match run_estimator ~seed ~samples q db with
+      | None -> (0., 0.)
+      | Some (total_weight, rate) ->
+        let stderr = sqrt (rate *. (1. -. rate) /. float_of_int samples) in
+        (total_weight *. rate, 1.96 *. total_weight *. stderr))
 
 let samples_for ~epsilon ~events =
   if epsilon <= 0. then invalid_arg "Karp_luby.samples_for: epsilon <= 0";

@@ -25,8 +25,19 @@ let hard_patterns (s : Setting.t) =
   | Setting.Completions, Setting.Non_uniform, _ -> [ Cq.q_rx ]
   | Setting.Completions, Setting.Uniform, _ -> [ Cq.q_rxx; Cq.q_rxy ]
 
-let exact (s : Setting.t) q =
-  check_sjf q;
+module Trace = Incdb_obs.Trace
+module Metrics = Incdb_obs.Metrics
+
+(* Classification is pure in (setting, query), and the pattern search it
+   performs is the single hottest part of classifying a corpus (Table 1
+   runs it 8x per query), so verdicts are memoized.  The hit/miss
+   counters expose the cache's effectiveness. *)
+let cache_hits = Metrics.counter "classify.cache_hits"
+let cache_misses = Metrics.counter "classify.cache_misses"
+let verdict_cache : (string, verdict) Hashtbl.t = Hashtbl.create 64
+let cache_lock = Mutex.create ()
+
+let exact_uncached (s : Setting.t) q =
   let witness = Pattern.first_hard_pattern (hard_patterns s) q in
   match (s.problem, s.domain, s.table, witness) with
   | _, _, _, Some p -> Hard p
@@ -51,6 +62,23 @@ let exact (s : Setting.t) q =
     assert false
   | Setting.Completions, Setting.Uniform, _, None ->
     Tractable "Thm 4.6: unary schema; completion-shape enumeration"
+
+let exact (s : Setting.t) q =
+  check_sjf q;
+  Trace.with_span "classify.exact" (fun () ->
+      let key = Setting.to_string s ^ "|" ^ Cq.to_string q in
+      match
+        Mutex.protect cache_lock (fun () -> Hashtbl.find_opt verdict_cache key)
+      with
+      | Some v ->
+        Metrics.incr cache_hits;
+        v
+      | None ->
+        Metrics.incr cache_misses;
+        let v = exact_uncached s q in
+        Mutex.protect cache_lock (fun () ->
+            Hashtbl.replace verdict_cache key v);
+        v)
 
 type approx_verdict =
   | Fpras of string

@@ -24,10 +24,20 @@ let candidate_facts db =
   List.concat_map (ground_facts db) (Idb.facts db)
   |> List.sort_uniq Cdb.compare_fact
 
+module Trace = Incdb_obs.Trace
+module Metrics = Incdb_obs.Metrics
+
+(* Same counter the brute-force path registers: candidate subsets that
+   went through the is-completion check. *)
+let completions_checked = Metrics.counter "completions_checked"
+
 let count ?query ?(max_candidates = 22) db =
   if not (Idb.is_codd db) then
     invalid_arg "Comp_candidates.count: requires a Codd table";
-  let universe = Array.of_list (candidate_facts db) in
+  let universe =
+    Trace.with_span "count_comp.candidate_generation" (fun () ->
+        Array.of_list (candidate_facts db))
+  in
   let m = Array.length universe in
   if m > max_candidates then
     invalid_arg "Comp_candidates.count: candidate universe too large";
@@ -36,6 +46,7 @@ let count ?query ?(max_candidates = 22) db =
   in
   let count = ref Nat.zero in
   for mask = 0 to (1 lsl m) - 1 do
+    Metrics.incr completions_checked;
     let s =
       Cdb.of_list
         (List.filteri (fun i _ -> mask land (1 lsl i) <> 0)

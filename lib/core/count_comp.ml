@@ -406,19 +406,48 @@ let candidates_worthwhile db =
   Idb.is_codd db
   && List.length (Comp_candidates.candidate_facts db) <= 18
 
+module Trace = Incdb_obs.Trace
+module Log = Incdb_obs.Log
+
+let dispatch query db =
+  Trace.with_span "count_comp.pattern_match" (fun () ->
+      if applicable query db then Uniform_unary
+      else if candidates_worthwhile db then Candidate_enumeration
+      else Brute_force)
+
 let count ?brute_limit q db =
-  if applicable (Some q) db then (Uniform_unary, uniform_unary ~query:q db)
-  else if candidates_worthwhile db then
-    (Candidate_enumeration, Comp_candidates.count ~query:(Query.Bcq q) db)
-  else
-    ( Brute_force,
-      Incdb_incomplete.Brute.count_completions ?limit:brute_limit
-        (Query.Bcq q) db )
+  Trace.with_span "count_comp.count" (fun () ->
+      let algo = dispatch (Some q) db in
+      Log.debugf "count_comp: %s -> %s" (Cq.to_string q)
+        (algorithm_to_string algo);
+      match algo with
+      | Uniform_unary ->
+        ( algo,
+          Trace.with_span "count_comp.uniform_unary" (fun () ->
+              uniform_unary ~query:q db) )
+      | Candidate_enumeration ->
+        ( algo,
+          Trace.with_span "count_comp.candidate_enumeration" (fun () ->
+              Comp_candidates.count ~query:(Query.Bcq q) db) )
+      | Brute_force ->
+        ( algo,
+          Trace.with_span "count_comp.completion_dedup" (fun () ->
+              Incdb_incomplete.Brute.count_completions ?limit:brute_limit
+                (Query.Bcq q) db) ))
 
 let count_all ?brute_limit db =
-  if applicable None db then (Uniform_unary, uniform_unary db)
-  else if candidates_worthwhile db then
-    (Candidate_enumeration, Comp_candidates.count db)
-  else
-    ( Brute_force,
-      Incdb_incomplete.Brute.count_all_completions ?limit:brute_limit db )
+  Trace.with_span "count_comp.count" (fun () ->
+      let algo = dispatch None db in
+      Log.debugf "count_comp: <all completions> -> %s" (algorithm_to_string algo);
+      match algo with
+      | Uniform_unary ->
+        (algo, Trace.with_span "count_comp.uniform_unary" (fun () -> uniform_unary db))
+      | Candidate_enumeration ->
+        ( algo,
+          Trace.with_span "count_comp.candidate_enumeration" (fun () ->
+              Comp_candidates.count db) )
+      | Brute_force ->
+        ( algo,
+          Trace.with_span "count_comp.completion_dedup" (fun () ->
+              Incdb_incomplete.Brute.count_all_completions ?limit:brute_limit db)
+        ))

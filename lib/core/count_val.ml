@@ -680,27 +680,63 @@ let uniform_symbolic q facts ~domain_size =
 (* Dispatcher.                                                         *)
 (* ------------------------------------------------------------------ *)
 
+module Trace = Incdb_obs.Trace
+module Log = Incdb_obs.Log
+
 let count ?brute_limit q db =
-  if all_variables_single q then (Product_of_domains, nonuniform_naive q db)
-  else if atoms_share_no_variable q && Idb.is_codd db then
-    (Codd_per_atom, codd_nonuniform q db)
-  else if uniform_shape_ok q && Idb.is_uniform db then
-    (Uniform_block_dp, uniform_naive q db)
-  else
-    ( Brute_force,
-      Incdb_incomplete.Brute.count_valuations ?limit:brute_limit
-        (Query.Bcq q) db )
+  Trace.with_span "count_val.count" (fun () ->
+      (* Phase 1: pattern matching -- decide which closed form applies. *)
+      let algo =
+        Trace.with_span "count_val.pattern_match" (fun () ->
+            if all_variables_single q then Product_of_domains
+            else if atoms_share_no_variable q && Idb.is_codd db then
+              Codd_per_atom
+            else if uniform_shape_ok q && Idb.is_uniform db then
+              Uniform_block_dp
+            else Brute_force)
+      in
+      Log.debugf "count_val: %s -> %s" (Cq.to_string q) (algorithm_to_string algo);
+      (* Phase 2: closed-form dispatch or brute-force enumeration. *)
+      match algo with
+      | Product_of_domains ->
+        ( algo,
+          Trace.with_span "count_val.product_of_domains" (fun () ->
+              nonuniform_naive q db) )
+      | Codd_per_atom ->
+        ( algo,
+          Trace.with_span "count_val.codd_per_atom" (fun () ->
+              codd_nonuniform q db) )
+      | Uniform_block_dp ->
+        ( algo,
+          Trace.with_span "count_val.uniform_block_dp" (fun () ->
+              uniform_naive q db) )
+      | Brute_force | Event_inclusion_exclusion ->
+        ( Brute_force,
+          Trace.with_span "count_val.brute_force" (fun () ->
+              Incdb_incomplete.Brute.count_valuations ?limit:brute_limit
+                (Query.Bcq q) db) ))
 
 let count_query ?brute_limit ?(event_limit = 20) q db =
   match q with
   | Query.Bcq cq -> count ?brute_limit cq db
   | Query.Union _ | Query.Bcq_neq _ ->
-    let events = Incdb_approx.Karp_luby.events q db in
-    if List.length events <= event_limit then
-      (Event_inclusion_exclusion, Incdb_approx.Karp_luby.exact_via_events q db)
-    else
-      ( Brute_force,
-        Incdb_incomplete.Brute.count_valuations ?limit:brute_limit q db )
+    Trace.with_span "count_val.count" (fun () ->
+        let events =
+          Trace.with_span "count_val.pattern_match" (fun () ->
+              Incdb_approx.Karp_luby.events q db)
+        in
+        if List.length events <= event_limit then
+          ( Event_inclusion_exclusion,
+            Trace.with_span "count_val.event_inclusion_exclusion" (fun () ->
+                Incdb_approx.Karp_luby.exact_via_events q db) )
+        else
+          ( Brute_force,
+            Trace.with_span "count_val.brute_force" (fun () ->
+                Incdb_incomplete.Brute.count_valuations ?limit:brute_limit q db)
+          ))
   | Query.Not _ | Query.Semantic _ ->
-    ( Brute_force,
-      Incdb_incomplete.Brute.count_valuations ?limit:brute_limit q db )
+    Trace.with_span "count_val.count" (fun () ->
+        ( Brute_force,
+          Trace.with_span "count_val.brute_force" (fun () ->
+              Incdb_incomplete.Brute.count_valuations ?limit:brute_limit q db)
+        ))

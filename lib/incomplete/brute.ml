@@ -8,21 +8,38 @@ module Cdb_set = Set.Make (struct
   let compare = Cdb.compare
 end)
 
+module Metrics = Incdb_obs.Metrics
+
+(* Shared engine counters: how many valuations the brute-force oracles
+   enumerated, and how many applied completions went through the
+   set-semantics dedup.  Registered here so they always appear in
+   metric exports, even at zero. *)
+let valuations_visited = Metrics.counter "valuations_visited"
+let completions_checked = Metrics.counter "completions_checked"
+
 let count_valuations ?limit q db =
   let count = ref Nat.zero in
-  let visit v = if Query.eval q (Idb.apply db v) then count := Nat.succ !count in
+  let visit v =
+    Metrics.incr valuations_visited;
+    if Query.eval q (Idb.apply db v) then count := Nat.succ !count
+  in
   Idb.iter_valuations ?limit db visit;
   !count
 
 let fold_completions ?limit db =
   let acc = ref Cdb_set.empty in
-  Idb.iter_valuations ?limit db (fun v -> acc := Cdb_set.add (Idb.apply db v) !acc);
+  Idb.iter_valuations ?limit db (fun v ->
+      Metrics.incr valuations_visited;
+      Metrics.incr completions_checked;
+      acc := Cdb_set.add (Idb.apply db v) !acc);
   !acc
 
 let count_completions ?limit q db =
   let sat = ref Cdb_set.empty in
   let visit v =
+    Metrics.incr valuations_visited;
     let c = Idb.apply db v in
+    Metrics.incr completions_checked;
     if Query.eval q c then sat := Cdb_set.add c !sat
   in
   Idb.iter_valuations ?limit db visit;
@@ -42,18 +59,25 @@ end)
 let count_all_completions_bag ?limit db =
   let acc = ref Bag_set.empty in
   Idb.iter_valuations ?limit db (fun v ->
+      Metrics.incr valuations_visited;
+      Metrics.incr completions_checked;
       acc := Bag_set.add (Idb.apply_bag db v) !acc);
   Nat.of_int (Bag_set.cardinal !acc)
 
 let count_completions_bag ?limit q db =
   let acc = ref Bag_set.empty in
   Idb.iter_valuations ?limit db (fun v ->
+      Metrics.incr valuations_visited;
+      Metrics.incr completions_checked;
       let bag = Idb.apply_bag db v in
       if Query.eval q (Cdb.of_list bag) then acc := Bag_set.add bag !acc);
   Nat.of_int (Bag_set.cardinal !acc)
 
 let satisfying_valuations ?limit q db =
   let acc = ref [] in
-  let visit v = if Query.eval q (Idb.apply db v) then acc := v :: !acc in
+  let visit v =
+    Metrics.incr valuations_visited;
+    if Query.eval q (Idb.apply db v) then acc := v :: !acc
+  in
   Idb.iter_valuations ?limit db visit;
   List.rev !acc

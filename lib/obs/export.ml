@@ -1,0 +1,166 @@
+(* Exporters: a human-readable summary table (stderr) and a
+   schema-stable JSON document (consumed by bench/ and the obs-smoke
+   validator).
+
+   JSON schema (version 1):
+
+     { "schema_version": 1,
+       "spans":    [ { "name": str, "path": str, "calls": int,
+                       "wall_ns": int, "children": [span...] } ... ],
+       "counters": { name: int, ... },
+       "gauges":   { name: float, ... },
+       "histograms": {
+         name: { "count": int, "sum": float,
+                 "buckets": [ { "le": float|null, "count": int } ... ] } } }
+
+   Adding fields is allowed; renaming or removing them is a schema
+   version bump. *)
+
+type tree = { span : Trace.span; children : tree list }
+
+(* Rebuild the call forest from the flat path-keyed registry. *)
+let span_forest () =
+  let spans = Trace.spans () in
+  let children_of : (string, Trace.span list) Hashtbl.t = Hashtbl.create 32 in
+  let roots = ref [] in
+  List.iter
+    (fun (s : Trace.span) ->
+      match String.rindex_opt s.Trace.span_path '/' with
+      | None -> roots := s :: !roots
+      | Some i ->
+        let parent = String.sub s.Trace.span_path 0 i in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt children_of parent) in
+        Hashtbl.replace children_of parent (s :: cur))
+    spans;
+  let rec build (s : Trace.span) =
+    let kids =
+      Option.value ~default:[] (Hashtbl.find_opt children_of s.Trace.span_path)
+    in
+    { span = s; children = List.rev_map build kids |> List.rev }
+  in
+  List.rev_map build !roots |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec tree_to_json t =
+  Json.Assoc
+    [
+      ("name", Json.String t.span.Trace.span_name);
+      ("path", Json.String t.span.Trace.span_path);
+      ("calls", Json.Int t.span.Trace.span_calls);
+      ("wall_ns", Json.Int t.span.Trace.span_wall_ns);
+      ("children", Json.List (List.map tree_to_json t.children));
+    ]
+
+let histogram_to_json (h : Metrics.histogram_snapshot) =
+  Json.Assoc
+    [
+      ("count", Json.Int h.Metrics.count);
+      ("sum", Json.Float h.Metrics.sum);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (le, c) ->
+               Json.Assoc
+                 [
+                   ("le", if Float.is_finite le then Json.Float le else Json.Null);
+                   ("count", Json.Int c);
+                 ])
+             h.Metrics.bucket_counts) );
+    ]
+
+let to_json () =
+  Json.Assoc
+    [
+      ("schema_version", Json.Int 1);
+      ("spans", Json.List (List.map tree_to_json (span_forest ())));
+      ( "counters",
+        Json.Assoc
+          (List.map (fun (n, v) -> (n, Json.Int v)) (Metrics.counters_snapshot ()))
+      );
+      ( "gauges",
+        Json.Assoc
+          (List.map (fun (n, v) -> (n, Json.Float v)) (Metrics.gauges_snapshot ()))
+      );
+      ( "histograms",
+        Json.Assoc
+          (List.map
+             (fun (n, h) -> (n, histogram_to_json h))
+             (Metrics.histograms_snapshot ())) );
+    ]
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~indent:2 (to_json ()));
+      output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Human-readable table                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pp_duration ns =
+  let f = float_of_int ns in
+  if ns < 1_000 then Printf.sprintf "%d ns" ns
+  else if ns < 1_000_000 then Printf.sprintf "%.1f us" (f /. 1e3)
+  else if ns < 1_000_000_000 then Printf.sprintf "%.2f ms" (f /. 1e6)
+  else Printf.sprintf "%.3f s" (f /. 1e9)
+
+let pp_summary oc =
+  let forest = span_forest () in
+  if forest <> [] then begin
+    Printf.fprintf oc "== span tree (wall clock) ==\n";
+    Printf.fprintf oc "  %-44s %8s %12s %12s\n" "span" "calls" "total" "mean";
+    let rec print depth t =
+      let s = t.span in
+      let label = String.make (2 * depth) ' ' ^ s.Trace.span_name in
+      Printf.fprintf oc "  %-44s %8d %12s %12s\n" label s.Trace.span_calls
+        (pp_duration s.Trace.span_wall_ns)
+        (pp_duration
+           (if s.Trace.span_calls = 0 then 0
+            else s.Trace.span_wall_ns / s.Trace.span_calls));
+      List.iter (print (depth + 1)) t.children
+    in
+    List.iter (print 0) forest
+  end;
+  let counters = Metrics.counters_snapshot () in
+  if counters <> [] then begin
+    Printf.fprintf oc "== counters ==\n";
+    List.iter (fun (n, v) -> Printf.fprintf oc "  %-44s %12d\n" n v) counters
+  end;
+  let gauges = Metrics.gauges_snapshot () in
+  if gauges <> [] then begin
+    Printf.fprintf oc "== gauges ==\n";
+    List.iter (fun (n, v) -> Printf.fprintf oc "  %-44s %12g\n" n v) gauges
+  end;
+  let histograms = Metrics.histograms_snapshot () in
+  if List.exists (fun (_, h) -> h.Metrics.count > 0) histograms then begin
+    Printf.fprintf oc "== histograms ==\n";
+    List.iter
+      (fun (n, h) ->
+        if h.Metrics.count > 0 then begin
+          Printf.fprintf oc "  %-44s count %d, mean %s\n" n h.Metrics.count
+            (pp_duration
+               (int_of_float (h.Metrics.sum /. float_of_int h.Metrics.count)));
+          List.iter
+            (fun (le, c) ->
+              if c > 0 then
+                if Float.is_finite le then
+                  Printf.fprintf oc "    <= %-10s %8d\n"
+                    (pp_duration (int_of_float le))
+                    c
+                else Printf.fprintf oc "    overflow      %8d\n" c)
+            h.Metrics.bucket_counts
+        end)
+      histograms
+  end;
+  flush oc
+
+(* Zero every span and metric; registrations survive. *)
+let reset () =
+  Trace.reset ();
+  Metrics.reset ()

@@ -1,0 +1,158 @@
+(* Named counters, gauges and exponential-bucket histograms.
+
+   Handles are registered eagerly at module-initialization time of the
+   instrumented code (so every metric appears in exports, at zero, even
+   if its code path never ran) and updated through the handle.  Updates
+   are gated on Runtime.enabled: disabled probes cost one atomic load
+   and a branch.  Counters use Atomic and are lock-free; gauges and
+   histograms take a mutex (they are never on a per-valuation path). *)
+
+type counter = { name : string; cell : int Atomic.t }
+
+type histogram = {
+  hname : string;
+  lower : float; (* upper bound of the first bucket *)
+  factor : float; (* bucket growth factor, > 1 *)
+  hlock : Mutex.t;
+  buckets : int array; (* last slot counts overflow beyond the top bound *)
+  mutable hcount : int;
+  mutable hsum : float;
+}
+
+let lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+(* Registration order, so exports are stable and diffable. *)
+let counter_order : string list ref = ref []
+let gauge_order : string list ref = ref []
+let histogram_order : string list ref = ref []
+
+let counter name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+        let c = { name; cell = Atomic.make 0 } in
+        Hashtbl.replace counters name c;
+        counter_order := name :: !counter_order;
+        c)
+
+let incr ?(by = 1) c =
+  if Runtime.enabled () then ignore (Atomic.fetch_and_add c.cell by)
+
+let value c = Atomic.get c.cell
+
+let set_gauge name v =
+  if Runtime.enabled () then
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt gauges name with
+        | Some cell -> cell := v
+        | None ->
+          Hashtbl.replace gauges name (ref v);
+          gauge_order := name :: !gauge_order)
+
+let gauge_value name =
+  Mutex.protect lock (fun () ->
+      Option.map (fun cell -> !cell) (Hashtbl.find_opt gauges name))
+
+(* Default latency buckets: 1 us doubling 24 times reaches ~8.4 s. *)
+let histogram ?(lower = 1_000.) ?(factor = 2.) ?(nbuckets = 24) hname =
+  if factor <= 1. then invalid_arg "Metrics.histogram: factor must exceed 1";
+  if nbuckets < 1 then invalid_arg "Metrics.histogram: need at least one bucket";
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt histograms hname with
+      | Some h -> h
+      | None ->
+        let h =
+          {
+            hname;
+            lower;
+            factor;
+            hlock = Mutex.create ();
+            buckets = Array.make (nbuckets + 1) 0;
+            hcount = 0;
+            hsum = 0.;
+          }
+        in
+        Hashtbl.replace histograms hname h;
+        histogram_order := hname :: !histogram_order;
+        h)
+
+let observe h v =
+  if Runtime.enabled () then
+    Mutex.protect h.hlock (fun () ->
+        h.hcount <- h.hcount + 1;
+        h.hsum <- h.hsum +. v;
+        let top = Array.length h.buckets - 1 in
+        let rec index i le =
+          if i >= top then top
+          else if v <= le then i
+          else index (i + 1) (le *. h.factor)
+        in
+        let i = index 0 h.lower in
+        h.buckets.(i) <- h.buckets.(i) + 1)
+
+(* Time [f] on the monotonic clock and record the elapsed nanoseconds. *)
+let time h f =
+  if not (Runtime.enabled ()) then f ()
+  else begin
+    let t0 = Runtime.now_ns () in
+    Fun.protect
+      ~finally:(fun () -> observe h (float_of_int (Runtime.now_ns () - t0)))
+      f
+  end
+
+let bucket_bound h i = h.lower *. (h.factor ** float_of_int i)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (export order = registration order)                       *)
+(* ------------------------------------------------------------------ *)
+
+type histogram_snapshot = {
+  count : int;
+  sum : float;
+  (* (inclusive upper bound, count); the final bound is infinity. *)
+  bucket_counts : (float * int) list;
+}
+
+let counters_snapshot () =
+  Mutex.protect lock (fun () ->
+      List.rev_map
+        (fun name -> (name, Atomic.get (Hashtbl.find counters name).cell))
+        !counter_order)
+
+let gauges_snapshot () =
+  Mutex.protect lock (fun () ->
+      List.rev_map (fun name -> (name, !(Hashtbl.find gauges name))) !gauge_order)
+
+let histograms_snapshot () =
+  let hs =
+    Mutex.protect lock (fun () ->
+        List.rev_map (fun name -> Hashtbl.find histograms name) !histogram_order)
+  in
+  List.map
+    (fun h ->
+      Mutex.protect h.hlock (fun () ->
+          let top = Array.length h.buckets - 1 in
+          let bucket_counts =
+            List.init (top + 1) (fun i ->
+                let le = if i = top then infinity else bucket_bound h i in
+                (le, h.buckets.(i)))
+          in
+          (h.hname, { count = h.hcount; sum = h.hsum; bucket_counts })))
+    hs
+
+(* Zero every value but keep all registrations (handles stay valid). *)
+let reset () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+      Hashtbl.iter (fun _ cell -> cell := 0.) gauges);
+  Hashtbl.iter
+    (fun _ h ->
+      Mutex.protect h.hlock (fun () ->
+          Array.fill h.buckets 0 (Array.length h.buckets) 0;
+          h.hcount <- 0;
+          h.hsum <- 0.))
+    histograms

@@ -1,0 +1,27 @@
+(* Global observability switch and clock.
+
+   Everything in Incdb_obs is gated on one atomic flag so that, when
+   disabled (the default), instrumented hot paths pay a single atomic
+   load and a branch per probe -- no allocation, no locking, no clock
+   reads.  Enable programmatically (CLI flags do this) or by exporting
+   INCDB_OBS=1. *)
+
+let flag = Atomic.make false
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b
+
+(* Wall time on the monotonic clock (CLOCK_MONOTONIC), in nanoseconds.
+   The bechamel stub is the same clock the benchmark harness uses, so
+   span timings and bechamel estimates are directly comparable. *)
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let truthy = function
+  | "1" | "true" | "on" | "yes" -> true
+  | _ -> false
+
+let init_from_env () =
+  match Sys.getenv_opt "INCDB_OBS" with
+  | Some v when truthy v -> set_enabled true
+  | _ -> ()
+
+let () = init_from_env ()

@@ -1,0 +1,92 @@
+(* Nested wall-clock spans.
+
+   [with_span name f] runs [f] and charges its wall time (monotonic
+   clock) and one call to the span identified by the *path* of names
+   from the outermost enclosing span down to [name] -- so the registry
+   aggregates a call tree, not a flat list.  The current path lives in
+   domain-local storage (each domain has its own stack; the shared
+   registry is mutex-protected), and the time is recorded even when [f]
+   raises, so partial phases of a failed count still show up.
+
+   When observability is disabled, [with_span name f] is [f ()] plus an
+   atomic load -- no clock read, no allocation. *)
+
+type node = {
+  path : string; (* "outer/inner", '/'-joined *)
+  name : string;
+  mutable calls : int;
+  mutable wall_ns : int;
+  order : int; (* first-seen sequence number, for stable display *)
+}
+
+let lock = Mutex.create ()
+let nodes : (string, node) Hashtbl.t = Hashtbl.create 64
+let seq = ref 0
+
+let stack_key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let record path name dt =
+  Mutex.protect lock (fun () ->
+      let n =
+        match Hashtbl.find_opt nodes path with
+        | Some n -> n
+        | None ->
+          let n = { path; name; calls = 0; wall_ns = 0; order = !seq } in
+          incr seq;
+          Hashtbl.replace nodes path n;
+          n
+      in
+      n.calls <- n.calls + 1;
+      n.wall_ns <- n.wall_ns + dt)
+
+let with_span name f =
+  if not (Runtime.enabled ()) then f ()
+  else begin
+    let parent = Domain.DLS.get stack_key in
+    let path = match parent with [] -> name | p :: _ -> p ^ "/" ^ name in
+    Domain.DLS.set stack_key (path :: parent);
+    let t0 = Runtime.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = Runtime.now_ns () - t0 in
+        Domain.DLS.set stack_key parent;
+        record path name dt)
+      f
+  end
+
+(* The path of the innermost open span, for log correlation. *)
+let current_path () =
+  match Domain.DLS.get stack_key with [] -> None | p :: _ -> Some p
+
+type span = { span_path : string; span_name : string; span_calls : int; span_wall_ns : int }
+
+(* All recorded spans, outermost-first in first-seen order. *)
+let spans () =
+  let all =
+    Mutex.protect lock (fun () -> Hashtbl.fold (fun _ n acc -> n :: acc) nodes [])
+  in
+  List.sort (fun a b -> compare a.order b.order) all
+  |> List.map (fun n ->
+         {
+           span_path = n.path;
+           span_name = n.name;
+           span_calls = n.calls;
+           span_wall_ns = n.wall_ns;
+         })
+
+let find path =
+  Mutex.protect lock (fun () ->
+      Option.map
+        (fun n ->
+          {
+            span_path = n.path;
+            span_name = n.name;
+            span_calls = n.calls;
+            span_wall_ns = n.wall_ns;
+          })
+        (Hashtbl.find_opt nodes path))
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.reset nodes;
+      seq := 0)

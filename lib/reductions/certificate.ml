@@ -94,7 +94,26 @@ let for_comp q =
     direct = Independent.count_vertex_covers;
   }
 
+module Trace = Incdb_obs.Trace
+module Metrics = Incdb_obs.Metrics
+
+let certificates_checked = Metrics.counter "reductions.certificates_checked"
+
+(* Parsimony check, with each leg of the identity in its own span: the
+   encoding D_G, the counting-oracle call on the lifted instance, the
+   arithmetic recovery, and the direct combinatorial count it must
+   equal. *)
 let check cert ~count g =
-  let db = cert.encode g in
-  let recovered = cert.recover g (count db) in
-  (recovered, cert.direct g)
+  Trace.with_span "reductions.check" (fun () ->
+      Metrics.incr certificates_checked;
+      let db = Trace.with_span "reductions.encode" (fun () -> cert.encode g) in
+      let oracle =
+        Trace.with_span "reductions.oracle_count" (fun () -> count db)
+      in
+      let recovered =
+        Trace.with_span "reductions.recover" (fun () -> cert.recover g oracle)
+      in
+      let direct =
+        Trace.with_span "reductions.direct_count" (fun () -> cert.direct g)
+      in
+      (recovered, direct))

@@ -95,6 +95,23 @@ let test_zero_case () =
   Alcotest.(check (float 0.0)) "MC zero" 0.0
     (Montecarlo.estimate ~seed:1 ~samples:100 q db)
 
+let test_rejects_zero_samples () =
+  (* A sample budget of zero must be rejected up front, not return a
+     silent 0 or NaN. *)
+  let db =
+    Idb.make [ Idb.fact "R" [ Term.null "n" ] ] (Idb.Uniform [ "0"; "1" ])
+  in
+  let q = bcq "R(x)" in
+  let expect_invalid name f =
+    match f () with
+    | (_ : float) -> Alcotest.failf "%s accepted ~samples:0" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "estimate" (fun () ->
+      Karp_luby.estimate ~seed:1 ~samples:0 q db);
+  expect_invalid "estimate_with_ci" (fun () ->
+      fst (Karp_luby.estimate_with_ci ~seed:1 ~samples:0 q db))
+
 let test_full_case () =
   (* Query satisfied by every valuation: estimators return the total. *)
   let db =
@@ -265,6 +282,8 @@ let () =
           Alcotest.test_case "karp-luby accuracy" `Quick test_karp_luby_accuracy;
           Alcotest.test_case "monte-carlo accuracy" `Quick test_montecarlo_accuracy;
           Alcotest.test_case "zero" `Quick test_zero_case;
+          Alcotest.test_case "zero samples rejected" `Quick
+            test_rejects_zero_samples;
           Alcotest.test_case "full" `Quick test_full_case;
           Alcotest.test_case "sample budget" `Quick test_samples_for;
           Alcotest.test_case "rare events" `Quick test_rare_event;

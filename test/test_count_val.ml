@@ -234,6 +234,54 @@ let test_dispatcher_algorithms () =
   check_algo "R(x), S(x)" naive Count_val.Uniform_block_dp;
   check_algo "R(x), S(x,y), T(y)" naive Count_val.Brute_force
 
+(* ------------------------------------------------------------------ *)
+(* Observability probes must not change any count                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Figure 1 instance: 6 valuations, 4 satisfying S(x,x), 3 satisfying
+   completions.  Counts with tracing and metrics enabled must agree with
+   the uninstrumented run, and the engine counters must have moved. *)
+let test_instrumented_counts_agree () =
+  let db =
+    Idb.make
+      [
+        Idb.fact "S" [ Term.const "a"; Term.const "b" ];
+        Idb.fact "S" [ Term.null "n1"; Term.const "a" ];
+        Idb.fact "S" [ Term.const "a"; Term.null "n2" ];
+      ]
+      (Idb.Nonuniform [ ("n1", [ "a"; "b"; "c" ]); ("n2", [ "a"; "b" ]) ])
+  in
+  let q = Cq.of_string "S(x,x)" in
+  Incdb_obs.Runtime.set_enabled false;
+  let _, plain_val = Count_val.count q db in
+  let _, plain_comp = Count_comp.count q db in
+  check_nat "6 valuations" (Nat.of_int 6) (Idb.total_valuations db);
+  check_nat "#Val baseline" (Nat.of_int 4) plain_val;
+  check_nat "#Comp baseline" (Nat.of_int 3) plain_comp;
+  Incdb_obs.Export.reset ();
+  Incdb_obs.Runtime.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Incdb_obs.Runtime.set_enabled false)
+    (fun () ->
+      let _, traced_val = Count_val.count q db in
+      let _, traced_comp = Count_comp.count q db in
+      let traced_brute = brute q db in
+      check_nat "instrumented #Val" plain_val traced_val;
+      check_nat "instrumented #Comp" plain_comp traced_comp;
+      check_nat "instrumented brute force" plain_val traced_brute;
+      let counters = Incdb_obs.Metrics.counters_snapshot () in
+      let counted name =
+        match List.assoc_opt name counters with
+        | Some n -> n
+        | None -> Alcotest.failf "counter %s not registered" name
+      in
+      Alcotest.(check int)
+        "brute force visited every valuation" 6
+        (counted "valuations_visited");
+      Alcotest.(check bool)
+        "completions were checked" true
+        (counted "completions_checked" > 0))
+
 let () =
   let props =
     List.map QCheck_alcotest.to_alcotest
@@ -267,5 +315,10 @@ let () =
         ] );
       ( "dispatch",
         [ Alcotest.test_case "algorithm selection" `Quick test_dispatcher_algorithms ] );
+      ( "observability",
+        [
+          Alcotest.test_case "instrumented counts agree" `Quick
+            test_instrumented_counts_agree;
+        ] );
       ("properties", props);
     ]

@@ -1,0 +1,165 @@
+(* Tests for the Incdb_obs observability layer: span nesting, counter
+   behaviour under exceptions, the disabled no-op mode, histogram
+   bucketing and the JSON export round-trip. *)
+
+open Incdb_obs
+
+(* Every test starts from a clean, enabled registry and leaves the
+   switch off so the other suites keep measuring the no-op path. *)
+let with_fresh_obs f =
+  Export.reset ();
+  Runtime.set_enabled true;
+  Fun.protect f ~finally:(fun () -> Runtime.set_enabled false)
+
+let test_span_nesting () =
+  with_fresh_obs (fun () ->
+      Trace.with_span "a" (fun () ->
+          Alcotest.(check (option string))
+            "path of a" (Some "a") (Trace.current_path ());
+          Trace.with_span "b" (fun () ->
+              Alcotest.(check (option string))
+                "path of a/b" (Some "a/b") (Trace.current_path ()));
+          Trace.with_span "c" (fun () -> ());
+          Trace.with_span "c" (fun () -> ()));
+      let paths = List.map (fun s -> s.Trace.span_path) (Trace.spans ()) in
+      (* Spans are recorded when they close, so children appear before
+         their parent in first-seen order. *)
+      Alcotest.(check (list string)) "paths" [ "a/b"; "a/c"; "a" ] paths;
+      (match Trace.find "a/c" with
+      | Some s -> Alcotest.(check int) "a/c calls" 2 s.Trace.span_calls
+      | None -> Alcotest.fail "span a/c was not recorded");
+      match Trace.find "a" with
+      | Some s -> Alcotest.(check int) "a calls" 1 s.Trace.span_calls
+      | None -> Alcotest.fail "span a was not recorded")
+
+let test_exception_keeps_totals () =
+  with_fresh_obs (fun () ->
+      let c = Metrics.counter "test.obs_exn" in
+      (try
+         Trace.with_span "outer" (fun () ->
+             Trace.with_span "boom" (fun () ->
+                 Metrics.incr c ~by:3;
+                 raise Exit))
+       with Exit -> ());
+      Alcotest.(check int) "counter kept its increments" 3 (Metrics.value c);
+      (match Trace.find "outer/boom" with
+      | Some s ->
+        Alcotest.(check int) "raising span still recorded" 1 s.Trace.span_calls
+      | None -> Alcotest.fail "raising span was not recorded");
+      (* The span stack must have unwound: new spans are roots again. *)
+      Trace.with_span "after" (fun () ->
+          Alcotest.(check (option string))
+            "stack unwound" (Some "after") (Trace.current_path ())))
+
+let test_disabled_noop () =
+  Export.reset ();
+  Runtime.set_enabled false;
+  let c = Metrics.counter "test.obs_noop" in
+  Metrics.incr c;
+  Metrics.set_gauge "test.obs_noop_gauge" 1.0;
+  Trace.with_span "ghost" (fun () -> Metrics.incr c ~by:10);
+  Alcotest.(check int) "counter untouched" 0 (Metrics.value c);
+  Alcotest.(check bool) "gauge not created" true
+    (Metrics.gauge_value "test.obs_noop_gauge" = None);
+  Alcotest.(check bool) "no span recorded" true (Trace.find "ghost" = None);
+  Alcotest.(check int) "span registry empty" 0 (List.length (Trace.spans ()))
+
+let test_histogram_buckets () =
+  with_fresh_obs (fun () ->
+      let h =
+        Metrics.histogram ~lower:10. ~factor:10. ~nbuckets:3 "test.obs_hist"
+      in
+      List.iter (Metrics.observe h) [ 5.; 50.; 500.; 5_000_000. ];
+      let snap = List.assoc "test.obs_hist" (Metrics.histograms_snapshot ()) in
+      Alcotest.(check int) "count" 4 snap.Metrics.count;
+      Alcotest.(check (float 1e-6)) "sum" 5_000_555. snap.Metrics.sum;
+      Alcotest.(check (list (pair (float 1e-6) int)))
+        "bucket counts"
+        [ (10., 1); (100., 1); (1000., 1); (infinity, 1) ]
+        snap.Metrics.bucket_counts)
+
+let get_exn what = function
+  | Some v -> v
+  | None -> Alcotest.fail ("missing " ^ what)
+
+let test_json_round_trip () =
+  with_fresh_obs (fun () ->
+      let c = Metrics.counter "test.obs_rt" in
+      Metrics.incr c ~by:7;
+      Metrics.set_gauge "test.obs_rt_gauge" 2.5;
+      let h = Metrics.histogram "test.obs_rt_hist" in
+      Metrics.observe h 1_500.;
+      Trace.with_span "outer" (fun () -> Trace.with_span "inner" (fun () -> ()));
+      let text = Json.to_string ~indent:2 (Export.to_json ()) in
+      match Json.of_string text with
+      | Error msg -> Alcotest.fail ("export does not parse back: " ^ msg)
+      | Ok j ->
+        Alcotest.(check int) "schema_version" 1
+          (get_exn "schema_version"
+             (Option.bind (Json.member "schema_version" j) Json.to_int));
+        let counters = get_exn "counters" (Json.member "counters" j) in
+        Alcotest.(check int) "counter value" 7
+          (get_exn "test.obs_rt"
+             (Option.bind (Json.member "test.obs_rt" counters) Json.to_int));
+        let spans =
+          get_exn "spans"
+            (Option.bind (Json.member "spans" j) Json.to_list)
+        in
+        let outer =
+          get_exn "outer span"
+            (List.find_opt
+               (fun s -> Json.member "name" s = Some (Json.String "outer"))
+               spans)
+        in
+        let children =
+          get_exn "outer children"
+            (Option.bind (Json.member "children" outer) Json.to_list)
+        in
+        Alcotest.(check int) "outer has one child" 1 (List.length children);
+        let inner = List.hd children in
+        Alcotest.(check bool) "child path" true
+          (Json.member "path" inner = Some (Json.String "outer/inner"));
+        let wall =
+          get_exn "wall_ns"
+            (Option.bind (Json.member "wall_ns" inner) Json.to_int)
+        in
+        Alcotest.(check bool) "wall_ns non-negative" true (wall >= 0);
+        let hists = get_exn "histograms" (Json.member "histograms" j) in
+        let hist =
+          get_exn "test.obs_rt_hist" (Json.member "test.obs_rt_hist" hists)
+        in
+        Alcotest.(check int) "histogram count" 1
+          (get_exn "count" (Option.bind (Json.member "count" hist) Json.to_int)))
+
+let test_export_reset () =
+  with_fresh_obs (fun () ->
+      let c = Metrics.counter "test.obs_reset" in
+      Metrics.incr c ~by:5;
+      Trace.with_span "gone" (fun () -> ());
+      Export.reset ();
+      Alcotest.(check int) "counter zeroed" 0 (Metrics.value c);
+      Alcotest.(check int) "spans cleared" 0 (List.length (Trace.spans ()));
+      (* Registration survives: the counter still exports at zero. *)
+      Alcotest.(check bool) "registration kept" true
+        (List.mem_assoc "test.obs_reset" (Metrics.counters_snapshot ())))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick
+            test_exception_keeps_totals;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "reset" `Quick test_export_reset;
+        ] );
+    ]

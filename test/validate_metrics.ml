@@ -1,0 +1,77 @@
+(* Schema check for the metrics JSON written by `idbcount --metrics-out`
+   (and bench/main.exe).  Used by the @obs-smoke alias: parses the file
+   with Incdb_obs.Json and fails loudly if the schema drifted.
+
+     validate_metrics.exe FILE [required_counter ...]
+*)
+
+open Incdb_obs
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate_metrics: " ^ m); exit 1) fmt
+
+let get what = function Some v -> v | None -> fail "missing %s" what
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let rec check_span names span =
+  let name =
+    match Json.member "name" span with
+    | Some (Json.String s) -> s
+    | _ -> fail "span without a name"
+  in
+  let path =
+    match Json.member "path" span with
+    | Some (Json.String s) -> s
+    | _ -> fail "span %s without a path" name
+  in
+  let calls = get "calls" (Option.bind (Json.member "calls" span) Json.to_int) in
+  let wall = get "wall_ns" (Option.bind (Json.member "wall_ns" span) Json.to_int) in
+  if calls < 1 then fail "span %s has calls=%d" path calls;
+  if wall < 0 then fail "span %s has negative wall_ns" path;
+  let children =
+    get "children" (Option.bind (Json.member "children" span) Json.to_list)
+  in
+  List.fold_left check_span (name :: names) children
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: validate_metrics FILE [counter ...]" in
+  let required_counters =
+    if Array.length Sys.argv > 2 then
+      Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+    else [ "valuations_visited"; "completions_checked" ]
+  in
+  let j =
+    match Json.of_string (read_file path) with
+    | Ok j -> j
+    | Error msg -> fail "%s does not parse: %s" path msg
+  in
+  let version =
+    get "schema_version"
+      (Option.bind (Json.member "schema_version" j) Json.to_int)
+  in
+  if version <> 1 then fail "unexpected schema_version %d" version;
+  let spans = get "spans" (Option.bind (Json.member "spans" j) Json.to_list) in
+  let names =
+    List.sort_uniq String.compare (List.fold_left check_span [] spans)
+  in
+  if List.length names < 4 then
+    fail "only %d distinct span names, expected at least 4 (%s)"
+      (List.length names)
+      (String.concat ", " names);
+  let counters = get "counters" (Json.member "counters" j) in
+  List.iter
+    (fun c ->
+      match Option.bind (Json.member c counters) Json.to_int with
+      | Some n when n >= 0 -> ()
+      | Some n -> fail "counter %s is negative (%d)" c n
+      | None -> fail "counter %s missing from export" c)
+    required_counters;
+  ignore (get "gauges" (Json.member "gauges" j));
+  ignore (get "histograms" (Json.member "histograms" j));
+  Printf.printf "validate_metrics: %s ok (%d distinct spans)\n" path
+    (List.length names)
