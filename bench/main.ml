@@ -25,7 +25,8 @@ let () =
        default; INCDB_OBS=1 opts the timed code back into collection. *)
     Incdb_obs.Runtime.set_enabled false;
     Incdb_obs.Runtime.init_from_env ();
-    Timings.run ()
+    Timings.run ();
+    Scaling.run ()
   end;
   let metrics_path =
     match Sys.getenv_opt "INCDB_METRICS_OUT" with

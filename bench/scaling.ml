@@ -1,0 +1,179 @@
+(* Multicore scaling measurements for the lib/par execution layer.
+
+   Times the sequential engines against their sharded/parallel
+   counterparts at several job counts, measures the memoized
+   inclusion–exclusion cache behaviour, and writes everything to
+   BENCH_PAR.json (override with INCDB_BENCH_PAR_OUT).  The host core
+   count is recorded alongside the wall times: on a single-core machine
+   the parallel runs measure scheduling overhead, not speedup, and the
+   JSON says so rather than hiding it. *)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_par
+
+let job_levels = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering (tiny, local: the obs Json module is a parser)       *)
+(* ------------------------------------------------------------------ *)
+
+let buf = Buffer.create 4096
+
+let row_of_times section count times =
+  let cells =
+    List.map
+      (fun (jobs, seconds) ->
+        Printf.sprintf "{ \"jobs\": %d, \"seconds\": %.6f }" jobs seconds)
+      times
+  in
+  let seq = List.assoc 1 times in
+  let best_jobs, best =
+    List.fold_left
+      (fun (bj, b) (j, s) -> if s < b then (j, s) else (bj, b))
+      (1, seq) times
+  in
+  Printf.sprintf
+    "    { \"section\": %S, \"result\": %S,\n\
+    \      \"times\": [ %s ],\n\
+    \      \"best_jobs\": %d, \"speedup_vs_sequential\": %.3f }"
+    section count
+    (String.concat ", " cells)
+    best_jobs (seq /. best)
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let brute_val_row () =
+  let db = Instances.diagonal_codd 4 6 in
+  let q = Query.Bcq (Cq.of_string "R(x,x)") in
+  let count = ref Nat.zero in
+  let times =
+    List.map
+      (fun jobs ->
+        let n, t =
+          Instances.time (fun () -> Brute_par.count_valuations ~jobs q db)
+        in
+        count := n;
+        (jobs, t))
+      job_levels
+  in
+  Printf.printf "  sharded #Val   (8 nulls, domain 6): %s\n%!"
+    (String.concat "  "
+       (List.map (fun (j, t) -> Printf.sprintf "jobs=%d %.3fs" j t) times));
+  row_of_times "brute_val:diagonal-codd-8-nulls-dom-6" (Nat.to_string !count)
+    times
+
+let brute_comp_row () =
+  let db = Instances.diagonal_codd 3 4 in
+  let count = ref Nat.zero in
+  let times =
+    List.map
+      (fun jobs ->
+        let n, t =
+          Instances.time (fun () -> Brute_par.count_all_completions ~jobs db)
+        in
+        count := n;
+        (jobs, t))
+      job_levels
+  in
+  Printf.printf "  sharded #Comp  (6 nulls, domain 4): %s\n%!"
+    (String.concat "  "
+       (List.map (fun (j, t) -> Printf.sprintf "jobs=%d %.3fs" j t) times));
+  row_of_times "brute_comp:diagonal-codd-6-nulls-dom-4" (Nat.to_string !count)
+    times
+
+let karp_luby_row () =
+  let db = Instances.diagonal_codd 20 10 in
+  let q = Query.Bcq (Cq.of_string "R(x,x)") in
+  let samples = 50_000 in
+  let est = ref 0. in
+  let times =
+    List.map
+      (fun jobs ->
+        let e, t =
+          Instances.time (fun () ->
+              Karp_luby_par.estimate ~jobs ~seed:3 ~samples q db)
+        in
+        est := e;
+        (jobs, t))
+      job_levels
+  in
+  Printf.printf "  parallel KL    (50k samples):       %s\n%!"
+    (String.concat "  "
+       (List.map (fun (j, t) -> Printf.sprintf "jobs=%d %.3fs" j t) times));
+  row_of_times "karp_luby:diagonal-codd-40-nulls-50k-samples"
+    (Printf.sprintf "%.6g" !est)
+    times
+
+(* Memoized vs unmemoized inclusion–exclusion, with cache hit rates
+   measured under obs collection. *)
+let memo_row () =
+  (* R(x,x) yields one event per (fact, diagonal value): 4 facts over a
+     4-value domain = 16 events, just under the m <= 20 ceiling. *)
+  let db = Instances.diagonal_codd 4 4 in
+  let q = Query.Bcq (Cq.of_string "R(x,x)") in
+  let n_memo, t_memo =
+    Instances.time (fun () ->
+        Incdb_approx.Karp_luby.exact_via_events ~memo:true q db)
+  in
+  let n_ref, t_ref =
+    Instances.time (fun () ->
+        Incdb_approx.Karp_luby.exact_via_events ~memo:false q db)
+  in
+  assert (Nat.equal n_memo n_ref);
+  (* Counter deltas, not a registry reset: the experiments' metrics are
+     still pending export to BENCH_OBS.json when this section runs. *)
+  let hits, misses =
+    let v name = Incdb_obs.Metrics.value (Incdb_obs.Metrics.counter name) in
+    let h0 = v "karp_luby.iex_cache_hits"
+    and m0 = v "karp_luby.iex_cache_misses" in
+    Incdb_obs.Runtime.set_enabled true;
+    ignore (Incdb_approx.Karp_luby.exact_via_events ~memo:true q db);
+    Incdb_obs.Runtime.set_enabled false;
+    (v "karp_luby.iex_cache_hits" - h0, v "karp_luby.iex_cache_misses" - m0)
+  in
+  let rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  Printf.printf
+    "  memoized IE    (16 events):         memo %.3fs  reference %.3fs  \
+     (%.1fx, term-size cache hit rate %.1f%%)\n%!"
+    t_memo t_ref (t_ref /. t_memo) (100. *. rate);
+  Printf.sprintf
+    "    { \"section\": \"memo_ie:diagonal-codd-16-events\", \"result\": %S,\n\
+    \      \"memo_seconds\": %.6f, \"reference_seconds\": %.6f,\n\
+    \      \"speedup_vs_reference\": %.3f,\n\
+    \      \"cache_hits\": %d, \"cache_misses\": %d, \"hit_rate\": %.4f }"
+    (Nat.to_string n_memo) t_memo t_ref (t_ref /. t_memo) hits misses rate
+
+(* ------------------------------------------------------------------ *)
+
+let run () =
+  Printf.printf "\n=== Multicore scaling (wall time, lib/par engines) ===\n";
+  Printf.printf "  host cores (recommended domain count): %d\n%!"
+    (Pool.recommended ());
+  (* Explicit sequencing: list elements evaluate right-to-left, which
+     would reverse the progress lines. *)
+  let r1 = brute_val_row () in
+  let r2 = brute_comp_row () in
+  let r3 = karp_luby_row () in
+  let r4 = memo_row () in
+  let rows = [ r1; r2; r3; r4 ] in
+  Buffer.clear buf;
+  Buffer.add_string buf "{\n  \"schema_version\": 1,\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cores\": %d,\n  \"job_levels\": [ %s ],\n"
+       (Pool.recommended ())
+       (String.concat ", " (List.map string_of_int job_levels)));
+  Buffer.add_string buf "  \"sections\": [\n";
+  Buffer.add_string buf (String.concat ",\n" rows);
+  Buffer.add_string buf "\n  ]\n}\n";
+  let path =
+    match Sys.getenv_opt "INCDB_BENCH_PAR_OUT" with
+    | Some p -> p
+    | None -> "BENCH_PAR.json"
+  in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  scaling data written to %s\n%!" path

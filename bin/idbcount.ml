@@ -83,6 +83,28 @@ let query_opt =
   Arg.(required & opt (some query_conv) None & info [ "query"; "q" ] ~docv:"QUERY" ~doc)
 
 (* ------------------------------------------------------------------ *)
+(* Parallelism                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let jobs_term =
+  let doc =
+    "Worker domains for the parallelizable engines (sharded brute force, \
+     parallel Karp-Luby).  1 (the default) is the sequential path; 0 \
+     auto-detects the machine's recommended domain count."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* A clean, actionable message for the one anticipated failure of the
+   exhaustive engines, instead of an exception backtrace. *)
+let too_many_msg what (total : Nat.t) limit =
+  Printf.sprintf
+    "error: %s needs exhaustive enumeration, but the instance has %s \
+     valuations (limit %d).\n\
+     Raise --brute-limit, or use `idbcount approx` / `idbcount bounds` for \
+     an estimate."
+    what (Nat.to_string total) limit
+
+(* ------------------------------------------------------------------ *)
 (* classify                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -134,7 +156,7 @@ let count_cmd =
     let doc = "Maximum number of valuations brute force may enumerate." in
     Arg.(value & opt int 4_000_000 & info [ "brute-limit" ] ~doc)
   in
-  let run obs db_path q problem brute_limit =
+  let run obs db_path q problem brute_limit jobs =
     with_obs obs (fun () ->
         match load_db db_path with
         | Error msg ->
@@ -154,24 +176,29 @@ let count_cmd =
              let algo_name, result =
                match problem with
                | `Val ->
-                 let a, n = Count_val.count ~brute_limit q db in
+                 let a, n = Count_val.count ~brute_limit ~jobs q db in
                  (Count_val.algorithm_to_string a, n)
                | `Comp ->
-                 let a, n = Count_comp.count ~brute_limit q db in
+                 let a, n = Count_comp.count ~brute_limit ~jobs q db in
                  (Count_comp.algorithm_to_string a, n)
              in
              Printf.printf "algorithm: %s\n" algo_name;
              Printf.printf "total valuations: %s\n"
                (Nat.to_string (Idb.total_valuations db));
              Printf.printf "count: %s\n" (Nat.to_string result)
-           with Invalid_argument msg ->
+           with
+           | Invalid_argument msg ->
              prerr_endline ("error: " ^ msg);
+             exit 1
+           | Idb.Too_many_valuations { total; limit } ->
+             prerr_endline (too_many_msg "this query/database pair" total limit);
              exit 1))
   in
   let doc = "Count satisfying valuations or completions exactly." in
   Cmd.v (Cmd.info "count" ~doc)
     Cmdliner.Term.(
-      const run $ obs_term $ db_arg $ query_opt $ problem $ brute_limit)
+      const run $ obs_term $ db_arg $ query_opt $ problem $ brute_limit
+      $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                              *)
@@ -188,7 +215,7 @@ let approx_cmd =
         & opt (enum [ ("karp-luby", `Kl); ("monte-carlo", `Mc) ]) `Kl
         & info [ "method"; "m" ] ~doc)
   in
-  let run obs db_path q samples seed meth =
+  let run obs db_path q samples seed meth jobs =
     with_obs obs (fun () ->
         match load_db db_path with
         | Error msg ->
@@ -203,8 +230,14 @@ let approx_cmd =
                 List.length (Incdb_approx.Karp_luby.events query db)
               in
               Printf.printf "events: %d\n" events;
-              Printf.printf "estimate (#Val): %.6g\n"
-                (Incdb_approx.Karp_luby.estimate ~seed ~samples query db)
+              let est =
+                if jobs = 1 then
+                  Incdb_approx.Karp_luby.estimate ~seed ~samples query db
+                else
+                  Incdb_par.Karp_luby_par.estimate ~jobs ~seed ~samples query
+                    db
+              in
+              Printf.printf "estimate (#Val): %.6g\n" est
             | `Mc ->
               Printf.printf "estimate (#Val): %.6g\n"
                 (Incdb_approx.Montecarlo.estimate ~seed ~samples query db));
@@ -217,7 +250,8 @@ let approx_cmd =
   let doc = "Estimate #Val with randomized approximation (Section 5)." in
   Cmd.v (Cmd.info "approx" ~doc)
     Cmdliner.Term.(
-      const run $ obs_term $ db_arg $ query_opt $ samples $ seed $ meth)
+      const run $ obs_term $ db_arg $ query_opt $ samples $ seed $ meth
+      $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* enumerate                                                           *)
@@ -237,9 +271,10 @@ let enumerate_cmd =
         | Error msg ->
           prerr_endline msg;
           exit 1
-        | Ok db ->
+        | Ok db -> (
           let shown = ref 0 in
-          Idb.iter_valuations db (fun v ->
+          try
+            Idb.iter_valuations db (fun v ->
               if !shown < limit then begin
                 incr shown;
                 let completion = Idb.apply db v in
@@ -256,9 +291,12 @@ let enumerate_cmd =
                 Format.printf "%-40s %a%s@." binding Incdb_relational.Cdb.pp
                   completion mark
               end);
-          let total = Idb.total_valuations db in
-          Printf.printf "(%d of %s valuations shown)\n" !shown
-            (Nat.to_string total))
+            let total = Idb.total_valuations db in
+            Printf.printf "(%d of %s valuations shown)\n" !shown
+              (Nat.to_string total)
+          with Idb.Too_many_valuations { total; limit } ->
+            prerr_endline (too_many_msg "enumeration" total limit);
+            exit 1))
   in
   let doc = "Enumerate valuations and their completions (Figure 1 style)." in
   Cmd.v (Cmd.info "enumerate" ~doc)
@@ -382,23 +420,27 @@ let reach_cmd =
   let to_ =
     Arg.(required & opt (some string) None & info [ "to" ] ~doc:"Target node.")
   in
-  let run obs db_path from_ to_ =
+  let run obs db_path from_ to_ jobs =
     with_obs obs (fun () ->
         match load_db db_path with
         | Error msg ->
           prerr_endline msg;
           exit 1
-        | Ok db ->
+        | Ok db -> (
           let q = Incdb_datalog.Datalog.reachability ~from:from_ ~to_ in
-          let sat = Incdb_incomplete.Brute.count_valuations q db in
-          let total = Idb.total_valuations db in
-          Printf.printf
-            "worlds where %s reaches %s (over relation E): %s of %s\n" from_
-            to_ (Nat.to_string sat) (Nat.to_string total))
+          try
+            let sat = Incdb_par.Brute_par.count_valuations ~jobs q db in
+            let total = Idb.total_valuations db in
+            Printf.printf
+              "worlds where %s reaches %s (over relation E): %s of %s\n" from_
+              to_ (Nat.to_string sat) (Nat.to_string total)
+          with Idb.Too_many_valuations { total; limit } ->
+            prerr_endline (too_many_msg "reachability counting" total limit);
+            exit 1))
   in
   let doc = "Count worlds where one node reaches another (Datalog over E)." in
   Cmd.v (Cmd.info "reach" ~doc)
-    Cmdliner.Term.(const run $ obs_term $ db_arg $ from_ $ to_)
+    Cmdliner.Term.(const run $ obs_term $ db_arg $ from_ $ to_ $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* repairs                                                             *)

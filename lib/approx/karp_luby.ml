@@ -110,6 +110,8 @@ let events_built = Metrics.counter "karp_luby.events_built"
 let samples_drawn = Metrics.counter "karp_luby.samples_drawn"
 let coverage_hits = Metrics.counter "karp_luby.coverage_hits"
 let estimate_latency = Metrics.histogram "karp_luby.estimate_ns"
+let iex_cache_hits = Metrics.counter "karp_luby.iex_cache_hits"
+let iex_cache_misses = Metrics.counter "karp_luby.iex_cache_misses"
 
 let events q db =
   Trace.with_span "karp_luby.build_events" (fun () ->
@@ -186,39 +188,97 @@ let samples_for ~epsilon ~events =
   if epsilon <= 0. then invalid_arg "Karp_luby.samples_for: epsilon <= 0";
   int_of_float (ceil (4. *. float_of_int events /. (epsilon *. epsilon)))
 
-let exact_via_events q db =
-  let evs = Array.of_list (events q db) in
-  let m = Array.length evs in
-  if m > 20 then
-    invalid_arg "Karp_luby.exact_via_events: too many events for inclusion-exclusion";
+(* Extend [sigma] with one event's bindings, or [None] on conflict. *)
+let rec add_partial sigma = function
+  | [] -> Some sigma
+  | (n, c) :: rest -> (
+    match List.assoc_opt n sigma with
+    | Some c' -> if c = c' then add_partial sigma rest else None
+    | None -> add_partial ((n, c) :: sigma) rest)
+
+let popcount mask =
+  let rec pop m acc = if m = 0 then acc else pop (m land (m - 1)) (acc + 1) in
+  pop mask 0
+
+let signed_term acc mask size =
+  Zint.add acc (if popcount mask land 1 = 1 then size else Zint.neg size)
+
+(* The straightforward 2^m loop: every subset's merged valuation is
+   rebuilt from scratch.  Kept as the reference the memoized path is
+   tested against. *)
+let exact_unmemoized evs m db =
   let acc = ref Zint.zero in
   for mask = 1 to (1 lsl m) - 1 do
     (* Merge the partial valuations of the chosen events. *)
     let rec merge i sigma =
       if i = m then Some sigma
       else if mask land (1 lsl i) = 0 then merge (i + 1) sigma
-      else begin
-        let rec add sigma = function
-          | [] -> Some sigma
-          | (n, c) :: rest ->
-            (match List.assoc_opt n sigma with
-            | Some c' -> if c = c' then add sigma rest else None
-            | None -> add ((n, c) :: sigma) rest)
-        in
-        match add sigma evs.(i).partial with
+      else
+        match add_partial sigma evs.(i).partial with
         | Some sigma' -> merge (i + 1) sigma'
         | None -> None
-      end
     in
     match merge 0 [] with
     | None -> ()
     | Some sigma ->
-      let size = Zint.of_nat (event_size db sigma) in
-      let bits =
-        let rec pop m acc = if m = 0 then acc else pop (m land (m - 1)) (acc + 1) in
-        pop mask 0
-      in
-      acc :=
-        Zint.add !acc (if bits land 1 = 1 then size else Zint.neg size)
+      acc := signed_term !acc mask (Zint.of_nat (event_size db sigma))
   done;
   Zint.to_nat !acc
+
+(* Memoized inclusion-exclusion (the Lemma A.13 style term cache the
+   ROADMAP asks for).  Two layers of sharing across the 2^m subsets:
+
+   - the merged partial valuation of a subset extends that of the subset
+     without its lowest event, so sigmas are built incrementally in one
+     O(|partial|) step per mask (with tail sharing), and a conflict in a
+     subset kills all its supersets without re-merging them;
+
+   - an event term |sigma| depends only on WHICH nulls sigma fixes, not
+     on their values, so term sizes are cached keyed on the sorted fixed-
+     null name set.  Subsets that fix the same nulls (ubiquitous when
+     events range over the same tuples with different witness values)
+     share one size computation; the hit/miss counters make the sharing
+     observable. *)
+let exact_memoized evs m db =
+  let nmasks = 1 lsl m in
+  let sigmas = Array.make nmasks (Some []) in
+  let size_of_fixed : (string list, Zint.t) Hashtbl.t = Hashtbl.create 64 in
+  let acc = ref Zint.zero in
+  for mask = 1 to nmasks - 1 do
+    let low =
+      (* index of the lowest set bit *)
+      let rec go i = if mask land (1 lsl i) <> 0 then i else go (i + 1) in
+      go 0
+    in
+    let rest = mask land (mask - 1) in
+    let sigma =
+      match sigmas.(rest) with
+      | None -> None
+      | Some sigma -> add_partial sigma evs.(low).partial
+    in
+    sigmas.(mask) <- sigma;
+    match sigma with
+    | None -> ()
+    | Some sigma ->
+      let fixed = List.sort String.compare (List.map fst sigma) in
+      let size =
+        match Hashtbl.find_opt size_of_fixed fixed with
+        | Some z ->
+          Metrics.incr iex_cache_hits;
+          z
+        | None ->
+          Metrics.incr iex_cache_misses;
+          let z = Zint.of_nat (event_size db sigma) in
+          Hashtbl.replace size_of_fixed fixed z;
+          z
+      in
+      acc := signed_term !acc mask size
+  done;
+  Zint.to_nat !acc
+
+let exact_via_events ?(memo = true) q db =
+  let evs = Array.of_list (events q db) in
+  let m = Array.length evs in
+  if m > 20 then
+    invalid_arg "Karp_luby.exact_via_events: too many events for inclusion-exclusion";
+  if memo then exact_memoized evs m db else exact_unmemoized evs m db

@@ -44,5 +44,14 @@ val samples_for : epsilon:float -> events:int -> int
 
 (** [exact_via_events q db] computes [#Val] exactly by inclusion–exclusion
     over the events — exponential in the number of events, used in tests
-    to validate the event construction on small instances. *)
-val exact_via_events : Query.t -> Idb.t -> Nat.t
+    to validate the event construction on small instances, and as the
+    [Event_inclusion_exclusion] engine of [Count_val.count_query].
+
+    With [memo] (the default), subset terms are shared: each subset's
+    merged partial valuation extends the subset's without its lowest
+    event (so conflicts prune whole supersets), and term sizes are cached
+    keyed on the fixed-null name set, with
+    [karp_luby.iex_cache_hits]/[..._misses] counters recording the
+    sharing.  [~memo:false] recomputes every subset from scratch; both
+    paths return identical counts. *)
+val exact_via_events : ?memo:bool -> Query.t -> Idb.t -> Nat.t

@@ -415,7 +415,7 @@ let dispatch query db =
       else if candidates_worthwhile db then Candidate_enumeration
       else Brute_force)
 
-let count ?brute_limit q db =
+let count ?brute_limit ?(jobs = 1) q db =
   Trace.with_span "count_comp.count" (fun () ->
       let algo = dispatch (Some q) db in
       Log.debugf "count_comp: %s -> %s" (Cq.to_string q)
@@ -432,10 +432,10 @@ let count ?brute_limit q db =
       | Brute_force ->
         ( algo,
           Trace.with_span "count_comp.completion_dedup" (fun () ->
-              Incdb_incomplete.Brute.count_completions ?limit:brute_limit
+              Incdb_par.Brute_par.count_completions ?limit:brute_limit ~jobs
                 (Query.Bcq q) db) ))
 
-let count_all ?brute_limit db =
+let count_all ?brute_limit ?(jobs = 1) db =
   Trace.with_span "count_comp.count" (fun () ->
       let algo = dispatch None db in
       Log.debugf "count_comp: <all completions> -> %s" (algorithm_to_string algo);
@@ -449,5 +449,5 @@ let count_all ?brute_limit db =
       | Brute_force ->
         ( algo,
           Trace.with_span "count_comp.completion_dedup" (fun () ->
-              Incdb_incomplete.Brute.count_all_completions ?limit:brute_limit db)
-        ))
+              Incdb_par.Brute_par.count_all_completions ?limit:brute_limit ~jobs
+                db) ))

@@ -52,9 +52,13 @@ val uniform_unary : ?query:Cq.t -> Idb.t -> Nat.t
 val uniform_symbolic :
   ?query:Cq.t -> Incdb_incomplete.Idb.fact list -> domain_size:int -> Nat.t
 
-(** [count ?brute_limit q db] dispatches: the Theorem 4.6 algorithm when
-    it applies, brute-force enumeration otherwise. *)
-val count : ?brute_limit:int -> Cq.t -> Idb.t -> algorithm * Nat.t
+(** [count ?brute_limit ?jobs q db] dispatches: the Theorem 4.6 algorithm
+    when it applies, brute-force enumeration otherwise.  [jobs] (default
+    1: sequential; 0: auto-detect) shards the brute-force completion
+    dedup across domains, merging the per-shard completion sets by union.
+    @raise Idb.Too_many_valuations if enumeration is needed but the
+    instance exceeds [brute_limit] valuations. *)
+val count : ?brute_limit:int -> ?jobs:int -> Cq.t -> Idb.t -> algorithm * Nat.t
 
-(** [count_all ?brute_limit db] counts all completions (no query). *)
-val count_all : ?brute_limit:int -> Idb.t -> algorithm * Nat.t
+(** [count_all ?brute_limit ?jobs db] counts all completions (no query). *)
+val count_all : ?brute_limit:int -> ?jobs:int -> Idb.t -> algorithm * Nat.t

@@ -683,7 +683,12 @@ let uniform_symbolic q facts ~domain_size =
 module Trace = Incdb_obs.Trace
 module Log = Incdb_obs.Log
 
-let count ?brute_limit q db =
+(* Brute-force routed through the sharded engine; [jobs = 1] (the
+   default) is exactly the sequential [Brute] code path. *)
+let brute_force ?limit ?(jobs = 1) q db =
+  Incdb_par.Brute_par.count_valuations ?limit ~jobs q db
+
+let count ?brute_limit ?jobs q db =
   Trace.with_span "count_val.count" (fun () ->
       (* Phase 1: pattern matching -- decide which closed form applies. *)
       let algo =
@@ -713,12 +718,11 @@ let count ?brute_limit q db =
       | Brute_force | Event_inclusion_exclusion ->
         ( Brute_force,
           Trace.with_span "count_val.brute_force" (fun () ->
-              Incdb_incomplete.Brute.count_valuations ?limit:brute_limit
-                (Query.Bcq q) db) ))
+              brute_force ?limit:brute_limit ?jobs (Query.Bcq q) db) ))
 
-let count_query ?brute_limit ?(event_limit = 20) q db =
+let count_query ?brute_limit ?(event_limit = 20) ?jobs q db =
   match q with
-  | Query.Bcq cq -> count ?brute_limit cq db
+  | Query.Bcq cq -> count ?brute_limit ?jobs cq db
   | Query.Union _ | Query.Bcq_neq _ ->
     Trace.with_span "count_val.count" (fun () ->
         let events =
@@ -732,11 +736,9 @@ let count_query ?brute_limit ?(event_limit = 20) q db =
         else
           ( Brute_force,
             Trace.with_span "count_val.brute_force" (fun () ->
-                Incdb_incomplete.Brute.count_valuations ?limit:brute_limit q db)
-          ))
+                brute_force ?limit:brute_limit ?jobs q db) ))
   | Query.Not _ | Query.Semantic _ ->
     Trace.with_span "count_val.count" (fun () ->
         ( Brute_force,
           Trace.with_span "count_val.brute_force" (fun () ->
-              Incdb_incomplete.Brute.count_valuations ?limit:brute_limit q db)
-        ))
+              brute_force ?limit:brute_limit ?jobs q db) ))

@@ -72,16 +72,25 @@ val uniform_symbolic : Cq.t -> Idb.fact list -> domain_size:int -> Nat.t
 val uniform_weighted :
   Cq.t -> Incdb_incomplete.Idb.t -> weight:(string -> Qnum.t) -> Qnum.t
 
-(** [count ?brute_limit q db] picks the matching tractable algorithm for
-    [(q, db)] or falls back to brute force, and reports which one ran.
-    @raise Invalid_argument if brute force is needed but the instance
-    exceeds [brute_limit] valuations. *)
-val count : ?brute_limit:int -> Cq.t -> Idb.t -> algorithm * Nat.t
+(** [count ?brute_limit ?jobs q db] picks the matching tractable algorithm
+    for [(q, db)] or falls back to brute force, and reports which one ran.
+    [jobs] (default 1: the sequential path; 0: auto-detect) shards the
+    brute-force fallback across that many domains — the closed-form
+    algorithms are already polynomial and run in the calling domain.
+    @raise Idb.Too_many_valuations if brute force is needed but the
+    instance exceeds [brute_limit] valuations. *)
+val count : ?brute_limit:int -> ?jobs:int -> Cq.t -> Idb.t -> algorithm * Nat.t
 
-(** [count_query ?brute_limit ?event_limit q db] extends {!count} to the
-    full query language: single BCQs route through {!count}; other
-    monotone queries (unions, inequalities) use exact inclusion–exclusion
-    over the Karp–Luby events when at most [event_limit] (default 20)
-    events exist; everything else enumerates. *)
+(** [count_query ?brute_limit ?event_limit ?jobs q db] extends {!count} to
+    the full query language: single BCQs route through {!count}; other
+    monotone queries (unions, inequalities) use exact (memoized)
+    inclusion–exclusion over the Karp–Luby events when at most
+    [event_limit] (default 20) events exist; everything else enumerates
+    ([jobs] shards that enumeration as in {!count}). *)
 val count_query :
-  ?brute_limit:int -> ?event_limit:int -> Query.t -> Idb.t -> algorithm * Nat.t
+  ?brute_limit:int ->
+  ?event_limit:int ->
+  ?jobs:int ->
+  Query.t ->
+  Idb.t ->
+  algorithm * Nat.t

@@ -50,10 +50,14 @@ let completions ?limit db = Cdb_set.elements (fold_completions ?limit db)
 let count_all_completions ?limit db =
   Nat.of_int (Cdb_set.cardinal (fold_completions ?limit db))
 
+(* Bags are the sorted fact lists produced by [Idb.apply_bag]; compare
+   them structurally through the Cdb fact order rather than with the
+   polymorphic [Stdlib.compare], which is slower and breaks silently if
+   the fact representation ever gains non-comparable fields. *)
 module Bag_set = Set.Make (struct
   type t = Cdb.fact list
 
-  let compare = Stdlib.compare
+  let compare = List.compare Cdb.compare_fact
 end)
 
 let count_all_completions_bag ?limit db =

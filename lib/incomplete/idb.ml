@@ -142,16 +142,47 @@ let total_valuations db =
   Nat.product
     (List.map (fun n -> Nat.of_int (List.length (domain_of db n))) db.null_order)
 
-let iter_valuations ?(limit = 4_000_000) db f =
-  (match Nat.to_int_opt (total_valuations db) with
+exception Too_many_valuations of { total : Nat.t; limit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Too_many_valuations { total; limit } ->
+      Some
+        (Printf.sprintf "Idb.Too_many_valuations { total = %s; limit = %d }"
+           (Nat.to_string total) limit)
+    | _ -> None)
+
+let check_enumerable ~limit total =
+  match Nat.to_int_opt total with
   | Some t when t <= limit -> ()
-  | _ ->
-    invalid_arg
-      "Idb.iter_valuations: too many valuations for exhaustive enumeration");
+  | _ -> raise (Too_many_valuations { total; limit })
+
+let iter_valuations_prefix ?(limit = 4_000_000) db ~prefix f =
   let names = Array.of_list db.null_order in
-  let doms = Array.map (fun n -> Array.of_list (domain_of db n)) names in
   let k = Array.length names in
+  let p = List.length prefix in
+  if p > k then
+    invalid_arg "Idb.iter_valuations_prefix: prefix longer than the null list";
+  List.iteri
+    (fun i (n, c) ->
+      if names.(i) <> n then
+        invalid_arg
+          (Printf.sprintf
+             "Idb.iter_valuations_prefix: %s is not null #%d in table order" n i);
+      if not (List.mem c (domain_of db n)) then
+        invalid_arg
+          (Printf.sprintf
+             "Idb.iter_valuations_prefix: value %s outside domain of null %s" c
+             n))
+    prefix;
+  (* The limit governs the iterated subspace: the free (non-prefix) nulls. *)
+  check_enumerable ~limit
+    (Nat.product
+       (List.filteri (fun i _ -> i >= p) db.null_order
+       |> List.map (fun n -> Nat.of_int (List.length (domain_of db n)))));
+  let doms = Array.map (fun n -> Array.of_list (domain_of db n)) names in
   let current = Array.make k "" in
+  List.iteri (fun i (_, c) -> current.(i) <- c) prefix;
   let rec go i =
     if i = k then
       f (List.init k (fun j -> (names.(j), current.(j))))
@@ -162,7 +193,9 @@ let iter_valuations ?(limit = 4_000_000) db f =
           go (i + 1))
         doms.(i)
   in
-  go 0
+  go p
+
+let iter_valuations ?limit db f = iter_valuations_prefix ?limit db ~prefix:[] f
 
 let restrict db rels =
   let facts = List.filter (fun f -> List.mem f.rel rels) db.facts in

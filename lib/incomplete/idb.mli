@@ -73,10 +73,28 @@ val apply_bag : t -> valuation -> Cdb.fact list
 (** Total number of valuations: the product of the domain sizes. *)
 val total_valuations : t -> Nat.t
 
+(** Raised by the exhaustive enumerators when the valuation space they
+    would have to walk ([total]) exceeds the caller's [limit]. *)
+exception Too_many_valuations of { total : Nat.t; limit : int }
+
 (** [iter_valuations ?limit db f] enumerates every valuation.
-    @raise Invalid_argument if the total exceeds [limit]
+    @raise Too_many_valuations if the total exceeds [limit]
     (default [4_000_000]). *)
 val iter_valuations : ?limit:int -> t -> (valuation -> unit) -> unit
+
+(** [iter_valuations_prefix ?limit db ~prefix f] enumerates the valuations
+    whose first bindings (in [nulls db] order) are exactly [prefix] — the
+    sharding primitive of the parallel brute-force engines.  The
+    valuations passed to [f] have the same shape and relative order as
+    those of {!iter_valuations}, so iterating every value of the first
+    null as a one-binding prefix visits exactly the sequential stream,
+    partitioned.  The [limit] is checked against the size of the iterated
+    subspace (the free nulls).
+    @raise Too_many_valuations if that subspace exceeds [limit].
+    @raise Invalid_argument if [prefix] does not bind a prefix of
+    [nulls db] in order, or binds a value outside a null's domain. *)
+val iter_valuations_prefix :
+  ?limit:int -> t -> prefix:valuation -> (valuation -> unit) -> unit
 
 (** Restrict the table to the facts of the given relations, keeping the
     domain spec (used by the Lemma 3.3 / 4.1 pattern reductions). *)

@@ -1,0 +1,86 @@
+open Incdb_bignum
+open Incdb_approx
+
+module Trace = Incdb_obs.Trace
+module Metrics = Incdb_obs.Metrics
+module Log = Incdb_obs.Log
+
+(* Shared with the sequential estimator: same counter names, same
+   registered handles. *)
+let samples_drawn = Metrics.counter "karp_luby.samples_drawn"
+let coverage_hits = Metrics.counter "karp_luby.coverage_hits"
+let streams_run = Metrics.counter "karp_luby.streams_run"
+
+(* Enough streams that any plausible domain count divides the work
+   evenly, few enough that tiny sample budgets are not shredded. *)
+let streams = 64
+
+let extends partial valuation =
+  List.for_all (fun (n, c) -> List.assoc_opt n valuation = Some c) partial
+
+(* Hit tally of one stream: [count] samples from the RNG seeded by
+   [(seed, stream)].  Reads only immutable shared state (events, weights,
+   the database); mutates only its own accumulator and atomic counters. *)
+let stream_hits ~seed ~stream ~count db evs weights =
+  let st = Random.State.make [| seed; stream |] in
+  let hits = ref 0 in
+  for _ = 1 to count do
+    Metrics.incr samples_drawn;
+    let i = Sampling.weighted_index st weights in
+    let v = Sampling.random_extension st db evs.(i).Karp_luby.partial in
+    let rec first j =
+      if extends evs.(j).Karp_luby.partial v then j else first (j + 1)
+    in
+    if first 0 = i then begin
+      Metrics.incr coverage_hits;
+      incr hits
+    end
+  done;
+  !hits
+
+let run_estimator ?(jobs = 0) ~seed ~samples q db =
+  if samples <= 0 then invalid_arg "Karp_luby_par.estimate: need positive samples";
+  let jobs = Pool.resolve jobs in
+  let evs = Array.of_list (Karp_luby.events q db) in
+  if Array.length evs = 0 then None
+  else begin
+    let weights = Array.map (fun e -> Nat.to_float e.Karp_luby.size) evs in
+    let total_weight = Array.fold_left ( +. ) 0. weights in
+    let nstreams = min streams samples in
+    (* Stream s draws ceil-or-floor of samples/nstreams so the counts sum
+       to exactly [samples]; the split depends only on [samples], never on
+       [jobs], which is what makes the estimate jobs-invariant. *)
+    let tasks =
+      List.init nstreams (fun s () ->
+          Metrics.incr streams_run;
+          let count =
+            (samples / nstreams) + (if s < samples mod nstreams then 1 else 0)
+          in
+          stream_hits ~seed ~stream:s ~count db evs weights)
+    in
+    let hits =
+      Trace.with_span "karp_luby_par.sample" (fun () ->
+          List.fold_left ( + ) 0 (Pool.run ~jobs tasks))
+    in
+    let rate = float_of_int hits /. float_of_int samples in
+    Metrics.set_gauge "karp_luby.running_estimate" (total_weight *. rate);
+    Log.debugf
+      "karp_luby_par: %d events, %d streams, %d jobs, %d/%d canonical hits, \
+       estimate %.6g"
+      (Array.length evs) nstreams jobs hits samples (total_weight *. rate);
+    Some (total_weight, rate)
+  end
+
+let estimate ?jobs ~seed ~samples q db =
+  Trace.with_span "karp_luby_par.estimate" (fun () ->
+      match run_estimator ?jobs ~seed ~samples q db with
+      | None -> 0.
+      | Some (total_weight, rate) -> total_weight *. rate)
+
+let estimate_with_ci ?jobs ~seed ~samples q db =
+  Trace.with_span "karp_luby_par.estimate" (fun () ->
+      match run_estimator ?jobs ~seed ~samples q db with
+      | None -> (0., 0.)
+      | Some (total_weight, rate) ->
+        let stderr = sqrt (rate *. (1. -. rate) /. float_of_int samples) in
+        (total_weight *. rate, 1.96 *. total_weight *. stderr))

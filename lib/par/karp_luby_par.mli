@@ -1,0 +1,35 @@
+(** Parallel Karp–Luby: the coverage estimator's sample loop fanned out
+    across domains.
+
+    The sample budget is split over a {e fixed} number of independent
+    streams ({!streams}, independent of [jobs]); stream [s] draws its
+    share of the samples from its own RNG, seeded splittably from
+    [(seed, s)], and reports its canonical-coverage hit tally.  The
+    merged estimate is [total_weight * (sum of hits) / samples] — the
+    same statistic as [Karp_luby.estimate], so the FPRAS analysis and
+    the confidence interval of [estimate_with_ci] carry over verbatim.
+
+    Because the stream decomposition does not depend on [jobs], a fixed
+    [(seed, samples)] pair yields a bit-identical estimate for every
+    job count — the determinism guarantee the agreement tests assert.
+    The estimate differs from the sequential [Karp_luby.estimate] for
+    the same seed (a different sample stream), with identical
+    statistical semantics.
+
+    [jobs] defaults to [Pool.recommended ()]; pass [~jobs:1] to run the
+    stream loop in the calling domain. *)
+
+open Incdb_cq
+open Incdb_incomplete
+
+(** Number of independent sample streams the budget is split over. *)
+val streams : int
+
+(** Parallel analogue of [Karp_luby.estimate].
+    @raise Invalid_argument on [samples <= 0] or a non-monotone query. *)
+val estimate : ?jobs:int -> seed:int -> samples:int -> Query.t -> Idb.t -> float
+
+(** Parallel analogue of [Karp_luby.estimate_with_ci]: the estimate and
+    a normal-approximation 95% confidence half-width. *)
+val estimate_with_ci :
+  ?jobs:int -> seed:int -> samples:int -> Query.t -> Idb.t -> float * float

@@ -1,0 +1,81 @@
+module Metrics = Incdb_obs.Metrics
+
+(* Registered eagerly so the pool's activity always shows up in metric
+   exports, at zero when nothing ran in parallel. *)
+let tasks_run = Metrics.counter "par.tasks_run"
+let domains_spawned = Metrics.counter "par.domains_spawned"
+
+let recommended () = Domain.recommended_domain_count ()
+
+let resolve jobs =
+  if jobs < 0 then invalid_arg "Pool.resolve: negative job count"
+  else if jobs = 0 then recommended ()
+  else jobs
+
+type failure = { index : int; exn : exn; bt : Printexc.raw_backtrace }
+
+(* Keep the failure of the lowest-indexed failing task, so which
+   exception the caller sees does not depend on domain scheduling. *)
+let record_failure cell index exn bt =
+  let rec go () =
+    let cur = Atomic.get cell in
+    match cur with
+    | Some f when f.index <= index -> ()
+    | _ ->
+      if not (Atomic.compare_and_set cell cur (Some { index; exn; bt })) then
+        go ()
+  in
+  go ()
+
+let run ~jobs tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else begin
+    let workers = max 1 (min (resolve jobs) n) in
+    if workers = 1 then
+      Array.to_list
+        (Array.map
+           (fun task ->
+             Metrics.incr tasks_run;
+             task ())
+           tasks)
+    else begin
+      let results = Array.make n None in
+      let failure : failure option Atomic.t = Atomic.make None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n && Atomic.get failure = None then begin
+            (match tasks.(i) () with
+            | r ->
+              Metrics.incr tasks_run;
+              results.(i) <- Some r
+            | exception exn ->
+              record_failure failure i exn (Printexc.get_raw_backtrace ()));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned =
+        List.init (workers - 1) (fun _ ->
+            Metrics.incr domains_spawned;
+            Domain.spawn worker)
+      in
+      worker ();
+      List.iter Domain.join spawned;
+      match Atomic.get failure with
+      | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
+      | None ->
+        Array.to_list
+          (Array.map
+             (function
+               | Some r -> r
+               (* Unreachable: every task either stored a result or
+                  recorded the failure re-raised above. *)
+               | None -> assert false)
+             results)
+    end
+  end

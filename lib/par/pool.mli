@@ -1,0 +1,29 @@
+(** A small one-shot domain pool for the parallel counting engines.
+
+    [run ~jobs tasks] executes the thunks of [tasks] on up to [jobs]
+    OCaml 5 domains and returns their results in task order.  The tasks
+    form a chunked work queue (an atomic cursor over the task array), so
+    shards of uneven cost balance automatically; the calling domain
+    participates as a worker, so [jobs = 1] runs everything sequentially
+    in the current domain without spawning.
+
+    Exceptions raised by tasks are captured with their backtraces; after
+    every domain has been joined, the failure of the lowest-indexed
+    failing task is re-raised in the caller.  Once a failure is recorded,
+    workers stop picking up new tasks (tasks already running finish).
+
+    Everything the tasks touch must be domain-safe.  The engines built
+    on this pool only mutate per-task accumulators plus the [Incdb_obs]
+    registries, which are atomic / mutex-guarded by construction. *)
+
+(** [Domain.recommended_domain_count ()]: what [jobs = 0] resolves to. *)
+val recommended : unit -> int
+
+(** Normalize a job-count request: [0] means {!recommended}, positive
+    values are taken as-is.
+    @raise Invalid_argument on a negative request. *)
+val resolve : int -> int
+
+(** Run the tasks and return their results in order.  [jobs] is resolved
+    with {!resolve}, then clamped to the number of tasks. *)
+val run : jobs:int -> (unit -> 'a) list -> 'a list
