@@ -26,7 +26,8 @@ let () =
     Incdb_obs.Runtime.set_enabled false;
     Incdb_obs.Runtime.init_from_env ();
     Timings.run ();
-    Scaling.run ()
+    Scaling.run ();
+    Comp_scaling.run ()
   end;
   let metrics_path =
     match Sys.getenv_opt "INCDB_METRICS_OUT" with

@@ -156,7 +156,16 @@ let count_cmd =
     let doc = "Maximum number of valuations brute force may enumerate." in
     Arg.(value & opt int 4_000_000 & info [ "brute-limit" ] ~doc)
   in
-  let run obs db_path q problem brute_limit jobs =
+  let max_candidates =
+    let doc =
+      "Largest ground-fact universe the completion-counting bitset kernel \
+       may enumerate (the mask space is 2^N subsets, sharded over --jobs)."
+    in
+    Arg.(value
+        & opt int Comp_candidates.default_max_candidates
+        & info [ "max-candidates" ] ~docv:"N" ~doc)
+  in
+  let run obs db_path q problem brute_limit max_candidates jobs =
     with_obs obs (fun () ->
         match load_db db_path with
         | Error msg ->
@@ -179,7 +188,9 @@ let count_cmd =
                  let a, n = Count_val.count ~brute_limit ~jobs q db in
                  (Count_val.algorithm_to_string a, n)
                | `Comp ->
-                 let a, n = Count_comp.count ~brute_limit ~jobs q db in
+                 let a, n =
+                   Count_comp.count ~brute_limit ~max_candidates ~jobs q db
+                 in
                  (Count_comp.algorithm_to_string a, n)
              in
              Printf.printf "algorithm: %s\n" algo_name;
@@ -192,13 +203,21 @@ let count_cmd =
              exit 1
            | Idb.Too_many_valuations { total; limit } ->
              prerr_endline (too_many_msg "this query/database pair" total limit);
+             exit 1
+           | Comp_candidates.Too_many_candidates { universe; limit } ->
+             Printf.eprintf
+               "error: the candidate universe has %d ground facts (limit \
+                %d).\n\
+                Raise --max-candidates, or use `idbcount bounds` for an \
+                estimate.\n"
+               universe limit;
              exit 1))
   in
   let doc = "Count satisfying valuations or completions exactly." in
   Cmd.v (Cmd.info "count" ~doc)
     Cmdliner.Term.(
       const run $ obs_term $ db_arg $ query_opt $ problem $ brute_limit
-      $ jobs_term)
+      $ max_candidates $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                              *)

@@ -126,18 +126,85 @@ let events q db =
       Metrics.incr events_built ~by:(List.length sigmas);
       List.map (fun partial -> { partial; size = event_size db partial }) sigmas)
 
-let extends partial valuation =
-  List.for_all
-    (fun (n, c) -> List.assoc_opt n valuation = Some c)
-    partial
+(* ------------------------------------------------------------------ *)
+(* Compiled events: the sampler's inner loop on ints                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Nulls become slots (indices into [Idb.nulls] order), values become
+   indices into the slot's domain array (domains are duplicate-free, so
+   the encoding is bijective), and an event becomes a slot-sorted
+   [(slot, value)] array — the {!Lineage} slot-assignment clause form.
+   The per-sample first-cover scan then compares machine ints on arrays
+   instead of walking string association lists. *)
+type compiled = {
+  cevents : event array;
+  cweights : float array;
+  ctotal : float;
+  cdomains : string array array; (* per slot, in [Idb.nulls] order *)
+  cfixes : (int * int) array array; (* per event: sorted (slot, value) *)
+}
+
+(* Per-event encodings over the nulls of [db]. *)
+let encode_fixes evs db =
+  let nulls = Array.of_list (Idb.nulls db) in
+  let slot_of = Hashtbl.create 16 in
+  Array.iteri (fun j n -> Hashtbl.replace slot_of n j) nulls;
+  let index_of =
+    Array.map
+      (fun n ->
+        let h = Hashtbl.create 8 in
+        List.iteri (fun k c -> Hashtbl.replace h c k) (Idb.domain_of db n);
+        h)
+      nulls
+  in
+  Array.map
+    (fun e ->
+      List.map
+        (fun (n, c) ->
+          let s = Hashtbl.find slot_of n in
+          (s, Hashtbl.find index_of.(s) c))
+        e.partial
+      |> List.sort Stdlib.compare |> Array.of_list)
+    evs
+
+let compile q db =
+  let cevents = Array.of_list (events q db) in
+  let cdomains =
+    Array.of_list
+      (List.map (fun n -> Array.of_list (Idb.domain_of db n)) (Idb.nulls db))
+  in
+  let cfixes = encode_fixes cevents db in
+  let cweights = Array.map (fun e -> Nat.to_float e.size) cevents in
+  let ctotal = Array.fold_left ( +. ) 0. cweights in
+  { cevents; cweights; ctotal; cdomains; cfixes }
+
+let compiled_size c = Array.length c.cevents
+let compiled_total_weight c = c.ctotal
+let compiled_events c = c.cevents
+
+(* One estimator step.  The RNG is consumed exactly as the uncompiled
+   loop did — [Sampling.weighted_index] on the same weight array, then one
+   [Random.State.int] per free null in [Idb.nulls] order — so estimates
+   are bit-identical to the pre-compilation sampler for any seed. *)
+let sample_hit c st =
+  let i = Sampling.weighted_index st c.cweights in
+  let n = Array.length c.cdomains in
+  let vals = Array.make n (-1) in
+  Array.iter (fun (s, v) -> vals.(s) <- v) c.cfixes.(i);
+  for j = 0 to n - 1 do
+    if Array.unsafe_get vals j < 0 then
+      vals.(j) <- Random.State.int st (Array.length c.cdomains.(j))
+  done;
+  let covers f = Array.for_all (fun (s, v) -> Array.unsafe_get vals s = v) f in
+  let rec first j = if covers c.cfixes.(j) then j else first (j + 1) in
+  first 0 = i
 
 let run_estimator ~seed ~samples q db =
   if samples <= 0 then invalid_arg "Karp_luby.estimate: need positive samples";
-  let evs = Array.of_list (events q db) in
-  if Array.length evs = 0 then None
+  let c = compile q db in
+  if compiled_size c = 0 then None
   else begin
-    let weights = Array.map (fun e -> Nat.to_float e.size) evs in
-    let total_weight = Array.fold_left ( +. ) 0. weights in
+    let total_weight = c.ctotal in
     let st = Random.State.make [| seed |] in
     let hits = ref 0 in
     (* Snapshot the running estimate ~16 times over the run so a trace
@@ -146,14 +213,7 @@ let run_estimator ~seed ~samples q db =
     Trace.with_span "karp_luby.sample" (fun () ->
         for s = 1 to samples do
           Metrics.incr samples_drawn;
-          let i = Sampling.weighted_index st weights in
-          let v = Sampling.random_extension st db evs.(i).partial in
-          (* Count the sample iff i is the canonical (first) event covering
-             the sampled valuation. *)
-          let rec first j =
-            if extends evs.(j).partial v then j else first (j + 1)
-          in
-          if first 0 = i then begin
+          if sample_hit c st then begin
             Metrics.incr coverage_hits;
             incr hits
           end;
@@ -163,7 +223,7 @@ let run_estimator ~seed ~samples q db =
         done);
     let rate = float_of_int !hits /. float_of_int samples in
     Log.debugf "karp_luby: %d events, %d/%d canonical hits, estimate %.6g"
-      (Array.length evs) !hits samples (total_weight *. rate);
+      (compiled_size c) !hits samples (total_weight *. rate);
     Some (total_weight, rate)
   end
 
@@ -276,9 +336,72 @@ let exact_memoized evs m db =
   done;
   Zint.to_nat !acc
 
+(* The mask form of [exact_memoized], through the {!Lineage}
+   slot-assignment clauses: pairwise conflict masks make subset validity
+   one [land] (a set of events is jointly mergeable iff pairwise
+   conflict-free), the fixed-null set of a subset is the [lor] of its
+   events' fixed masks, and term sizes are cached keyed on that int
+   instead of a sorted name list.  Visits the same masks in the same
+   order with the same cache-sharing classes as the list version — counts
+   and the hit/miss counters are identical. *)
+let exact_memoized_masked evs m db =
+  let fixes = encode_fixes evs db in
+  let fixed = Lineage.fixed_masks fixes in
+  let conflicts = Lineage.conflict_masks fixes in
+  let dom_sizes =
+    Array.of_list
+      (List.map
+         (fun n -> Nat.of_int (List.length (Idb.domain_of db n)))
+         (Idb.nulls db))
+  in
+  let nn = Array.length dom_sizes in
+  let size_of_fixed : (int, Zint.t) Hashtbl.t = Hashtbl.create 64 in
+  let size fixedmask =
+    match Hashtbl.find_opt size_of_fixed fixedmask with
+    | Some z ->
+      Metrics.incr iex_cache_hits;
+      z
+    | None ->
+      Metrics.incr iex_cache_misses;
+      let rec free j acc =
+        if j = nn then acc
+        else
+          free (j + 1)
+            (if fixedmask land (1 lsl j) <> 0 then acc
+             else Nat.mul acc dom_sizes.(j))
+      in
+      let z = Zint.of_nat (free 0 Nat.one) in
+      Hashtbl.replace size_of_fixed fixedmask z;
+      z
+  in
+  let nmasks = 1 lsl m in
+  let valid = Array.make nmasks true in
+  let fixedmask = Array.make nmasks 0 in
+  let acc = ref Zint.zero in
+  for mask = 1 to nmasks - 1 do
+    let low =
+      (* index of the lowest set bit *)
+      let rec go i = if mask land (1 lsl i) <> 0 then i else go (i + 1) in
+      go 0
+    in
+    let rest = mask land (mask - 1) in
+    let ok = valid.(rest) && conflicts.(low) land rest = 0 in
+    valid.(mask) <- ok;
+    if ok then begin
+      fixedmask.(mask) <- fixedmask.(rest) lor fixed.(low);
+      acc := signed_term !acc mask (size fixedmask.(mask))
+    end
+  done;
+  Zint.to_nat !acc
+
 let exact_via_events ?(memo = true) q db =
   let evs = Array.of_list (events q db) in
   let m = Array.length evs in
   if m > 20 then
     invalid_arg "Karp_luby.exact_via_events: too many events for inclusion-exclusion";
-  if memo then exact_memoized evs m db else exact_unmemoized evs m db
+  if not memo then exact_unmemoized evs m db
+  else if List.length (Idb.nulls db) > Lineage.max_universe then
+    (* Fixed-null masks need one bit per null; fall back to the list
+       representation on (pathologically) null-rich tables. *)
+    exact_memoized evs m db
+  else exact_memoized_masked evs m db

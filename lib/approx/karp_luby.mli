@@ -24,6 +24,38 @@ type event = { partial : (string * string) list; size : Nat.t }
     @raise Invalid_argument on a non-monotone query. *)
 val events : Query.t -> Idb.t -> event list
 
+(** {2 Compiled events}
+
+    The sampler's inner loop compiled to machine ints: nulls become
+    slots, domain values become indices into the slot's (duplicate-free)
+    domain array, and each event becomes a slot-sorted [(slot, value)]
+    array — {!Incdb_cq.Lineage}'s slot-assignment clause form.  Sampling
+    and the canonical first-cover check then run on int arrays instead of
+    re-matching string association lists per valuation.  The RNG is
+    consumed exactly as the uncompiled sampler did, so estimates are
+    bit-identical for any seed. *)
+
+type compiled
+
+(** [compile q db] builds and encodes the events once.
+    @raise Invalid_argument on a non-monotone query. *)
+val compile : Query.t -> Idb.t -> compiled
+
+(** Number of events ([0] means the query is unsatisfiable: no sampling). *)
+val compiled_size : compiled -> int
+
+(** Sum of event cardinalities (the estimator's scaling weight). *)
+val compiled_total_weight : compiled -> float
+
+(** The underlying events, in canonical order (do not mutate). *)
+val compiled_events : compiled -> event array
+
+(** [sample_hit c st] draws one weighted event, extends its partial
+    valuation uniformly at random, and reports whether the drawn event is
+    the canonical (first) cover of the sampled valuation.  Thread-safe
+    across domains: [c] is read-only, scratch is per-call. *)
+val sample_hit : compiled -> Random.State.t -> bool
+
 (** [estimate ~seed ~samples q db] runs the coverage estimator and returns
     the estimated [#Val(q)(db)].  The standard analysis gives relative
     error [epsilon] with confidence [3/4] once
@@ -47,11 +79,13 @@ val samples_for : epsilon:float -> events:int -> int
     to validate the event construction on small instances, and as the
     [Event_inclusion_exclusion] engine of [Count_val.count_query].
 
-    With [memo] (the default), subset terms are shared: each subset's
-    merged partial valuation extends the subset's without its lowest
-    event (so conflicts prune whole supersets), and term sizes are cached
-    keyed on the fixed-null name set, with
-    [karp_luby.iex_cache_hits]/[..._misses] counters recording the
-    sharing.  [~memo:false] recomputes every subset from scratch; both
-    paths return identical counts. *)
+    With [memo] (the default), subset terms are shared: subset validity
+    is one [land] against precomputed pairwise-conflict masks
+    ({!Incdb_cq.Lineage.conflict_masks} — an invalid subset invalidates
+    all its supersets), the fixed-null set of a subset is the [lor] of
+    its events' fixed-slot masks, and term sizes are cached keyed on that
+    int, with [karp_luby.iex_cache_hits]/[..._misses] counters recording
+    the sharing.  Tables with more nulls than fit one mask word fall back
+    to the equivalent sorted-name-list cache.  [~memo:false] recomputes
+    every subset from scratch; all paths return identical counts. *)
 val exact_via_events : ?memo:bool -> Query.t -> Idb.t -> Nat.t

@@ -10,7 +10,19 @@
     [U = ⋃_f P(f)], which beats brute-force valuation enumeration whenever
     the candidate universe is small — e.g. many nulls over few domain
     values: [R(⊥1) ... R(⊥n)] over [{0,1}] has [2^n] valuations but only
-    [4] candidate sets. *)
+    [4] candidate sets.
+
+    {b The bitset kernel.}  [count] no longer materializes one [Cdb.t] per
+    subset.  It compiles the query to a {!Incdb_cq.Lineage.t} (a DNF of
+    fact-id bitmasks over [U]), precomputes each table fact's ground-image
+    mask ({!Incdb_incomplete.Codd.kernel}), and enumerates candidate masks
+    by recursive prefix descent, maintaining per-fact reachability and
+    per-clause winnability counters incrementally — so star-check failures
+    and query falsification prune whole subtrees, and a leaf costs only
+    the saturating-matching test.  The mask space is split into 64
+    prefix shards executed on {!Incdb_par.Pool}; the shard split is
+    independent of [jobs], so totals (and the [comp_kernel.*] metrics)
+    are bit-identical at any job count. *)
 
 open Incdb_bignum
 open Incdb_cq
@@ -20,8 +32,41 @@ open Incdb_relational
 (** [candidate_facts db] is the ground-fact universe [⋃_f P(f)]. *)
 val candidate_facts : Idb.t -> Cdb.fact list
 
-(** [count ?query ?max_candidates db] counts the completions of the Codd
-    table [db] satisfying [query] (all completions if omitted).
-    @raise Invalid_argument if [db] is not Codd or the candidate universe
-    exceeds [max_candidates] (default 22). *)
-val count : ?query:Query.t -> ?max_candidates:int -> Idb.t -> Nat.t
+(** [universe_within db ~limit] is the candidate universe as a sorted
+    array, or [None] as soon as its size is found to exceed [limit] —
+    grounding stops at [limit + 1] distinct facts, so probing an instance
+    with a huge universe is cheap.  Dispatchers use this to both decide
+    feasibility and hand the materialized universe to {!count}. *)
+val universe_within : Idb.t -> limit:int -> Cdb.fact array option
+
+(** Raised by {!count} when the candidate universe exceeds the cap;
+    carries the actual universe size, mirroring
+    [Idb.Too_many_valuations]. *)
+exception Too_many_candidates of { universe : int; limit : int }
+
+(** Default candidate cap of {!count} (26; the pre-kernel enumerator
+    capped at 22). *)
+val default_max_candidates : int
+
+(** [count ?query ?max_candidates ?jobs ?universe db] counts the
+    completions of the Codd table [db] satisfying [query] (all completions
+    if omitted), sharding the mask space over [jobs] worker domains
+    (default 1; totals are bit-identical at any job count).  Pass
+    [~universe] (as produced by {!universe_within}) to skip re-grounding.
+    @raise Invalid_argument if [db] is not Codd.
+    @raise Too_many_candidates if the candidate universe exceeds
+    [max_candidates] (default {!default_max_candidates}). *)
+val count :
+  ?query:Query.t ->
+  ?max_candidates:int ->
+  ?jobs:int ->
+  ?universe:Cdb.fact array ->
+  Idb.t ->
+  Nat.t
+
+(** The pre-kernel enumerator, kept verbatim: materializes every subset
+    as a [Cdb.t] and evaluates the query on it.  Agreement oracle for the
+    kernel and the "before" leg of the benchmark.
+    @raise Invalid_argument if [db] is not Codd or the universe exceeds
+    [max_candidates] (default 22, the seed ceiling). *)
+val count_reference : ?query:Query.t -> ?max_candidates:int -> Idb.t -> Nat.t

@@ -31,8 +31,7 @@ type value_type = { count : int; covers : int list list }
    that are subsets of [target]; returns lists of class indices. *)
 let minimal_covers ~classes ~target ~missing =
   let allowed =
-    List.filteri (fun _ _ -> true) classes
-    |> List.mapi (fun i m -> (i, m))
+    List.mapi (fun i m -> (i, m)) classes
     |> List.filter (fun (_, m) -> m land target = m && m land missing <> 0)
   in
   let rec subsets = function
@@ -55,10 +54,23 @@ let minimal_covers ~classes ~target ~missing =
 
 (* Decide whether the value types can all be covered within the null
    supplies.  Exhaustive search over cover distributions, memoized on
-   (type index, remaining supplies). *)
+   (type index, remaining supplies).  Supplies are copy-on-write int
+   arrays: an update is one copy + in-place subtractions, and — since a
+   supply array is never mutated after it is used as a key — arrays hash
+   and compare structurally in the memo table just like the lists did. *)
 let covers_feasible types supplies =
   let memo = Hashtbl.create 256 in
-  let rec feasible idx supplies =
+  (* Subtract [amount] from every class of [cover], or [None] if some
+     class runs short. *)
+  let apply (sup : int array) amount cover =
+    if List.for_all (fun cls -> sup.(cls) >= amount) cover then begin
+      let sup' = Array.copy sup in
+      List.iter (fun cls -> sup'.(cls) <- sup'.(cls) - amount) cover;
+      Some sup'
+    end
+    else None
+  in
+  let rec feasible idx (supplies : int array) =
     if idx = Array.length types then true
     else begin
       let key = (idx, supplies) in
@@ -69,59 +81,30 @@ let covers_feasible types supplies =
         let covers = Array.of_list t.covers in
         let k = Array.length covers in
         let result =
-          if t.count > 0 && k = 0 then false
+          if k = 0 then t.count = 0 && feasible (idx + 1) supplies
           else begin
             (* Distribute t.count values among the k covers. *)
             let rec distribute c remaining sup =
-              if c = k - 1 || (k = 0 && remaining = 0) then begin
-                if k = 0 then feasible (idx + 1) sup
-                else begin
-                  (* Last cover takes everything left. *)
-                  let rec apply sup = function
-                    | [] -> Some sup
-                    | cls :: rest ->
-                      let cur = List.nth sup cls in
-                      if cur < remaining then None
-                      else
-                        apply
-                          (List.mapi
-                             (fun i v -> if i = cls then v - remaining else v)
-                             sup)
-                          rest
-                  in
-                  match apply sup covers.(c) with
-                  | Some sup' -> feasible (idx + 1) sup'
-                  | None -> false
-                end
-              end else begin
+              if c = k - 1 then
+                (* Last cover takes everything left. *)
+                match apply sup remaining covers.(c) with
+                | Some sup' -> feasible (idx + 1) sup'
+                | None -> false
+              else begin
                 let rec try_amount a =
                   if a > remaining then false
-                  else begin
-                    let rec apply sup = function
-                      | [] -> Some sup
-                      | cls :: rest ->
-                        let cur = List.nth sup cls in
-                        if cur < a then None
-                        else
-                          apply
-                            (List.mapi
-                               (fun i v -> if i = cls then v - a else v)
-                               sup)
-                            rest
-                    in
-                    match apply sup covers.(c) with
+                  else
+                    match apply sup a covers.(c) with
                     | Some sup' ->
                       distribute (c + 1) (remaining - a) sup' || try_amount (a + 1)
                     | None ->
                       (* Larger amounts only fail harder. *)
                       false
-                  end
                 in
                 try_amount 0
               end
             in
-            if k = 0 then t.count = 0 && feasible (idx + 1) supplies
-            else distribute 0 t.count supplies
+            distribute 0 t.count supplies
           end
         in
         Hashtbl.replace memo key result;
@@ -192,6 +175,7 @@ let uniform_core ?query ~d ~in_dom db =
     in
     let class_masks = List.map fst null_classes in
     let supplies0 = List.map snd null_classes in
+    let supplies0_arr = Array.of_list supplies0 in
     let total_nulls = List.fold_left ( + ) 0 supplies0 in
     (* Constant pools: in-domain constants by exact base class; constants
        outside the domain are fixed, only their coverage matters. *)
@@ -335,7 +319,7 @@ let uniform_core ?query ~d ~in_dom db =
                  end)
                (List.init nvars Fun.id)
            in
-           covers_feasible (Array.of_list types) supplies0
+           covers_feasible (Array.of_list types) supplies0_arr
          end
     in
     (* Enumerate assignments with pool-capacity and total-null bounds,
@@ -400,24 +384,27 @@ let applicable query db =
   | Some q ->
     List.for_all (fun (a : Cq.atom) -> Array.length a.Cq.vars = 1) q
 
-(* The candidate route wins when the ground-fact universe is small while
-   the valuation space is not. *)
-let candidates_worthwhile db =
-  Idb.is_codd db
-  && List.length (Comp_candidates.candidate_facts db) <= 18
-
 module Trace = Incdb_obs.Trace
 module Log = Incdb_obs.Log
 
-let dispatch query db =
+(* The candidate route wins when the ground-fact universe fits the
+   kernel's cap while the valuation space may not.  The probe grounds at
+   most [max_candidates + 1] distinct facts (early exit) and, on success,
+   returns the materialized universe so the counting call does not ground
+   a second time. *)
+let dispatch_with_universe ?(max_candidates = Comp_candidates.default_max_candidates)
+    query db =
   Trace.with_span "count_comp.pattern_match" (fun () ->
-      if applicable query db then Uniform_unary
-      else if candidates_worthwhile db then Candidate_enumeration
-      else Brute_force)
+      if applicable query db then (Uniform_unary, None)
+      else if not (Idb.is_codd db) then (Brute_force, None)
+      else
+        match Comp_candidates.universe_within db ~limit:max_candidates with
+        | Some u -> (Candidate_enumeration, Some u)
+        | None -> (Brute_force, None))
 
-let count ?brute_limit ?(jobs = 1) q db =
+let count ?brute_limit ?max_candidates ?(jobs = 1) q db =
   Trace.with_span "count_comp.count" (fun () ->
-      let algo = dispatch (Some q) db in
+      let algo, universe = dispatch_with_universe ?max_candidates (Some q) db in
       Log.debugf "count_comp: %s -> %s" (Cq.to_string q)
         (algorithm_to_string algo);
       match algo with
@@ -428,16 +415,17 @@ let count ?brute_limit ?(jobs = 1) q db =
       | Candidate_enumeration ->
         ( algo,
           Trace.with_span "count_comp.candidate_enumeration" (fun () ->
-              Comp_candidates.count ~query:(Query.Bcq q) db) )
+              Comp_candidates.count ~query:(Query.Bcq q) ?max_candidates ~jobs
+                ?universe db) )
       | Brute_force ->
         ( algo,
           Trace.with_span "count_comp.completion_dedup" (fun () ->
               Incdb_par.Brute_par.count_completions ?limit:brute_limit ~jobs
                 (Query.Bcq q) db) ))
 
-let count_all ?brute_limit ?(jobs = 1) db =
+let count_all ?brute_limit ?max_candidates ?(jobs = 1) db =
   Trace.with_span "count_comp.count" (fun () ->
-      let algo = dispatch None db in
+      let algo, universe = dispatch_with_universe ?max_candidates None db in
       Log.debugf "count_comp: <all completions> -> %s" (algorithm_to_string algo);
       match algo with
       | Uniform_unary ->
@@ -445,7 +433,7 @@ let count_all ?brute_limit ?(jobs = 1) db =
       | Candidate_enumeration ->
         ( algo,
           Trace.with_span "count_comp.candidate_enumeration" (fun () ->
-              Comp_candidates.count db) )
+              Comp_candidates.count ?max_candidates ~jobs ?universe db) )
       | Brute_force ->
         ( algo,
           Trace.with_span "count_comp.completion_dedup" (fun () ->

@@ -52,13 +52,30 @@ val uniform_unary : ?query:Cq.t -> Idb.t -> Nat.t
 val uniform_symbolic :
   ?query:Cq.t -> Incdb_incomplete.Idb.fact list -> domain_size:int -> Nat.t
 
-(** [count ?brute_limit ?jobs q db] dispatches: the Theorem 4.6 algorithm
-    when it applies, brute-force enumeration otherwise.  [jobs] (default
-    1: sequential; 0: auto-detect) shards the brute-force completion
-    dedup across domains, merging the per-shard completion sets by union.
+(** [count ?brute_limit ?max_candidates ?jobs q db] dispatches: the
+    Theorem 4.6 algorithm when it applies; otherwise, for a Codd table
+    whose candidate universe fits within [max_candidates] (default
+    {!Comp_candidates.default_max_candidates}; probed with an early-exit
+    grounding, and the probed universe is reused by the counting call),
+    the {!Comp_candidates} bitset kernel; brute-force enumeration
+    otherwise.  [jobs] (default 1: sequential; 0: auto-detect) shards the
+    brute-force completion dedup — or the kernel's mask space — across
+    domains; kernel totals are bit-identical at any job count.
     @raise Idb.Too_many_valuations if enumeration is needed but the
     instance exceeds [brute_limit] valuations. *)
-val count : ?brute_limit:int -> ?jobs:int -> Cq.t -> Idb.t -> algorithm * Nat.t
+val count :
+  ?brute_limit:int ->
+  ?max_candidates:int ->
+  ?jobs:int ->
+  Cq.t ->
+  Idb.t ->
+  algorithm * Nat.t
 
-(** [count_all ?brute_limit ?jobs db] counts all completions (no query). *)
-val count_all : ?brute_limit:int -> ?jobs:int -> Idb.t -> algorithm * Nat.t
+(** [count_all ?brute_limit ?max_candidates ?jobs db] counts all
+    completions (no query). *)
+val count_all :
+  ?brute_limit:int ->
+  ?max_candidates:int ->
+  ?jobs:int ->
+  Idb.t ->
+  algorithm * Nat.t

@@ -1,0 +1,126 @@
+open Incdb_relational
+
+let max_universe = Sys.int_size - 1
+
+type t = { clauses : int array; negated : bool }
+
+let clause_count l = Array.length l.clauses
+let is_negated l = l.negated
+let clauses l = l.clauses
+
+let popcount mask =
+  let rec pop m acc = if m = 0 then acc else pop (m land (m - 1)) (acc + 1) in
+  pop mask 0
+
+(* Keep only the minimal clauses of a deduplicated DNF: a clause subsumed
+   by a strict subset is redundant (the subset fires first).  Sorting by
+   popcount lets the filter compare each clause only against already-kept
+   smaller ones. *)
+let minimal clauses =
+  let sorted =
+    List.sort_uniq compare clauses
+    |> List.map (fun c -> (popcount c, c))
+    |> List.sort compare
+  in
+  let kept = ref [] in
+  List.iter
+    (fun (_, c) ->
+      if not (List.exists (fun c' -> c' land c = c') !kept) then
+        kept := c :: !kept)
+    sorted;
+  Array.of_list (List.rev !kept)
+
+let index_universe universe =
+  let idx : (Cdb.fact, int) Hashtbl.t =
+    Hashtbl.create (2 * Array.length universe)
+  in
+  Array.iteri (fun i g -> Hashtbl.replace idx g i) universe;
+  idx
+
+(* Clauses of one BCQ disjunct: every homomorphism into the universe
+   leaves a footprint (the set of image facts); a sub-database satisfies
+   the disjunct iff it contains some footprint. *)
+let cq_clauses ?(neqs = []) idx universe cq =
+  let cdb = Cdb.of_list (Array.to_list universe) in
+  let image h (a : Cq.atom) =
+    Cdb.fact a.Cq.rel (List.map (fun v -> List.assoc v h) (Array.to_list a.Cq.vars))
+  in
+  Cq.homomorphisms cq cdb
+  |> List.filter_map (fun h ->
+         if
+           List.for_all
+             (fun (x, y) -> List.assoc_opt x h <> List.assoc_opt y h)
+             neqs
+         then
+           Some
+             (List.fold_left
+                (fun m a -> m lor (1 lsl Hashtbl.find idx (image h a)))
+                0 cq)
+         else None)
+
+let compile q universe =
+  if Array.length universe > max_universe then None
+  else begin
+    let idx = index_universe universe in
+    let rec go negated = function
+      | Query.Bcq cq -> Some (cq_clauses idx universe cq, negated)
+      | Query.Bcq_neq (cq, neqs) -> Some (cq_clauses ~neqs idx universe cq, negated)
+      | Query.Union cqs ->
+        Some (List.concat_map (cq_clauses idx universe) cqs, negated)
+      | Query.Not q -> go (not negated) q
+      | Query.Semantic _ -> None
+    in
+    Option.map
+      (fun (clauses, negated) -> { clauses = minimal clauses; negated })
+      (go false q)
+  end
+
+let dnf_sat clauses mask =
+  let n = Array.length clauses in
+  let rec go i =
+    if i = n then false
+    else
+      let c = Array.unsafe_get clauses i in
+      c land mask = c || go (i + 1)
+  in
+  go 0
+
+let sat l mask = dnf_sat l.clauses mask <> l.negated
+
+(* ------------------------------------------------------------------ *)
+(* Slot-assignment clauses (the valuation-space face of the same idea) *)
+(* ------------------------------------------------------------------ *)
+
+let fixed_masks fixes =
+  Array.map
+    (fun assigns ->
+      Array.fold_left (fun m (slot, _) -> m lor (1 lsl slot)) 0 assigns)
+    fixes
+
+let compatible a b =
+  (* Both sorted by slot: one linear merge pass. *)
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i = la || j = lb then true
+    else
+      let sa, va = a.(i) and sb, vb = b.(j) in
+      if sa < sb then go (i + 1) j
+      else if sa > sb then go i (j + 1)
+      else va = vb && go (i + 1) (j + 1)
+  in
+  go 0 0
+
+let conflict_masks fixes =
+  let n = Array.length fixes in
+  if n > max_universe then
+    invalid_arg "Lineage.conflict_masks: too many clauses for one mask";
+  let conflicts = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      if not (compatible fixes.(i) fixes.(j)) then begin
+        conflicts.(i) <- conflicts.(i) lor (1 lsl j);
+        conflicts.(j) <- conflicts.(j) lor (1 lsl i)
+      end
+    done
+  done;
+  conflicts

@@ -1,0 +1,80 @@
+(** Query lineage compiled to bitmask DNF.
+
+    In the probabilistic-database tradition (and the Kenig–Suciu model
+    counting line of work), counting over uncertain data reduces to a
+    Boolean formula over ground tuples.  For a monotone query [q] and a
+    finite universe [U] of ground facts, the {e lineage} of [q] over [U]
+    is the DNF whose clauses are the footprints of the homomorphisms of
+    [q] into [U]: a sub-database [S ⊆ U] satisfies [q] iff [S] contains
+    some footprint.  With [|U| <= Sys.int_size - 1], every clause — and
+    every candidate [S] — is a single OCaml int, and query evaluation
+    inside an enumeration over subsets of [U] becomes "some clause mask
+    is a subset of the candidate mask": pure word operations, no
+    allocation.  This is the evaluation kernel behind
+    [Comp_candidates.count]'s candidate-space enumeration.
+
+    The module lives in [incdb_cq] (not [incdb_core]) because the
+    compiler only needs [Query] and [Cdb], and the approximation layer
+    ([Karp_luby]) sits below [incdb_core] in the dependency order yet
+    reuses the slot-assignment helpers for its event compilation. *)
+
+open Incdb_relational
+
+(** Largest universe a clause mask can represent ([Sys.int_size - 1]). *)
+val max_universe : int
+
+(** A compiled lineage: minimal DNF clauses over fact-id bits, with an
+    outer negation flag (so [Not q] compiles when [q] does). *)
+type t
+
+(** Number of (minimal, deduplicated) clauses. *)
+val clause_count : t -> int
+
+(** Whether the compiled query is evaluated as the negation of the DNF. *)
+val is_negated : t -> bool
+
+(** The minimal clause masks themselves, for enumerators that maintain
+    per-clause state incrementally (do not mutate). *)
+val clauses : t -> int array
+
+(** [compile q universe] compiles [q]'s satisfaction over sub-databases
+    of [universe].  Returns [None] when the query cannot be compiled to a
+    mask DNF: opaque [Semantic] queries, or a universe too large for one
+    machine word.  [Not] recurses with the negation flag flipped, so any
+    (iterated) negation of a compilable query compiles. *)
+val compile : Query.t -> Cdb.fact array -> t option
+
+(** [sat l mask] decides whether the sub-database of the universe selected
+    by [mask] satisfies the compiled query.  Semantically equal to
+    [Query.eval q (facts selected by mask)] — property-tested against it. *)
+val sat : t -> int -> bool
+
+(** [dnf_sat clauses mask] is the positive-DNF core of {!sat}: some clause
+    is a subset of [mask]. *)
+val dnf_sat : int array -> int -> bool
+
+(** Number of set bits. *)
+val popcount : int -> int
+
+(** {2 Slot-assignment clauses}
+
+    The valuation-space face of the same compilation: a clause fixes
+    values for a set of {e slots} (null indices), given as an array of
+    [(slot, value)] pairs sorted by slot.  [Karp_luby] compiles its
+    union-of-events representation this way — one clause per match
+    candidate — so the per-sample coverage test and the
+    inclusion–exclusion subset merge run on ints instead of re-matching
+    association lists. *)
+
+(** Per-clause bitmask of the slots it fixes. *)
+val fixed_masks : (int * int) array array -> int array
+
+(** [compatible a b]: no slot assigned different values (both sorted). *)
+val compatible : (int * int) array -> (int * int) array -> bool
+
+(** [conflict_masks fixes]: for each clause, the bitmask of clauses it
+    conflicts with (some shared slot assigned differently).  A set of
+    clauses is jointly mergeable iff it is pairwise conflict-free, which
+    makes subset validity an incremental one-word test.
+    @raise Invalid_argument with more than {!max_universe} clauses. *)
+val conflict_masks : (int * int) array array -> int array

@@ -1,4 +1,3 @@
-open Incdb_bignum
 open Incdb_approx
 
 module Trace = Incdb_obs.Trace
@@ -15,23 +14,16 @@ let streams_run = Metrics.counter "karp_luby.streams_run"
    evenly, few enough that tiny sample budgets are not shredded. *)
 let streams = 64
 
-let extends partial valuation =
-  List.for_all (fun (n, c) -> List.assoc_opt n valuation = Some c) partial
-
 (* Hit tally of one stream: [count] samples from the RNG seeded by
-   [(seed, stream)].  Reads only immutable shared state (events, weights,
-   the database); mutates only its own accumulator and atomic counters. *)
-let stream_hits ~seed ~stream ~count db evs weights =
+   [(seed, stream)], through the compiled sampler ([Karp_luby.sample_hit]
+   is read-only on the compiled events with per-call scratch, so one
+   compiled value is safely shared by every worker domain). *)
+let stream_hits ~seed ~stream ~count compiled =
   let st = Random.State.make [| seed; stream |] in
   let hits = ref 0 in
   for _ = 1 to count do
     Metrics.incr samples_drawn;
-    let i = Sampling.weighted_index st weights in
-    let v = Sampling.random_extension st db evs.(i).Karp_luby.partial in
-    let rec first j =
-      if extends evs.(j).Karp_luby.partial v then j else first (j + 1)
-    in
-    if first 0 = i then begin
+    if Karp_luby.sample_hit compiled st then begin
       Metrics.incr coverage_hits;
       incr hits
     end
@@ -41,11 +33,10 @@ let stream_hits ~seed ~stream ~count db evs weights =
 let run_estimator ?(jobs = 0) ~seed ~samples q db =
   if samples <= 0 then invalid_arg "Karp_luby_par.estimate: need positive samples";
   let jobs = Pool.resolve jobs in
-  let evs = Array.of_list (Karp_luby.events q db) in
-  if Array.length evs = 0 then None
+  let compiled = Karp_luby.compile q db in
+  if Karp_luby.compiled_size compiled = 0 then None
   else begin
-    let weights = Array.map (fun e -> Nat.to_float e.Karp_luby.size) evs in
-    let total_weight = Array.fold_left ( +. ) 0. weights in
+    let total_weight = Karp_luby.compiled_total_weight compiled in
     let nstreams = min streams samples in
     (* Stream s draws ceil-or-floor of samples/nstreams so the counts sum
        to exactly [samples]; the split depends only on [samples], never on
@@ -56,7 +47,7 @@ let run_estimator ?(jobs = 0) ~seed ~samples q db =
           let count =
             (samples / nstreams) + (if s < samples mod nstreams then 1 else 0)
           in
-          stream_hits ~seed ~stream:s ~count db evs weights)
+          stream_hits ~seed ~stream:s ~count compiled)
     in
     let hits =
       Trace.with_span "karp_luby_par.sample" (fun () ->
@@ -67,7 +58,8 @@ let run_estimator ?(jobs = 0) ~seed ~samples q db =
     Log.debugf
       "karp_luby_par: %d events, %d streams, %d jobs, %d/%d canonical hits, \
        estimate %.6g"
-      (Array.length evs) nstreams jobs hits samples (total_weight *. rate);
+      (Karp_luby.compiled_size compiled) nstreams jobs hits samples
+      (total_weight *. rate);
     Some (total_weight, rate)
   end
 
