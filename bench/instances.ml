@@ -38,6 +38,24 @@ let one_unary ~d ~n ~c =
   in
   Idb.make facts (Idb.Uniform dom)
 
+(* Path query instance R(x) ∧ S(x,y) ∧ T(y): [k] unary nulls on each
+   side of a fixed set of S edges, each null over its own copy of a
+   [d]-value domain.  Shared variables plus nonuniform domains keep it
+   outside every closed form, and the compiled lineage is K_{k,k}-dense
+   per edge — the #Val kernel's hard pattern. *)
+let path_chain ~k ~d ~edges =
+  let dom = List.init d (fun i -> "v" ^ string_of_int i) in
+  let side prefix rel =
+    List.init k (fun i ->
+        Idb.fact rel [ Term.null (Printf.sprintf "%s%d" prefix i) ])
+  in
+  let names prefix = List.init k (fun i -> Printf.sprintf "%s%d" prefix i) in
+  Idb.make
+    (side "r" "R"
+    @ List.map (fun (a, b) -> Idb.fact "S" [ Term.const a; Term.const b ]) edges
+    @ side "t" "T")
+    (Idb.Nonuniform (List.map (fun n -> (n, dom)) (names "r" @ names "t")))
+
 let figure1 () =
   Idb.make
     [

@@ -27,7 +27,8 @@ let () =
     Incdb_obs.Runtime.init_from_env ();
     Timings.run ();
     Scaling.run ();
-    Comp_scaling.run ()
+    Comp_scaling.run ();
+    Val_scaling.run ()
   end;
   let metrics_path =
     match Sys.getenv_opt "INCDB_METRICS_OUT" with

@@ -104,6 +104,27 @@ let too_many_msg what (total : Nat.t) limit =
      an estimate."
     what (Nat.to_string total) limit
 
+(* The #Val lineage-elimination kernel knobs, shared by count/approx. *)
+let val_width_bound_term =
+  let doc =
+    "Induced-width bound of the #Val variable-elimination kernel: a \
+     clause component whose elimination would exceed this width is split \
+     by conditioning instead (0 forces pure conditioning)."
+  in
+  Arg.(value
+      & opt int Val_kernel.default_width_bound
+      & info [ "val-width-bound" ] ~docv:"W" ~doc)
+
+let val_max_events_term =
+  let doc =
+    "Largest Karp-Luby event set the #Val kernel compiles; above it (or \
+     with 0 on any satisfiable instance) the dispatcher falls back to \
+     brute-force enumeration."
+  in
+  Arg.(value
+      & opt int Val_kernel.default_max_events
+      & info [ "val-max-events" ] ~docv:"N" ~doc)
+
 (* ------------------------------------------------------------------ *)
 (* classify                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -165,7 +186,8 @@ let count_cmd =
         & opt int Comp_candidates.default_max_candidates
         & info [ "max-candidates" ] ~docv:"N" ~doc)
   in
-  let run obs db_path q problem brute_limit max_candidates jobs =
+  let run obs db_path q problem brute_limit val_width_bound val_max_events
+      max_candidates jobs =
     with_obs obs (fun () ->
         match load_db db_path with
         | Error msg ->
@@ -185,7 +207,10 @@ let count_cmd =
              let algo_name, result =
                match problem with
                | `Val ->
-                 let a, n = Count_val.count ~brute_limit ~jobs q db in
+                 let a, n =
+                   Count_val.count ~brute_limit
+                     ~val_width_bound ~val_max_events ~jobs q db
+                 in
                  (Count_val.algorithm_to_string a, n)
                | `Comp ->
                  let a, n =
@@ -217,7 +242,8 @@ let count_cmd =
   Cmd.v (Cmd.info "count" ~doc)
     Cmdliner.Term.(
       const run $ obs_term $ db_arg $ query_opt $ problem $ brute_limit
-      $ max_candidates $ jobs_term)
+      $ val_width_bound_term $ val_max_events_term $ max_candidates
+      $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                              *)
@@ -234,7 +260,15 @@ let approx_cmd =
         & opt (enum [ ("karp-luby", `Kl); ("monte-carlo", `Mc) ]) `Kl
         & info [ "method"; "m" ] ~doc)
   in
-  let run obs db_path q samples seed meth jobs =
+  let exact_check =
+    let doc =
+      "Also compute the exact #Val through the variable-elimination \
+       kernel (honoring --val-width-bound) and print it next to the \
+       estimate, when the event set fits the kernel's limit."
+    in
+    Arg.(value & flag & info [ "exact-check" ] ~doc)
+  in
+  let run obs db_path q samples seed meth val_width_bound exact_check jobs =
     with_obs obs (fun () ->
         match load_db db_path with
         | Error msg ->
@@ -260,6 +294,16 @@ let approx_cmd =
             | `Mc ->
               Printf.printf "estimate (#Val): %.6g\n"
                 (Incdb_approx.Montecarlo.estimate ~seed ~samples query db));
+            if exact_check then
+              (match
+                 Val_kernel.count ~width_bound:val_width_bound ~jobs query db
+               with
+              | Some n -> Printf.printf "exact (#Val kernel): %s\n" (Nat.to_string n)
+              | None -> ()
+              | exception Val_kernel.Too_many_events { events; limit } ->
+                Printf.printf
+                  "exact (#Val kernel): skipped (%d events exceed limit %d)\n"
+                  events limit);
             Printf.printf "total valuations: %s\n"
               (Nat.to_string (Idb.total_valuations db))
           with Invalid_argument msg ->
@@ -270,7 +314,7 @@ let approx_cmd =
   Cmd.v (Cmd.info "approx" ~doc)
     Cmdliner.Term.(
       const run $ obs_term $ db_arg $ query_opt $ samples $ seed $ meth
-      $ jobs_term)
+      $ val_width_bound_term $ exact_check $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* enumerate                                                           *)

@@ -24,6 +24,14 @@ type event = { partial : (string * string) list; size : Nat.t }
     @raise Invalid_argument on a non-monotone query. *)
 val events : Query.t -> Idb.t -> event list
 
+(** [encode_fixes evs db] encodes each event as a slot-sorted
+    [(slot, value)] array — {!Incdb_cq.Lineage}'s slot-assignment clause
+    form — where slots index [Idb.nulls db] and values index the slot's
+    domain array.  A valuation satisfies the query iff its slot encoding
+    extends some clause, which is what both the compiled sampler and the
+    [Val_kernel] variable-elimination counter consume. *)
+val encode_fixes : event array -> Idb.t -> (int * int) array array
+
 (** {2 Compiled events}
 
     The sampler's inner loop compiled to machine ints: nulls become
@@ -76,8 +84,9 @@ val samples_for : epsilon:float -> events:int -> int
 
 (** [exact_via_events q db] computes [#Val] exactly by inclusion–exclusion
     over the events — exponential in the number of events, used in tests
-    to validate the event construction on small instances, and as the
-    [Event_inclusion_exclusion] engine of [Count_val.count_query].
+    and benchmarks as an independent oracle for the event construction
+    (the dispatcher's exact path for unions now runs through the
+    [Val_kernel] variable-elimination counter instead).
 
     With [memo] (the default), subset terms are shared: subset validity
     is one [land] against precomputed pairwise-conflict masks

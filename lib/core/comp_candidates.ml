@@ -190,11 +190,15 @@ let run_shard ~m ~shard_bits ~prefix ~kernel ~clauses ~sat_mode ~universe
 (* The kernel driver                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Fixed shard granularity (64 shards when the mask space allows it):
-   enough slack for any plausible job count to balance, and — because the
-   split does not depend on [jobs] — per-shard work and metric totals are
-   jobs-invariant, like the counts themselves. *)
-let shard_bits_for m = min m 6
+(* Shard granularity.  At least the 64-way split of small universes, and
+   on large ones enough prefix bits to cap a shard's subtree at 2^16
+   leaf masks — concentrated pruning can no longer strand most of the
+   surviving work in one shard, and the pool's size-halving chunk
+   claiming absorbs the larger shard count without a fixed per-job
+   split.  The split still depends only on [m], never on [jobs], so
+   per-shard work and metric totals stay jobs-invariant, like the
+   counts themselves. *)
+let shard_bits_for m = min m (max 6 (min 12 (m - 16)))
 
 let count ?query ?(max_candidates = default_max_candidates) ?(jobs = 1)
     ?universe db =

@@ -6,14 +6,14 @@ type algorithm =
   | Product_of_domains
   | Codd_per_atom
   | Uniform_block_dp
-  | Event_inclusion_exclusion
+  | Lineage_elimination
   | Brute_force
 
 let algorithm_to_string = function
   | Product_of_domains -> "product-of-domains (Thm 3.6)"
   | Codd_per_atom -> "codd-per-atom (Thm 3.7)"
   | Uniform_block_dp -> "uniform-block-dp (Thm 3.9)"
-  | Event_inclusion_exclusion -> "event inclusion-exclusion"
+  | Lineage_elimination -> "lineage variable elimination (#Val kernel)"
   | Brute_force -> "brute-force enumeration"
 
 module Sset = Set.Make (String)
@@ -181,63 +181,85 @@ let project_basic_singletons q db =
     comps;
   (List.rev !atoms, comps)
 
+(* Shared preprocessing of the three Theorem 3.9 engines: the projected
+   atoms of the basic singletons, the per-group forbidden masks for the
+   Lemma A.13 inclusion–exclusion, and the occurrence / base-coverage
+   masks of the nulls and constants over the projected atoms. *)
+type singleton_setup = {
+  forbidden_all : int list;  (* per basic singleton, the mask of its atoms *)
+  occ_of_null : (string, int) Hashtbl.t;
+  cov_of_const : (string, int) Hashtbl.t;
+  all_nulls : string list;
+}
+
+(* Empty-relation test for singleton components (footnote 2). *)
+let singleton_relations_nonempty q db =
+  List.for_all
+    (fun (c : Conngraph.component) ->
+      match c.Conngraph.atoms with
+      | [ a ] -> Idb.facts_of db a.Cq.rel <> []
+      | _ -> true)
+    (Conngraph.components q)
+
+let singleton_setup q db =
+  let proj, _ = project_basic_singletons q db in
+  let proj = Array.of_list proj in
+  let kk = Array.length proj in
+  let atom_ids = List.init kk Fun.id in
+  let groups =
+    List.sort_uniq Stdlib.compare
+      (Array.to_list (Array.map (fun p -> p.group) proj))
+  in
+  let group_mask g =
+    List.fold_left
+      (fun m i -> if proj.(i).group = g then m lor (1 lsl i) else m)
+      0 atom_ids
+  in
+  let occ_of_null = Hashtbl.create 16 in
+  let cov_of_const = Hashtbl.create 16 in
+  Array.iteri
+    (fun i p ->
+      List.iter
+        (function
+          | Term.Null n ->
+            let cur = Option.value ~default:0 (Hashtbl.find_opt occ_of_null n) in
+            Hashtbl.replace occ_of_null n (cur lor (1 lsl i))
+          | Term.Const c ->
+            let cur = Option.value ~default:0 (Hashtbl.find_opt cov_of_const c) in
+            Hashtbl.replace cov_of_const c (cur lor (1 lsl i)))
+        p.terms)
+    proj;
+  {
+    forbidden_all = List.map group_mask groups;
+    occ_of_null;
+    cov_of_const;
+    all_nulls = Idb.nulls db;
+  }
+
+let setup_occ s n = Option.value ~default:0 (Hashtbl.find_opt s.occ_of_null n)
+let setup_cov s c = Option.value ~default:0 (Hashtbl.find_opt s.cov_of_const c)
+
+(* Coverage masks of the constants outside [dom_set]: fixed under every
+   valuation.  With [dom_set] empty every table constant is external
+   (the symbolic-domain case). *)
+let setup_external_covers s dom_set =
+  Hashtbl.fold
+    (fun c mask acc -> if Sset.mem c dom_set then acc else mask :: acc)
+    s.cov_of_const []
+
 let uniform_naive q db =
   if not (uniform_shape_ok q) then
     invalid_arg "Count_val.uniform_naive: query contains a hard pattern";
   let dom = uniform_domain db in
   let d = List.length dom in
-  (* Empty-relation test for singleton components (footnote 2). *)
-  let comps = Conngraph.components q in
-  let singleton_ok =
-    List.for_all
-      (fun (c : Conngraph.component) ->
-        match c.Conngraph.atoms with
-        | [ a ] -> Idb.facts_of db a.Cq.rel <> []
-        | _ -> true)
-      comps
-  in
-  if not singleton_ok then Nat.zero
+  if not (singleton_relations_nonempty q db) then Nat.zero
   else begin
-    let proj, _ = project_basic_singletons q db in
-    let proj = Array.of_list proj in
-    let kk = Array.length proj in
-    (* Masks over projected atoms. *)
-    let atom_ids = List.init kk Fun.id in
-    let groups =
-      List.sort_uniq Stdlib.compare (Array.to_list (Array.map (fun p -> p.group) proj))
-    in
-    let group_mask g =
-      List.fold_left
-        (fun m i -> if proj.(i).group = g then m lor (1 lsl i) else m)
-        0 atom_ids
-    in
-    let forbidden_all = List.map group_mask groups in
-    (* Occurrence mask of every null / base-coverage mask of constants. *)
-    let occ_of_null = Hashtbl.create 16 in
-    let cov_of_const = Hashtbl.create 16 in
-    Array.iteri
-      (fun i p ->
-        List.iter
-          (function
-            | Term.Null n ->
-              let cur = Option.value ~default:0 (Hashtbl.find_opt occ_of_null n) in
-              Hashtbl.replace occ_of_null n (cur lor (1 lsl i))
-            | Term.Const c ->
-              let cur = Option.value ~default:0 (Hashtbl.find_opt cov_of_const c) in
-              Hashtbl.replace cov_of_const c (cur lor (1 lsl i)))
-          p.terms)
-      proj;
-    let all_nulls = Idb.nulls db in
-    let constrained_occ n =
-      Option.value ~default:0 (Hashtbl.find_opt occ_of_null n)
-    in
-    let dom_set = Sset.of_list dom in
+    let setup = singleton_setup q db in
+    let forbidden_all = setup.forbidden_all in
+    let all_nulls = setup.all_nulls in
+    let constrained_occ = setup_occ setup in
     (* Out-of-domain constants have a fixed coverage. *)
-    let external_covers =
-      Hashtbl.fold
-        (fun c mask acc -> if Sset.mem c dom_set then acc else mask :: acc)
-        cov_of_const []
-    in
+    let external_covers = setup_external_covers setup (Sset.of_list dom) in
     (* N_S for a subset of groups, identified by the union mask of their
        atoms and the list of their individual forbidden masks. *)
     let n_s sub_forbidden =
@@ -274,9 +296,7 @@ let uniform_naive q db =
         (* DP over domain values; state = remaining nulls per class. *)
         let tbl : (int list, Nat.t) Hashtbl.t = Hashtbl.create 64 in
         Hashtbl.replace tbl (Array.to_list class_sizes) Nat.one;
-        let value_basecov a =
-          Option.value ~default:0 (Hashtbl.find_opt cov_of_const a) land atoms_mask
-        in
+        let value_basecov a = setup_cov setup a land atoms_mask in
         let dead = ref false in
         List.iter
           (fun a ->
@@ -350,55 +370,13 @@ let uniform_weighted q db ~weight =
   in
   if not (Qnum.equal total_mass Qnum.one) then
     invalid_arg "Count_val.uniform_weighted: weights must sum to 1";
-  let comps = Conngraph.components q in
-  let singleton_ok =
-    List.for_all
-      (fun (c : Conngraph.component) ->
-        match c.Conngraph.atoms with
-        | [ a ] -> Idb.facts_of db a.Cq.rel <> []
-        | _ -> true)
-      comps
-  in
-  if not singleton_ok then Qnum.zero
+  if not (singleton_relations_nonempty q db) then Qnum.zero
   else begin
-    let proj, _ = project_basic_singletons q db in
-    let proj = Array.of_list proj in
-    let kk = Array.length proj in
-    let atom_ids = List.init kk Fun.id in
-    let groups =
-      List.sort_uniq Stdlib.compare
-        (Array.to_list (Array.map (fun p -> p.group) proj))
-    in
-    let group_mask g =
-      List.fold_left
-        (fun m i -> if proj.(i).group = g then m lor (1 lsl i) else m)
-        0 atom_ids
-    in
-    let forbidden_all = List.map group_mask groups in
-    let occ_of_null = Hashtbl.create 16 in
-    let cov_of_const = Hashtbl.create 16 in
-    Array.iteri
-      (fun i p ->
-        List.iter
-          (function
-            | Term.Null n ->
-              let cur = Option.value ~default:0 (Hashtbl.find_opt occ_of_null n) in
-              Hashtbl.replace occ_of_null n (cur lor (1 lsl i))
-            | Term.Const c ->
-              let cur = Option.value ~default:0 (Hashtbl.find_opt cov_of_const c) in
-              Hashtbl.replace cov_of_const c (cur lor (1 lsl i)))
-          p.terms)
-      proj;
-    let all_nulls = Idb.nulls db in
-    let constrained_occ n =
-      Option.value ~default:0 (Hashtbl.find_opt occ_of_null n)
-    in
-    let dom_set = Sset.of_list dom in
-    let external_covers =
-      Hashtbl.fold
-        (fun c mask acc -> if Sset.mem c dom_set then acc else mask :: acc)
-        cov_of_const []
-    in
+    let setup = singleton_setup q db in
+    let forbidden_all = setup.forbidden_all in
+    let all_nulls = setup.all_nulls in
+    let constrained_occ = setup_occ setup in
+    let external_covers = setup_external_covers setup (Sset.of_list dom) in
     (* P_S: probability that no basic singleton of S is satisfied; the
        counting DP with binomial allocation weights scaled by w(a)^k. *)
     let p_s sub_forbidden =
@@ -429,10 +407,7 @@ let uniform_weighted q db ~weight =
         let unsafe u = List.exists (fun f -> u land f = f) sub_forbidden in
         let tbl : (int list, Qnum.t) Hashtbl.t = Hashtbl.create 64 in
         Hashtbl.replace tbl (Array.to_list class_sizes) Qnum.one;
-        let value_basecov a =
-          Option.value ~default:0 (Hashtbl.find_opt cov_of_const a)
-          land atoms_mask
-        in
+        let value_basecov a = setup_cov setup a land atoms_mask in
         let dead = ref false in
         List.iter
           (fun a ->
@@ -532,53 +507,14 @@ let uniform_symbolic q facts ~domain_size =
      external to the symbolic domain. *)
   let db = Idb.make facts (Idb.Uniform [ "Â§sym" ]) in
   let d = domain_size in
-  let comps = Conngraph.components q in
-  let singleton_ok =
-    List.for_all
-      (fun (c : Conngraph.component) ->
-        match c.Conngraph.atoms with
-        | [ a ] -> Idb.facts_of db a.Cq.rel <> []
-        | _ -> true)
-      comps
-  in
-  if not singleton_ok then Nat.zero
+  if not (singleton_relations_nonempty q db) then Nat.zero
   else begin
-    let proj, _ = project_basic_singletons q db in
-    let proj = Array.of_list proj in
-    let kk = Array.length proj in
-    let atom_ids = List.init kk Fun.id in
-    let groups =
-      List.sort_uniq Stdlib.compare
-        (Array.to_list (Array.map (fun p -> p.group) proj))
-    in
-    let group_mask g =
-      List.fold_left
-        (fun m i -> if proj.(i).group = g then m lor (1 lsl i) else m)
-        0 atom_ids
-    in
-    let forbidden_all = List.map group_mask groups in
-    let occ_of_null = Hashtbl.create 16 in
-    let cov_of_const = Hashtbl.create 16 in
-    Array.iteri
-      (fun i p ->
-        List.iter
-          (function
-            | Term.Null n ->
-              let cur = Option.value ~default:0 (Hashtbl.find_opt occ_of_null n) in
-              Hashtbl.replace occ_of_null n (cur lor (1 lsl i))
-            | Term.Const c ->
-              let cur = Option.value ~default:0 (Hashtbl.find_opt cov_of_const c) in
-              Hashtbl.replace cov_of_const c (cur lor (1 lsl i)))
-          p.terms)
-      proj;
-    let all_nulls = Idb.nulls db in
-    let constrained_occ n =
-      Option.value ~default:0 (Hashtbl.find_opt occ_of_null n)
-    in
+    let setup = singleton_setup q db in
+    let forbidden_all = setup.forbidden_all in
+    let all_nulls = setup.all_nulls in
+    let constrained_occ = setup_occ setup in
     (* Every table constant is external to the symbolic domain. *)
-    let external_covers =
-      Hashtbl.fold (fun _ mask acc -> mask :: acc) cov_of_const []
-    in
+    let external_covers = setup_external_covers setup Sset.empty in
     let n_s sub_forbidden =
       let atoms_mask = List.fold_left ( lor ) 0 sub_forbidden in
       let ext_unsafe =
@@ -688,7 +624,20 @@ module Log = Incdb_obs.Log
 let brute_force ?limit ?(jobs = 1) q db =
   Incdb_par.Brute_par.count_valuations ?limit ~jobs q db
 
-let count ?brute_limit ?jobs q db =
+(* Try the lineage variable-elimination kernel; [None] means it declined
+   (opaque query, or more events than [max_events] would compile) and the
+   caller should enumerate instead. *)
+let try_kernel ?width_bound ?max_events ?jobs q db =
+  Trace.with_span "count_val.lineage_elimination" (fun () ->
+      match Val_kernel.count ?width_bound ?max_events ?jobs q db with
+      | result -> result
+      | exception Val_kernel.Too_many_events { events; limit } ->
+        Log.debugf
+          "count_val: %d events exceed the kernel limit %d; enumerating"
+          events limit;
+        None)
+
+let count ?brute_limit ?val_width_bound ?val_max_events ?jobs q db =
   Trace.with_span "count_val.count" (fun () ->
       (* Phase 1: pattern matching -- decide which closed form applies. *)
       let algo =
@@ -698,10 +647,11 @@ let count ?brute_limit ?jobs q db =
               Codd_per_atom
             else if uniform_shape_ok q && Idb.is_uniform db then
               Uniform_block_dp
-            else Brute_force)
+            else Lineage_elimination)
       in
       Log.debugf "count_val: %s -> %s" (Cq.to_string q) (algorithm_to_string algo);
-      (* Phase 2: closed-form dispatch or brute-force enumeration. *)
+      (* Phase 2: closed-form dispatch, the compiled-lineage kernel, or
+         brute-force enumeration when the event set is too large. *)
       match algo with
       | Product_of_domains ->
         ( algo,
@@ -715,29 +665,33 @@ let count ?brute_limit ?jobs q db =
         ( algo,
           Trace.with_span "count_val.uniform_block_dp" (fun () ->
               uniform_naive q db) )
-      | Brute_force | Event_inclusion_exclusion ->
-        ( Brute_force,
-          Trace.with_span "count_val.brute_force" (fun () ->
-              brute_force ?limit:brute_limit ?jobs (Query.Bcq q) db) ))
+      | Lineage_elimination | Brute_force -> (
+        match
+          try_kernel ?width_bound:val_width_bound ?max_events:val_max_events
+            ?jobs (Query.Bcq q) db
+        with
+        | Some n -> (Lineage_elimination, n)
+        | None ->
+          ( Brute_force,
+            Trace.with_span "count_val.brute_force" (fun () ->
+                brute_force ?limit:brute_limit ?jobs (Query.Bcq q) db) )))
 
-let count_query ?brute_limit ?(event_limit = 20) ?jobs q db =
+let count_query ?brute_limit ?val_width_bound ?val_max_events ?jobs q db =
   match q with
-  | Query.Bcq cq -> count ?brute_limit ?jobs cq db
-  | Query.Union _ | Query.Bcq_neq _ ->
+  | Query.Bcq cq ->
+    count ?brute_limit ?val_width_bound ?val_max_events ?jobs cq db
+  | Query.Union _ | Query.Bcq_neq _ | Query.Not _ ->
     Trace.with_span "count_val.count" (fun () ->
-        let events =
-          Trace.with_span "count_val.pattern_match" (fun () ->
-              Incdb_approx.Karp_luby.events q db)
-        in
-        if List.length events <= event_limit then
-          ( Event_inclusion_exclusion,
-            Trace.with_span "count_val.event_inclusion_exclusion" (fun () ->
-                Incdb_approx.Karp_luby.exact_via_events q db) )
-        else
+        match
+          try_kernel ?width_bound:val_width_bound ?max_events:val_max_events
+            ?jobs q db
+        with
+        | Some n -> (Lineage_elimination, n)
+        | None ->
           ( Brute_force,
             Trace.with_span "count_val.brute_force" (fun () ->
                 brute_force ?limit:brute_limit ?jobs q db) ))
-  | Query.Not _ | Query.Semantic _ ->
+  | Query.Semantic _ ->
     Trace.with_span "count_val.count" (fun () ->
         ( Brute_force,
           Trace.with_span "count_val.brute_force" (fun () ->

@@ -17,8 +17,10 @@
       values whose state is the vector of unassigned nulls per occurrence
       class — the executable form of the paper's nested block sums.
 
-    {!count} dispatches on the query shape and falls back to brute force
-    (with an enumeration limit) on hard instances. *)
+    {!count} dispatches on the query shape; hard instances go to the
+    {!Val_kernel} lineage variable-elimination kernel, with brute force
+    (under an enumeration limit) only when the kernel's compiled event
+    set would be too large. *)
 
 open Incdb_bignum
 open Incdb_cq
@@ -29,10 +31,11 @@ type algorithm =
   | Product_of_domains  (** Theorem 3.6 *)
   | Codd_per_atom  (** Theorem 3.7 *)
   | Uniform_block_dp  (** Theorem 3.9 *)
-  | Event_inclusion_exclusion
-      (** exact inclusion–exclusion over the Karp–Luby events; used by
-          {!count_query} for unions/inequalities when the event set is
-          small *)
+  | Lineage_elimination
+      (** the {!Val_kernel} bucket-elimination / conditioning counter over
+          compiled Karp–Luby events; handles every hard-pattern BCQ and
+          every union / inequality / negation query whose event set fits
+          the kernel's limit *)
   | Brute_force
 
 val algorithm_to_string : algorithm -> string
@@ -72,24 +75,36 @@ val uniform_symbolic : Cq.t -> Idb.fact list -> domain_size:int -> Nat.t
 val uniform_weighted :
   Cq.t -> Incdb_incomplete.Idb.t -> weight:(string -> Qnum.t) -> Qnum.t
 
-(** [count ?brute_limit ?jobs q db] picks the matching tractable algorithm
-    for [(q, db)] or falls back to brute force, and reports which one ran.
-    [jobs] (default 1: the sequential path; 0: auto-detect) shards the
-    brute-force fallback across that many domains — the closed-form
-    algorithms are already polynomial and run in the calling domain.
+(** [count ?brute_limit ?val_width_bound ?val_max_events ?jobs q db] picks
+    the matching tractable algorithm for [(q, db)] — or, on the hard
+    shapes, the {!Val_kernel} lineage-elimination kernel (with
+    [val_width_bound] as its induced-width bound and [val_max_events] as
+    its event cap) — and reports which one ran.  Brute force remains the
+    fallback when the kernel declines ([Val_kernel.Too_many_events]).
+    [jobs] (default 1: the sequential path; 0: auto-detect) parallelizes
+    the kernel's conditioning branches and the brute-force fallback's
+    shards; counts are bit-identical at every job count.
     @raise Idb.Too_many_valuations if brute force is needed but the
     instance exceeds [brute_limit] valuations. *)
-val count : ?brute_limit:int -> ?jobs:int -> Cq.t -> Idb.t -> algorithm * Nat.t
+val count :
+  ?brute_limit:int ->
+  ?val_width_bound:int ->
+  ?val_max_events:int ->
+  ?jobs:int ->
+  Cq.t ->
+  Idb.t ->
+  algorithm * Nat.t
 
-(** [count_query ?brute_limit ?event_limit ?jobs q db] extends {!count} to
-    the full query language: single BCQs route through {!count}; other
-    monotone queries (unions, inequalities) use exact (memoized)
-    inclusion–exclusion over the Karp–Luby events when at most
-    [event_limit] (default 20) events exist; everything else enumerates
-    ([jobs] shards that enumeration as in {!count}). *)
+(** [count_query ?brute_limit ?val_width_bound ?val_max_events ?jobs q db]
+    extends {!count} to the full query language: single BCQs route
+    through {!count}; unions, inequalities and negations go through the
+    {!Val_kernel} (which handles [Not] by complementing the avoidance
+    count) with brute-force enumeration as the over-limit fallback;
+    opaque [Semantic] queries always enumerate. *)
 val count_query :
   ?brute_limit:int ->
-  ?event_limit:int ->
+  ?val_width_bound:int ->
+  ?val_max_events:int ->
   ?jobs:int ->
   Query.t ->
   Idb.t ->

@@ -1,0 +1,460 @@
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+module Trace = Incdb_obs.Trace
+module Metrics = Incdb_obs.Metrics
+module Log = Incdb_obs.Log
+module Iset = Set.Make (Int)
+
+exception Too_many_events of { events : int; limit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Too_many_events { events; limit } ->
+      Some
+        (Printf.sprintf
+           "Val_kernel.Too_many_events { events = %d; limit = %d }" events
+           limit)
+    | _ -> None)
+
+let default_width_bound = 8
+let default_max_events = 4096
+
+(* Largest factor table the elimination is allowed to materialize; beyond
+   this (or beyond the width bound) a component is split by conditioning
+   instead, so memory stays bounded whatever the instance. *)
+let max_factor_cells = 1 lsl 20
+
+(* Registered eagerly so the kernel's activity always shows up in metric
+   exports, at zero when it never ran. *)
+let events_compiled = Metrics.counter "val_kernel.events_compiled"
+let width_counter = Metrics.counter "val_kernel.width"
+let factors_merged = Metrics.counter "val_kernel.factors_merged"
+let conditioning_splits = Metrics.counter "val_kernel.conditioning_splits"
+let slots_eliminated = Metrics.counter "val_kernel.slots_eliminated"
+
+(* ------------------------------------------------------------------ *)
+(* Reduced domains                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Within one connected component of clauses, a slot's values split into
+   the values some clause mentions (each its own reduced value) and one
+   aggregated "other" value of weight [|dom| - |mentioned|]: the clauses
+   cannot tell the unmentioned values apart, so the factor tables shrink
+   from the domain size to the mention count plus one. *)
+type cctx = {
+  dom : int array;  (* per slot, its full domain size *)
+  vals : (int, int array) Hashtbl.t;  (* per slot, sorted mentioned values *)
+}
+
+let mentioned_values clauses =
+  let sets = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      Array.iter
+        (fun (s, v) ->
+          let cur = Option.value ~default:Iset.empty (Hashtbl.find_opt sets s) in
+          Hashtbl.replace sets s (Iset.add v cur))
+        c)
+    clauses;
+  let out = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun s vs -> Hashtbl.replace out s (Array.of_list (Iset.elements vs)))
+    sets;
+  out
+
+let red_size ctx j =
+  let m = Array.length (Hashtbl.find ctx.vals j) in
+  if ctx.dom.(j) > m then m + 1 else m
+
+(* Weight of reduced value [r] of slot [j]: mentioned values come first
+   (weight 1 each), the trailing "other" bucket aggregates the rest. *)
+let red_weight ctx j r =
+  let m = Array.length (Hashtbl.find ctx.vals j) in
+  if r < m then Nat.one else Nat.of_int (ctx.dom.(j) - m)
+
+let red_index ctx j v =
+  let vals = Hashtbl.find ctx.vals j in
+  let rec go lo hi =
+    if lo >= hi then invalid_arg "Val_kernel.red_index: unmentioned value"
+    else
+      let mid = (lo + hi) / 2 in
+      if vals.(mid) = v then mid
+      else if vals.(mid) < v then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 (Array.length vals)
+
+(* ------------------------------------------------------------------ *)
+(* Factor tables                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A factor: [Nat] weights over the reduced-value tuples of its (sorted)
+   scope, in mixed radix with scope.(0) as the fastest digit. *)
+type factor = { scope : int array; table : Nat.t array }
+
+let scope_pos scope j =
+  let rec go i = if scope.(i) = j then i else go (i + 1) in
+  go 0
+
+let factor_of_clause ctx c =
+  let scope = Array.map fst c in
+  let sizes = Array.map (red_size ctx) scope in
+  let cells = Array.fold_left ( * ) 1 sizes in
+  let table = Array.make cells Nat.one in
+  let idx = ref 0 and stride = ref 1 in
+  Array.iteri
+    (fun k (slot, v) ->
+      idx := !idx + (red_index ctx slot v * !stride);
+      stride := !stride * sizes.(k))
+    c;
+  (* The clause excludes exactly the assignments extending it. *)
+  table.(!idx) <- Nat.zero;
+  { scope; table }
+
+let multiply ctx = function
+  | [ f ] -> f
+  | fs ->
+    let scope =
+      Array.of_list
+        (Iset.elements
+           (List.fold_left
+              (fun acc f ->
+                Array.fold_left (fun a s -> Iset.add s a) acc f.scope)
+              Iset.empty fs))
+    in
+    let k = Array.length scope in
+    let sizes = Array.map (red_size ctx) scope in
+    let cells = Array.fold_left ( * ) 1 sizes in
+    (* Per factor, the stride each merged-scope digit contributes to its
+       own table index (0 when the factor does not constrain the slot). *)
+    let strides_for f =
+      let s = Array.make k 0 in
+      let stride = ref 1 in
+      Array.iter
+        (fun slot ->
+          s.(scope_pos scope slot) <- !stride;
+          stride := !stride * red_size ctx slot)
+        f.scope;
+      s
+    in
+    let tabs = List.map (fun f -> (f.table, strides_for f)) fs in
+    let digits = Array.make k 0 in
+    let table =
+      Array.init cells (fun cell ->
+          let c = ref cell in
+          for i = 0 to k - 1 do
+            digits.(i) <- !c mod sizes.(i);
+            c := !c / sizes.(i)
+          done;
+          List.fold_left
+            (fun acc (tab, str) ->
+              if Nat.is_zero acc then acc
+              else begin
+                let idx = ref 0 in
+                for i = 0 to k - 1 do
+                  idx := !idx + (digits.(i) * str.(i))
+                done;
+                Nat.mul acc tab.(!idx)
+              end)
+            Nat.one tabs)
+    in
+    { scope; table }
+
+let sum_out ctx j f =
+  let sizes = Array.map (red_size ctx) f.scope in
+  let pos = scope_pos f.scope j in
+  let sj = sizes.(pos) in
+  let stride = ref 1 in
+  for i = 0 to pos - 1 do
+    stride := !stride * sizes.(i)
+  done;
+  let stride = !stride in
+  let out_scope =
+    Array.of_list (List.filter (fun s -> s <> j) (Array.to_list f.scope))
+  in
+  let out_cells = Array.length f.table / sj in
+  let out_table = Array.make (max 1 out_cells) Nat.zero in
+  let weights = Array.init sj (fun r -> red_weight ctx j r) in
+  Array.iteri
+    (fun idx v ->
+      if not (Nat.is_zero v) then begin
+        let digit = idx / stride mod sj in
+        let low = idx mod stride in
+        let high = idx / (stride * sj) in
+        let out = low + (high * stride) in
+        out_table.(out) <- Nat.add out_table.(out) (Nat.mul weights.(digit) v)
+      end)
+    f.table;
+  { scope = out_scope; table = out_table }
+
+(* ------------------------------------------------------------------ *)
+(* Elimination order                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Saturating cell-count product, so simulating a wide cluster cannot
+   overflow the machine int (anything past the cap is "too big" anyway). *)
+let cells_mul a b = if a > max_factor_cells / b then max_factor_cells + 1 else a * b
+
+(* Min-degree simulation over the slot-interaction graph (slots adjacent
+   when co-fixed by a clause): returns the order, the induced width (max
+   cluster size) and the largest factor-table cell count the elimination
+   would materialize.  Ties break on the smallest slot index, so the
+   order — and with it every count and metric — is deterministic. *)
+let elimination_order ctx slots clauses =
+  let adj = Hashtbl.create 16 in
+  Array.iter (fun j -> Hashtbl.replace adj j Iset.empty) slots;
+  Array.iter
+    (fun c ->
+      Array.iter
+        (fun (a, _) ->
+          Array.iter
+            (fun (b, _) ->
+              if a <> b then
+                Hashtbl.replace adj a (Iset.add b (Hashtbl.find adj a)))
+            c)
+        c)
+    clauses;
+  let remaining = ref (Iset.of_list (Array.to_list slots)) in
+  let order = ref [] in
+  let width = ref 0 in
+  let max_cells = ref 1 in
+  while not (Iset.is_empty !remaining) do
+    let j, _ =
+      Iset.fold
+        (fun j acc ->
+          let dj = Iset.cardinal (Hashtbl.find adj j) in
+          match acc with
+          | Some (_, d) when d <= dj -> acc
+          | _ -> Some (j, dj))
+        !remaining None
+      |> Option.get
+    in
+    let nbrs = Hashtbl.find adj j in
+    let cluster = Iset.add j nbrs in
+    width := max !width (Iset.cardinal cluster);
+    max_cells :=
+      max !max_cells
+        (Iset.fold (fun s acc -> cells_mul acc (red_size ctx s)) cluster 1);
+    Iset.iter
+      (fun a ->
+        Hashtbl.replace adj a
+          (Iset.remove j
+             (Iset.union (Hashtbl.find adj a) (Iset.remove a nbrs))))
+      nbrs;
+    Hashtbl.remove adj j;
+    remaining := Iset.remove j !remaining;
+    order := j :: !order
+  done;
+  (List.rev !order, !width, !max_cells)
+
+(* Bucket elimination of one component along [order]. *)
+let eliminate ctx order clauses =
+  let factors =
+    ref (Array.to_list (Array.map (factor_of_clause ctx) clauses))
+  in
+  List.iter
+    (fun j ->
+      let touching, rest =
+        List.partition (fun f -> Array.mem j f.scope) !factors
+      in
+      (* Every slot of the component is fixed by some clause and scopes
+         only merge, so a slot stays in scope until eliminated. *)
+      assert (touching <> []);
+      Metrics.incr factors_merged ~by:(List.length touching);
+      Metrics.incr slots_eliminated;
+      let merged = multiply ctx touching in
+      factors := rest @ [ sum_out ctx j merged ])
+    order;
+  List.fold_left (fun acc f -> Nat.mul acc f.table.(0)) Nat.one !factors
+
+(* ------------------------------------------------------------------ *)
+(* Connected components                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Split the clauses into connected components of the slot-interaction
+   graph, each with its sorted slot set, ordered by smallest slot: the
+   components share no slot, so their avoidance counts multiply. *)
+let components clauses =
+  let parent = Hashtbl.create 16 in
+  let rec find x =
+    let p = Hashtbl.find parent x in
+    if p = x then x
+    else begin
+      let r = find p in
+      Hashtbl.replace parent x r;
+      r
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent (max ra rb) (min ra rb)
+  in
+  Array.iter
+    (fun c ->
+      Array.iter
+        (fun (s, _) ->
+          if not (Hashtbl.mem parent s) then Hashtbl.replace parent s s)
+        c;
+      Array.iter (fun (s, _) -> union (fst c.(0)) s) c)
+    clauses;
+  let groups = Hashtbl.create 8 in
+  Array.iter
+    (fun c ->
+      let r = find (fst c.(0)) in
+      let cls, old_slots =
+        Option.value ~default:([], Iset.empty) (Hashtbl.find_opt groups r)
+      in
+      let slots =
+        Array.fold_left (fun acc (s, _) -> Iset.add s acc) old_slots c
+      in
+      Hashtbl.replace groups r (c :: cls, slots))
+    clauses;
+  Hashtbl.fold (fun r (cls, slots) acc -> (r, cls, slots) :: acc) groups []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.map (fun (_, cls, slots) ->
+         ( Array.of_list (List.rev cls),
+           Array.of_list (Iset.elements slots) ))
+
+(* ------------------------------------------------------------------ *)
+(* The solver: #assignments avoiding every clause                      *)
+(* ------------------------------------------------------------------ *)
+
+(* [solve dom clauses live] counts the assignments of the slots [live]
+   that extend no clause ([clauses] is minimal and mentions only live
+   slots).  Slots fixed by no clause contribute their full domain size;
+   each connected component is either eliminated (induced width within
+   bounds) or split by conditioning on its highest-degree slot.  The
+   conditioning branches of the outermost split run on the pool when
+   [jobs <> 1]; branches and components are always combined in a fixed
+   order, so totals are bit-identical at every job count. *)
+let rec solve ~width_bound ~jobs dom clauses live =
+  if Array.exists (fun c -> Array.length c = 0) clauses then Nat.zero
+  else begin
+    let constrained = Iset.of_list (Array.to_list (Lineage.fixes_slots clauses)) in
+    let free_w =
+      Array.fold_left
+        (fun acc j ->
+          if Iset.mem j constrained then acc
+          else Nat.mul acc (Nat.of_int dom.(j)))
+        Nat.one live
+    in
+    if Array.length clauses = 0 then free_w
+    else
+      List.fold_left
+        (fun acc (cls, slots) ->
+          if Nat.is_zero acc then acc
+          else Nat.mul acc (solve_component ~width_bound ~jobs dom cls slots))
+        free_w (components clauses)
+  end
+
+and solve_component ~width_bound ~jobs dom clauses slots =
+  let ctx = { dom; vals = mentioned_values clauses } in
+  let order, width, cells = elimination_order ctx slots clauses in
+  if width <= width_bound && cells <= max_factor_cells then begin
+    Metrics.incr width_counter ~by:width;
+    eliminate ctx order clauses
+  end
+  else begin
+    (* Condition on the highest-degree slot (ties: smallest index): one
+       branch per mentioned value plus one aggregated "other" branch,
+       each a strictly smaller subproblem re-minimized and re-split. *)
+    Metrics.incr conditioning_splits;
+    let degree j =
+      let nbrs =
+        Array.fold_left
+          (fun acc c ->
+            if Array.exists (fun (s, _) -> s = j) c then
+              Array.fold_left (fun a (s, _) -> Iset.add s a) acc c
+            else acc)
+          Iset.empty clauses
+      in
+      Iset.cardinal (Iset.remove j nbrs)
+    in
+    let j =
+      Array.fold_left
+        (fun acc s ->
+          match acc with
+          | Some (_, d) when d >= degree s -> acc
+          | _ -> Some (s, degree s))
+        None slots
+      |> Option.get |> fst
+    in
+    let mvals = Hashtbl.find ctx.vals j in
+    let m = Array.length mvals in
+    let dj = dom.(j) in
+    let rest =
+      Array.of_list (List.filter (fun s -> s <> j) (Array.to_list slots))
+    in
+    let branch v () =
+      match Lineage.condition_fixes clauses ~slot:j ~value:v with
+      | None -> Nat.zero
+      | Some cls ->
+        solve ~width_bound ~jobs:1 dom (Lineage.minimal_fixes cls) rest
+    in
+    let other () =
+      solve ~width_bound ~jobs:1 dom
+        (Lineage.drop_slot_fixes clauses ~slot:j)
+        rest
+    in
+    let tasks =
+      Array.to_list (Array.map branch mvals)
+      @ (if dj > m then [ other ] else [])
+    in
+    let results =
+      if jobs <> 1 then Incdb_par.Pool.run ~jobs tasks
+      else List.map (fun t -> t ()) tasks
+    in
+    let acc = ref Nat.zero in
+    List.iteri
+      (fun i r ->
+        let w = if i < m then Nat.one else Nat.of_int (dj - m) in
+        acc := Nat.add !acc (Nat.mul w r))
+      results;
+    !acc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec strip_negations negated = function
+  | Query.Not q -> strip_negations (not negated) q
+  | q -> (negated, q)
+
+let count ?(width_bound = default_width_bound)
+    ?(max_events = default_max_events) ?(jobs = 1) q db =
+  if width_bound < 0 then
+    invalid_arg "Val_kernel.count: negative width bound";
+  if max_events < 0 then
+    invalid_arg "Val_kernel.count: negative event limit";
+  match strip_negations false q with
+  | _, Query.Semantic _ -> None
+  | negated, core ->
+    Trace.with_span "val_kernel.count" (fun () ->
+        let evs =
+          Trace.with_span "val_kernel.compile_events" (fun () ->
+              Array.of_list (Incdb_approx.Karp_luby.events core db))
+        in
+        let n = Array.length evs in
+        if n > max_events then
+          raise (Too_many_events { events = n; limit = max_events });
+        Metrics.incr events_compiled ~by:n;
+        let clauses =
+          Lineage.minimal_fixes (Incdb_approx.Karp_luby.encode_fixes evs db)
+        in
+        let dom =
+          Array.of_list
+            (List.map
+               (fun nm -> List.length (Idb.domain_of db nm))
+               (Idb.nulls db))
+        in
+        let live = Array.init (Array.length dom) Fun.id in
+        Log.debugf "val_kernel: %d events, %d minimal clauses over %d nulls"
+          n (Array.length clauses) (Array.length dom);
+        let avoid =
+          Trace.with_span "val_kernel.eliminate" (fun () ->
+              solve ~width_bound ~jobs dom clauses live)
+        in
+        let total = Idb.total_valuations db in
+        Some (if negated then avoid else Nat.sub total avoid))

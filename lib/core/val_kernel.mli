@@ -1,0 +1,62 @@
+(** Exact [#Val] by variable elimination over compiled lineage.
+
+    The Karp–Luby event construction (Proposition 5.2) already
+    characterizes the satisfying valuations of a monotone query exactly: a
+    valuation satisfies [q] iff it extends some event, and
+    {!Incdb_approx.Karp_luby.encode_fixes} turns each event into a
+    {!Incdb_cq.Lineage} slot clause — a conjunction of [(null, value)]
+    literals over machine ints.  Counting satisfying valuations is then
+    weighted model counting of a DNF over the nulls, and this kernel does
+    it the knowledge-compilation way instead of enumerating the
+    [∏ |dom(N_i)|] valuation space:
+
+    - count the {e avoiding} assignments (extending no clause) and
+      subtract from the total, flipping for an odd number of outer [Not]s;
+    - split the minimal clause set into connected components of the
+      null-interaction graph (components multiply);
+    - per component, shrink every null's domain to its mentioned values
+      plus one weighted "other" bucket, pick a min-degree elimination
+      order, and run bucket elimination — multiply the factor tables
+      touching the null, marginalize it out with [Nat] weights;
+    - when the simulated induced width (or factor size) exceeds the
+      bound, fall back to {e conditioning}: branch on the highest-degree
+      null's mentioned values plus the aggregated rest, simplify, and
+      recurse on the now smaller (often disconnected) residual problems,
+      so worst-case cost degrades gracefully instead of cliff-ing.
+
+    Branches of an outermost conditioning split run on
+    {!Incdb_par.Pool} when [jobs <> 1]; branch and component results are
+    combined in a fixed order, so counts and metric totals are
+    bit-identical at every job count.  Spans and the
+    [val_kernel.{events_compiled,width,factors_merged,conditioning_splits,
+    slots_eliminated}] counters record what the kernel did. *)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+(** The event set exceeded [max_events]: compiling the lineage would cost
+    more than it saves, the caller should fall back to enumeration. *)
+exception Too_many_events of { events : int; limit : int }
+
+(** Default induced-width bound ([8]) above which a component is split by
+    conditioning rather than eliminated. *)
+val default_width_bound : int
+
+(** Default cap ([4096]) on the number of compiled events. *)
+val default_max_events : int
+
+(** [count ?width_bound ?max_events ?jobs q db] is [Some (#Val(q)(db))]
+    for any query built from monotone parts and [Not] — [None] only for
+    queries containing an opaque [Semantic] leaf.  [jobs] follows the
+    {!Incdb_par.Pool} convention (1 = sequential, 0 = auto-detect);
+    results are bit-identical at every job count.
+    @raise Too_many_events when more than [max_events] events compile.
+    @raise Invalid_argument on a negative [width_bound] or [max_events]. *)
+val count :
+  ?width_bound:int ->
+  ?max_events:int ->
+  ?jobs:int ->
+  Query.t ->
+  Idb.t ->
+  Nat.t option

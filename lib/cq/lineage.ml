@@ -124,3 +124,72 @@ let conflict_masks fixes =
     done
   done;
   conflicts
+
+(* [a] subsumes [b] when every (slot, value) pair of [a] appears in [b]:
+   any assignment matching [b] then matches [a], so [b] is redundant in a
+   disjunction of slot clauses.  Both sorted by slot, one merge pass. *)
+let fixes_subset a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i = la then true
+    else if j = lb then false
+    else
+      let sa, va = a.(i) and sb, vb = b.(j) in
+      if sa < sb then false
+      else if sa > sb then go i (j + 1)
+      else va = vb && go (i + 1) (j + 1)
+  in
+  go 0 0
+
+(* The slot-clause analogue of {!minimal}: sort by length so each clause
+   is only compared against already-kept shorter (or equal-length) ones. *)
+let minimal_fixes fixes =
+  let sorted =
+    List.sort_uniq Stdlib.compare (Array.to_list fixes)
+    |> List.map (fun c -> (Array.length c, c))
+    |> List.sort Stdlib.compare
+  in
+  let kept = ref [] in
+  List.iter
+    (fun (_, c) ->
+      if not (List.exists (fun c' -> fixes_subset c' c) !kept) then
+        kept := c :: !kept)
+    sorted;
+  Array.of_list (List.rev !kept)
+
+module Iset = Set.Make (Int)
+
+let fixes_slots fixes =
+  let slots =
+    Array.fold_left
+      (fun acc c ->
+        Array.fold_left (fun acc (slot, _) -> Iset.add slot acc) acc c)
+      Iset.empty fixes
+  in
+  Array.of_list (Iset.elements slots)
+
+let condition_fixes fixes ~slot ~value =
+  let fired = ref false in
+  let keep = ref [] in
+  Array.iter
+    (fun c ->
+      if not !fired then
+        match Array.find_opt (fun (s, _) -> s = slot) c with
+        | None -> keep := c :: !keep
+        | Some (_, v) ->
+          if v = value then begin
+            let c' =
+              Array.of_list
+                (List.filter (fun (s, _) -> s <> slot) (Array.to_list c))
+            in
+            if Array.length c' = 0 then fired := true else keep := c' :: !keep
+          end
+          (* [v <> value]: the clause can no longer match; drop it. *))
+    fixes;
+  if !fired then None else Some (Array.of_list (List.rev !keep))
+
+let drop_slot_fixes fixes ~slot =
+  Array.of_list
+    (List.filter
+       (fun c -> not (Array.exists (fun (s, _) -> s = slot) c))
+       (Array.to_list fixes))

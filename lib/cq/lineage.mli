@@ -78,3 +78,31 @@ val compatible : (int * int) array -> (int * int) array -> bool
     makes subset validity an incremental one-word test.
     @raise Invalid_argument with more than {!max_universe} clauses. *)
 val conflict_masks : (int * int) array array -> int array
+
+(** [fixes_subset a b]: every pair of [a] occurs in [b] (both sorted by
+    slot).  In a disjunction of slot clauses, [a] then subsumes [b]. *)
+val fixes_subset : (int * int) array -> (int * int) array -> bool
+
+(** Minimal, deduplicated form of a disjunction of slot clauses: clauses
+    subsumed by a (sub)clause are dropped — the slot-assignment analogue
+    of the bitmask {!clauses} minimization.  An empty clause (matches
+    everything) collapses the result to [[| [||] |]]. *)
+val minimal_fixes : (int * int) array array -> (int * int) array array
+
+(** The distinct slots fixed by any clause, sorted ascending. *)
+val fixes_slots : (int * int) array array -> int array
+
+(** [condition_fixes fixes ~slot ~value] restricts the disjunction to the
+    assignments with [slot = value]: clauses fixing [slot] to another
+    value are dropped (they can no longer match), clauses fixing
+    [slot = value] lose that pair.  [None] means some clause became empty
+    — every assignment of the restricted space matches the disjunction. *)
+val condition_fixes :
+  (int * int) array array ->
+  slot:int ->
+  value:int ->
+  (int * int) array array option
+
+(** Clauses not mentioning [slot] — the residual disjunction seen by the
+    assignments whose value at [slot] appears in no clause. *)
+val drop_slot_fixes : (int * int) array array -> slot:int -> (int * int) array array

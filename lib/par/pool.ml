@@ -4,6 +4,7 @@ module Metrics = Incdb_obs.Metrics
    exports, at zero when nothing ran in parallel. *)
 let tasks_run = Metrics.counter "par.tasks_run"
 let domains_spawned = Metrics.counter "par.domains_spawned"
+let chunks_claimed = Metrics.counter "par.chunks_claimed"
 
 let recommended () = Domain.recommended_domain_count ()
 
@@ -44,18 +45,46 @@ let run ~jobs tasks =
       let results = Array.make n None in
       let failure : failure option Atomic.t = Atomic.make None in
       let next = Atomic.make 0 in
+      (* Guided self-scheduling: each claim takes half an even share of
+         the remaining tasks, so chunks start large (few atomic
+         operations while the queue is full) and halve down to single
+         tasks at the tail (no worker left holding a big chunk while the
+         others idle).  The claim sequence — hence which worker runs
+         which task — never affects results: they are stored by index. *)
+      let claim () =
+        let rec go () =
+          let i = Atomic.get next in
+          if i >= n then None
+          else
+            let chunk = max 1 ((n - i) / (2 * workers)) in
+            let stop = min n (i + chunk) in
+            if Atomic.compare_and_set next i stop then begin
+              Metrics.incr chunks_claimed;
+              Some (i, stop)
+            end
+            else go ()
+        in
+        go ()
+      in
       let worker () =
         let rec loop () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n && Atomic.get failure = None then begin
-            (match tasks.(i) () with
-            | r ->
-              Metrics.incr tasks_run;
-              results.(i) <- Some r
-            | exception exn ->
-              record_failure failure i exn (Printexc.get_raw_backtrace ()));
-            loop ()
-          end
+          if Atomic.get failure = None then
+            match claim () with
+            | None -> ()
+            | Some (lo, hi) ->
+              (* A claimed chunk always runs to completion: chunks are
+                 claimed in index order, so the lowest-indexed failing
+                 task is guaranteed to execute and win the failure cell,
+                 whatever the schedule. *)
+              for i = lo to hi - 1 do
+                match tasks.(i) () with
+                | r ->
+                  Metrics.incr tasks_run;
+                  results.(i) <- Some r
+                | exception exn ->
+                  record_failure failure i exn (Printexc.get_raw_backtrace ())
+              done;
+              loop ()
         in
         loop ()
       in

@@ -2,15 +2,24 @@
 
     [run ~jobs tasks] executes the thunks of [tasks] on up to [jobs]
     OCaml 5 domains and returns their results in task order.  The tasks
-    form a chunked work queue (an atomic cursor over the task array), so
-    shards of uneven cost balance automatically; the calling domain
-    participates as a worker, so [jobs = 1] runs everything sequentially
-    in the current domain without spawning.
+    form a dynamically chunked work queue: each claim on the shared
+    atomic cursor takes half an even share of the remaining tasks
+    (guided self-scheduling), so chunks start large — few atomic
+    operations while the queue is full — and halve down to single tasks
+    at the tail, which keeps skewed workloads (pruning-heavy mask
+    shards, uneven conditioning branches) balanced without a
+    jobs-dependent split.  Results are stored by task index, so counts
+    and metric totals are independent of the claim schedule.  The
+    calling domain participates as a worker, and [jobs = 1] runs
+    everything sequentially in the current domain without spawning.
 
     Exceptions raised by tasks are captured with their backtraces; after
     every domain has been joined, the failure of the lowest-indexed
-    failing task is re-raised in the caller.  Once a failure is recorded,
-    workers stop picking up new tasks (tasks already running finish).
+    failing task is re-raised in the caller.  Once a failure is
+    recorded, workers stop claiming new chunks; a claimed chunk always
+    runs to completion, and chunks are claimed in index order, so the
+    lowest-indexed failing task is guaranteed to execute and win
+    whatever the schedule.
 
     Everything the tasks touch must be domain-safe.  The engines built
     on this pool only mutate per-task accumulators plus the [Incdb_obs]

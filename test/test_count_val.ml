@@ -232,7 +232,7 @@ let test_dispatcher_algorithms () =
       (Idb.Uniform [ "0"; "1" ])
   in
   check_algo "R(x), S(x)" naive Count_val.Uniform_block_dp;
-  check_algo "R(x), S(x,y), T(y)" naive Count_val.Brute_force
+  check_algo "R(x), S(x,y), T(y)" naive Count_val.Lineage_elimination
 
 (* ------------------------------------------------------------------ *)
 (* Observability probes must not change any count                      *)

@@ -1,0 +1,248 @@
+(* Tests for the lineage variable-elimination #Val kernel: agreement with
+   brute-force enumeration on random and hand-built hard-pattern
+   instances (including negations and unions), jobs-invariance of the
+   counts, the width-bound conditioning fallback, and the typed
+   event-limit error.  The brute-force enumerator stays in the suite as
+   the kernel's independent oracle. *)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+open Incdb_core
+
+let job_levels = [ 1; 2; 4 ]
+let check_nat = Gen.check_nat
+
+(* Unwrap the kernel's option: every query in this file is compilable. *)
+let kernel ?width_bound ?max_events ?jobs q db =
+  match Val_kernel.count ?width_bound ?max_events ?jobs q db with
+  | Some n -> n
+  | None -> Alcotest.fail "kernel declined a compilable query"
+
+let brute ?jobs q db = Incdb_par.Brute_par.count_valuations ?jobs q db
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let figure1 () =
+  Idb.make
+    [
+      Idb.fact "S" [ Term.const "a"; Term.const "b" ];
+      Idb.fact "S" [ Term.null "n1"; Term.const "a" ];
+      Idb.fact "S" [ Term.const "a"; Term.null "n2" ];
+    ]
+    (Idb.Nonuniform [ ("n1", [ "a"; "b"; "c" ]); ("n2", [ "a"; "b" ]) ])
+
+let test_figure1 () =
+  let db = figure1 () in
+  let q = Query.Bcq (Cq.of_string "S(x,x)") in
+  check_nat "Figure 1: 4 of the 6 valuations satisfy S(x,x)"
+    (Nat.of_int 4) (kernel q db);
+  check_nat "complement via Not" (Nat.of_int 2) (kernel (Query.Not q) db);
+  check_nat "double negation cancels" (Nat.of_int 4)
+    (kernel (Query.Not (Query.Not q)) db)
+
+(* ------------------------------------------------------------------ *)
+(* The hard pattern: R(x), S(x,y), T(y) beyond the closed forms         *)
+(* ------------------------------------------------------------------ *)
+
+(* A path instance with [k] nulls on each side of a fixed S edge set:
+   the query has no closed form (shared variables, non-uniform domains),
+   so the dispatcher must route it through the kernel. *)
+let path_instance ~k ~d ~edges =
+  let dom = List.init d (fun i -> Printf.sprintf "v%d" i) in
+  let side prefix rel =
+    List.init k (fun i ->
+        Idb.fact rel [ Term.null (Printf.sprintf "%s%d" prefix i) ])
+  in
+  let names prefix = List.init k (fun i -> Printf.sprintf "%s%d" prefix i) in
+  Idb.make
+    (side "r" "R"
+    @ List.map (fun (a, b) -> Idb.fact "S" [ Term.const a; Term.const b ]) edges
+    @ side "t" "T")
+    (Idb.Nonuniform
+       (List.map (fun n -> (n, dom)) (names "r" @ names "t")))
+
+let path_query = Cq.of_string "R(x), S(x,y), T(y)"
+
+let test_dispatcher_takes_kernel () =
+  let db = path_instance ~k:3 ~d:3 ~edges:[ ("v0", "v1") ] in
+  let algo, n = Count_val.count path_query db in
+  Alcotest.(check string)
+    "dispatcher picks the kernel"
+    (Count_val.algorithm_to_string Count_val.Lineage_elimination)
+    (Count_val.algorithm_to_string algo);
+  check_nat "dispatcher count = brute force" (brute (Query.Bcq path_query) db) n
+
+let test_path_agreement () =
+  (* K_{k,k}-style clause structure: every (R-null = v0, T-null = v1)
+     pair is an event, so the interaction graph is dense and the kernel
+     must mix elimination with conditioning. *)
+  List.iter
+    (fun (k, d, edges) ->
+      let db = path_instance ~k ~d ~edges in
+      let q = Query.Bcq path_query in
+      let want = brute q db in
+      List.iter
+        (fun jobs ->
+          check_nat
+            (Printf.sprintf "path k=%d d=%d (jobs=%d)" k d jobs)
+            want
+            (kernel ~jobs q db))
+        job_levels;
+      check_nat
+        (Printf.sprintf "path k=%d d=%d negated" k d)
+        (Nat.sub (Idb.total_valuations db) want)
+        (kernel (Query.Not q) db))
+    [
+      (2, 3, [ ("v0", "v1") ]);
+      (4, 3, [ ("v0", "v1"); ("v2", "v0") ]);
+      (5, 4, [ ("v0", "v1") ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Width bound: conditioning fallback returns the same counts           *)
+(* ------------------------------------------------------------------ *)
+
+let test_width_bound_fallback () =
+  let db = path_instance ~k:4 ~d:4 ~edges:[ ("v0", "v1"); ("v2", "v3") ] in
+  let q = Query.Bcq path_query in
+  let reference = kernel q db in
+  (* width_bound 0 forbids elimination outright: the kernel must solve
+     the whole instance by conditioning alone, with identical counts. *)
+  List.iter
+    (fun wb ->
+      check_nat
+        (Printf.sprintf "width_bound=%d agrees with default" wb)
+        reference
+        (kernel ~width_bound:wb q db))
+    [ 0; 1; 2 ];
+  Alcotest.check_raises "negative width bound rejected"
+    (Invalid_argument "Val_kernel.count: negative width bound") (fun () ->
+      ignore (kernel ~width_bound:(-1) q db))
+
+let test_event_limit () =
+  let db = figure1 () in
+  let q = Query.Bcq (Cq.of_string "S(x,x)") in
+  (match kernel q db with
+  | _ -> ()
+  | exception _ -> Alcotest.fail "default limit must admit Figure 1");
+  match Val_kernel.count ~max_events:0 q db with
+  | _ -> Alcotest.fail "expected Too_many_events"
+  | exception Val_kernel.Too_many_events { events; limit } ->
+    Alcotest.(check int) "limit payload" 0 limit;
+    Alcotest.(check bool) "events payload positive" true (events > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_edge_cases () =
+  let db = figure1 () in
+  (* Satisfied by the constant fact alone: every valuation counts. *)
+  check_nat "constant-satisfied query counts all valuations"
+    (Idb.total_valuations db)
+    (kernel (Query.Bcq (Cq.of_string "S(x,y)")) db);
+  (* No matching relation: unsatisfiable, zero valuations. *)
+  check_nat "unsatisfiable query counts none" Nat.zero
+    (kernel (Query.Bcq (Cq.of_string "Z(x)")) db);
+  check_nat "negated unsatisfiable counts all"
+    (Idb.total_valuations db)
+    (kernel (Query.Not (Query.Bcq (Cq.of_string "Z(x)"))) db);
+  (* Semantic queries are opaque to lineage compilation. *)
+  let opaque =
+    Query.Semantic
+      { Query.name = "always"; monotone = true; sem_eval = (fun _ -> true) }
+  in
+  Alcotest.(check bool) "semantic query declined" true
+    (Val_kernel.count opaque db = None)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized agreement with the brute-force oracle                    *)
+(* ------------------------------------------------------------------ *)
+
+let seeds_arb =
+  QCheck.(
+    make (Gen.pair (Gen.int_range 1 1_000_000) (Gen.int_range 1 1_000_000)))
+
+let random_instance (qseed, dseed) =
+  let q = Gen.random_sjfbcq ~seed:qseed in
+  let db =
+    Gen.random_idb ~seed:dseed ~schema:(Gen.schema_of_query q) ~rows:2
+      ~codd:(dseed mod 2 = 0) ~uniform:(dseed mod 3 <> 0)
+  in
+  (q, db)
+
+let prop_kernel_agrees =
+  QCheck.Test.make ~count:80
+    ~name:"kernel #Val = brute force for jobs in {1,2,4}" seeds_arb
+    (fun seeds ->
+      let q, db = random_instance seeds in
+      QCheck.assume (Gen.manageable ~limit:20_000 db);
+      let query = Query.Bcq q in
+      let want = brute query db in
+      List.for_all
+        (fun jobs -> Nat.equal want (kernel ~jobs query db))
+        job_levels)
+
+let prop_kernel_not_agrees =
+  QCheck.Test.make ~count:60
+    ~name:"kernel #Val on Not q = brute force" seeds_arb
+    (fun seeds ->
+      let q, db = random_instance seeds in
+      QCheck.assume (Gen.manageable ~limit:20_000 db);
+      let query = Query.Not (Query.Bcq q) in
+      Nat.equal (brute query db) (kernel query db))
+
+let prop_kernel_union_agrees =
+  QCheck.Test.make ~count:60
+    ~name:"kernel #Val on unions = brute force" seeds_arb
+    (fun (qseed, dseed) ->
+      let q1 = Gen.random_sjfbcq ~seed:qseed in
+      let q2 = Gen.random_sjfbcq ~seed:(qseed + 1) in
+      let db =
+        Gen.random_idb ~seed:dseed
+          ~schema:(Gen.schema_of_query q1 @ Gen.schema_of_query q2)
+          ~rows:2 ~codd:(dseed mod 2 = 0) ~uniform:(dseed mod 3 <> 0)
+      in
+      QCheck.assume (Gen.manageable ~limit:20_000 db);
+      let query = Query.Union [ q1; q2 ] in
+      Nat.equal (brute query db) (kernel query db))
+
+let prop_kernel_tight_width =
+  QCheck.Test.make ~count:40
+    ~name:"width_bound 0 (pure conditioning) = default" seeds_arb
+    (fun seeds ->
+      let q, db = random_instance seeds in
+      QCheck.assume (Gen.manageable ~limit:20_000 db);
+      let query = Query.Bcq q in
+      Nat.equal (kernel query db) (kernel ~width_bound:0 query db))
+
+let () =
+  Alcotest.run "val_kernel"
+    [
+      ( "deterministic",
+        [
+          Alcotest.test_case "figure 1" `Quick test_figure1;
+          Alcotest.test_case "dispatcher routes to kernel" `Quick
+            test_dispatcher_takes_kernel;
+          Alcotest.test_case "hard-pattern agreement" `Quick
+            test_path_agreement;
+          Alcotest.test_case "edge cases" `Quick test_edge_cases;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "width-bound fallback" `Quick
+            test_width_bound_fallback;
+          Alcotest.test_case "typed event limit" `Quick test_event_limit;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_kernel_agrees;
+            prop_kernel_not_agrees;
+            prop_kernel_union_agrees;
+            prop_kernel_tight_width;
+          ] );
+    ]
