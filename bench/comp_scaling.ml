@@ -32,9 +32,10 @@ let counter_delta names f =
   Incdb_obs.Runtime.set_enabled false;
   (y, List.map2 (fun name b -> (name, v name - b)) names before)
 
-(* Kernel vs seed at the seed's ceiling: 22 ground facts, 8 nulls. *)
-let ceiling_row () =
-  let db = Instances.one_unary ~d:22 ~n:8 ~c:0 in
+(* Kernel vs seed at the seed's ceiling: 22 ground facts, 8 nulls (the
+   sizes are parameters so the smoke run can shrink them). *)
+let ceiling_row ?(d = 22) ?(n = 8) () =
+  let db = Instances.one_unary ~d ~n ~c:0 in
   let n_kernel, t_kernel =
     Instances.time (fun () -> Comp_candidates.count ~jobs:1 db)
   in
@@ -50,19 +51,19 @@ let ceiling_row () =
   let checked = List.assoc "comp_kernel.subsets_checked" counters in
   let pruned = List.assoc "comp_kernel.masks_pruned" counters in
   Printf.printf
-    "  kernel vs seed (22 candidates, 8 nulls): kernel %.3fs  seed %.3fs  \
+    "  kernel vs seed (%d candidates, %d nulls): kernel %.3fs  seed %.3fs  \
      (%.0fx; %d of %d subsets reached a leaf)\n\
      %!"
-    t_kernel t_seed (t_seed /. t_kernel) checked (1 lsl 22);
+    d n t_kernel t_seed (t_seed /. t_kernel) checked (1 lsl d);
   Printf.sprintf
-    "    { \"section\": \"comp_kernel:ceiling-22-candidates-8-nulls\", \
+    "    { \"section\": \"comp_kernel:ceiling-%d-candidates-%d-nulls\", \
      \"result\": %S,\n\
     \      \"kernel_seconds\": %.6f, \"seed_seconds\": %.6f,\n\
     \      \"speedup_vs_seed\": %.3f,\n\
     \      \"subsets_checked\": %d, \"masks_pruned\": %d, \
      \"mask_space\": %d }"
-    (Nat.to_string n_kernel) t_kernel t_seed (t_seed /. t_kernel) checked
-    pruned (1 lsl 22)
+    d n (Nat.to_string n_kernel) t_kernel t_seed (t_seed /. t_kernel) checked
+    pruned (1 lsl d)
 
 (* Beyond the seed's reach: 26 candidates, with bit-identical totals at
    every job level. *)
@@ -113,8 +114,8 @@ let beyond_row () =
 
 (* Compiled lineage in the kernel: a query leg over the figure-1 shaped
    nonuniform instance, against the seed with the same query. *)
-let query_row () =
-  let db = Instances.one_unary ~d:20 ~n:10 ~c:2 in
+let query_row ?(d = 20) ?(n = 10) () =
+  let db = Instances.one_unary ~d ~n ~c:2 in
   let q = Incdb_cq.Query.Bcq (Incdb_cq.Cq.of_string "R(x)") in
   let n_kernel, t_kernel =
     Instances.time (fun () -> Comp_candidates.count ~query:q ~jobs:1 db)
@@ -129,16 +130,16 @@ let query_row () =
   in
   let clauses = List.assoc "comp_kernel.clauses_compiled" counters in
   Printf.printf
-    "  kernel with lineage (20 candidates, query R(x)): kernel %.3fs  seed \
+    "  kernel with lineage (%d candidates, query R(x)): kernel %.3fs  seed \
      %.3fs  (%.0fx, %d clauses)\n\
      %!"
-    t_kernel t_seed (t_seed /. t_kernel) clauses;
+    d t_kernel t_seed (t_seed /. t_kernel) clauses;
   Printf.sprintf
-    "    { \"section\": \"comp_kernel:lineage-20-candidates-query\", \
+    "    { \"section\": \"comp_kernel:lineage-%d-candidates-query\", \
      \"result\": %S,\n\
     \      \"kernel_seconds\": %.6f, \"seed_seconds\": %.6f,\n\
     \      \"speedup_vs_seed\": %.3f, \"clauses_compiled\": %d }"
-    (Nat.to_string n_kernel) t_kernel t_seed (t_seed /. t_kernel) clauses
+    d (Nat.to_string n_kernel) t_kernel t_seed (t_seed /. t_kernel) clauses
 
 let run () =
   Printf.printf "\n=== Completion kernel (bitset candidate enumeration) ===\n";
@@ -165,3 +166,12 @@ let run () =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "  completion-kernel data written to %s\n%!" path
+
+(* Tiny sizes for @bench-smoke.  The beyond-seed row has no tiny variant
+   — the seed only refuses above its fixed 22-candidate ceiling — so the
+   smoke run covers the ceiling and lineage paths. *)
+let smoke () =
+  Printf.printf "\n=== Completion kernel (smoke) ===\n%!";
+  let (_ : string) = ceiling_row ~d:10 ~n:4 () in
+  let (_ : string) = query_row ~d:10 ~n:6 () in
+  ()

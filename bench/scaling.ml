@@ -45,49 +45,50 @@ let row_of_times section count times =
 (* Workloads                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let brute_val_row () =
-  let db = Instances.diagonal_codd 4 6 in
+let brute_val_row ?(n = 4) ?(d = 6) () =
+  let db = Instances.diagonal_codd n d in
   let q = Query.Bcq (Cq.of_string "R(x,x)") in
   let count = ref Nat.zero in
   let times =
     List.map
       (fun jobs ->
-        let n, t =
+        let nv, t =
           Instances.time (fun () -> Brute_par.count_valuations ~jobs q db)
         in
-        count := n;
+        count := nv;
         (jobs, t))
       job_levels
   in
-  Printf.printf "  sharded #Val   (8 nulls, domain 6): %s\n%!"
+  Printf.printf "  sharded #Val   (%d nulls, domain %d): %s\n%!" (2 * n) d
     (String.concat "  "
        (List.map (fun (j, t) -> Printf.sprintf "jobs=%d %.3fs" j t) times));
-  row_of_times "brute_val:diagonal-codd-8-nulls-dom-6" (Nat.to_string !count)
-    times
+  row_of_times
+    (Printf.sprintf "brute_val:diagonal-codd-%d-nulls-dom-%d" (2 * n) d)
+    (Nat.to_string !count) times
 
-let brute_comp_row () =
-  let db = Instances.diagonal_codd 3 4 in
+let brute_comp_row ?(n = 3) ?(d = 4) () =
+  let db = Instances.diagonal_codd n d in
   let count = ref Nat.zero in
   let times =
     List.map
       (fun jobs ->
-        let n, t =
+        let nv, t =
           Instances.time (fun () -> Brute_par.count_all_completions ~jobs db)
         in
-        count := n;
+        count := nv;
         (jobs, t))
       job_levels
   in
-  Printf.printf "  sharded #Comp  (6 nulls, domain 4): %s\n%!"
+  Printf.printf "  sharded #Comp  (%d nulls, domain %d): %s\n%!" (2 * n) d
     (String.concat "  "
        (List.map (fun (j, t) -> Printf.sprintf "jobs=%d %.3fs" j t) times));
-  row_of_times "brute_comp:diagonal-codd-6-nulls-dom-4" (Nat.to_string !count)
-    times
+  row_of_times
+    (Printf.sprintf "brute_comp:diagonal-codd-%d-nulls-dom-%d" (2 * n) d)
+    (Nat.to_string !count) times
 
-let karp_luby_row () =
-  let db = Instances.diagonal_codd 20 10 in
+let karp_luby_row ?(n = 20) ?(d = 10) ?(samples = 50_000) () =
+  let db = Instances.diagonal_codd n d in
   let q = Query.Bcq (Cq.of_string "R(x,x)") in
-  let samples = 50_000 in
   let est = ref 0. in
   let times =
     List.map
@@ -100,19 +101,23 @@ let karp_luby_row () =
         (jobs, t))
       job_levels
   in
-  Printf.printf "  parallel KL    (50k samples):       %s\n%!"
+  Printf.printf "  parallel KL    (%dk samples):       %s\n%!"
+    (samples / 1000)
     (String.concat "  "
        (List.map (fun (j, t) -> Printf.sprintf "jobs=%d %.3fs" j t) times));
-  row_of_times "karp_luby:diagonal-codd-40-nulls-50k-samples"
+  row_of_times
+    (Printf.sprintf "karp_luby:diagonal-codd-%d-nulls-%dk-samples" (2 * n)
+       (samples / 1000))
     (Printf.sprintf "%.6g" !est)
     times
 
 (* Memoized vs unmemoized inclusion–exclusion, with cache hit rates
    measured under obs collection. *)
-let memo_row () =
-  (* R(x,x) yields one event per (fact, diagonal value): 4 facts over a
-     4-value domain = 16 events, just under the m <= 20 ceiling. *)
-  let db = Instances.diagonal_codd 4 4 in
+let memo_row ?(n = 4) ?(d = 4) () =
+  (* R(x,x) yields one event per (fact, diagonal value): n facts over a
+     d-value domain = n*d events, which must stay under the m <= 20
+     inclusion-exclusion ceiling. *)
+  let db = Instances.diagonal_codd n d in
   let q = Query.Bcq (Cq.of_string "R(x,x)") in
   let n_memo, t_memo =
     Instances.time (fun () ->
@@ -136,15 +141,16 @@ let memo_row () =
   in
   let rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
   Printf.printf
-    "  memoized IE    (16 events):         memo %.3fs  reference %.3fs  \
+    "  memoized IE    (%d events):         memo %.3fs  reference %.3fs  \
      (%.1fx, term-size cache hit rate %.1f%%)\n%!"
-    t_memo t_ref (t_ref /. t_memo) (100. *. rate);
+    (n * d) t_memo t_ref (t_ref /. t_memo) (100. *. rate);
   Printf.sprintf
-    "    { \"section\": \"memo_ie:diagonal-codd-16-events\", \"result\": %S,\n\
+    "    { \"section\": \"memo_ie:diagonal-codd-%d-events\", \"result\": %S,\n\
     \      \"memo_seconds\": %.6f, \"reference_seconds\": %.6f,\n\
     \      \"speedup_vs_reference\": %.3f,\n\
     \      \"cache_hits\": %d, \"cache_misses\": %d, \"hit_rate\": %.4f }"
-    (Nat.to_string n_memo) t_memo t_ref (t_ref /. t_memo) hits misses rate
+    (n * d) (Nat.to_string n_memo) t_memo t_ref (t_ref /. t_memo) hits misses
+    rate
 
 (* ------------------------------------------------------------------ *)
 
@@ -177,3 +183,11 @@ let run () =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "  scaling data written to %s\n%!" path
+
+let smoke () =
+  Printf.printf "\n=== Multicore scaling (smoke) ===\n%!";
+  let (_ : string) = brute_val_row ~n:2 ~d:3 () in
+  let (_ : string) = brute_comp_row ~n:2 ~d:3 () in
+  let (_ : string) = karp_luby_row ~n:5 ~d:4 ~samples:2_000 () in
+  let (_ : string) = memo_row ~n:3 ~d:3 () in
+  ()

@@ -1,5 +1,7 @@
-(* Bechamel micro-benchmarks: one Test.make per regenerated table/figure
-   (and per algorithmic component), all run in this single executable. *)
+(* Bechamel micro-benchmarks: one probe per regenerated table/figure
+   (and per algorithmic component), all run in this single executable.
+   Each probe is a named [unit -> unit] thunk, so the same list feeds
+   both the bechamel timing run and the one-shot @bench-smoke pass. *)
 
 open Bechamel
 open Toolkit
@@ -9,16 +11,16 @@ open Incdb_core
 open Incdb_graph
 open Incdb_reductions
 
-let figure1_test =
+let figure1_probe =
   let db = Instances.figure1 () in
   let q = Cq.of_string "S(x,x)" in
-  Test.make ~name:"figure1:count-val-and-comp"
-    (Staged.stage (fun () ->
-         let _, a = Count_val.count q db in
-         let _, b = Count_comp.count q db in
-         (a, b)))
+  ( "figure1:count-val-and-comp",
+    fun () ->
+      let _, a = Count_val.count q db in
+      let _, b = Count_comp.count q db in
+      ignore (a, b) )
 
-let table1_test =
+let table1_probe =
   let queries =
     List.map Cq.of_string
       [
@@ -26,70 +28,77 @@ let table1_test =
         "R(x), S(x,y), T(y)"; "R(x,y), S(x,y)";
       ]
   in
-  Test.make ~name:"table1:classify-corpus"
-    (Staged.stage (fun () ->
-         List.concat_map
+  ( "table1:classify-corpus",
+    fun () ->
+      ignore
+        (List.concat_map
            (fun q -> List.map (fun s -> Classify.exact s q) Setting.all)
-           queries))
+           queries) )
 
-let pattern_test =
+let pattern_probe =
   let q = Cq.of_string "A(u,x,u), B(y,y), C(x,s,z,s), D(w,z)" in
-  Test.make ~name:"pattern:definition-3.1-decision"
-    (Staged.stage (fun () ->
-         ( Pattern.has_rxx q,
-           Pattern.has_rx_sx q,
-           Pattern.has_rx_sxy_ty q,
-           Pattern.has_rxy_sxy q )))
+  ( "pattern:definition-3.1-decision",
+    fun () ->
+      ignore
+        ( Pattern.has_rxx q,
+          Pattern.has_rx_sx q,
+          Pattern.has_rx_sxy_ty q,
+          Pattern.has_rxy_sxy q ) )
 
-let val_codd_test =
+let val_codd_probe =
   let db = Instances.diagonal_codd 60 8 in
   let q = Cq.of_string "R(x,x)" in
-  Test.make ~name:"thm3.7:val-codd-120-nulls"
-    (Staged.stage (fun () -> Count_val.codd_nonuniform q db))
+  ( "thm3.7:val-codd-120-nulls",
+    fun () -> ignore (Count_val.codd_nonuniform q db) )
 
-let val_uniform_test =
+let val_uniform_probe =
   let db = Instances.two_unary ~d:8 ~nr:8 ~cr:1 ~ns:8 ~cs:1 in
   let q = Cq.of_string "R(x), S(x)" in
-  Test.make ~name:"thm3.9:val-uniform-block-dp"
-    (Staged.stage (fun () -> Count_val.uniform_naive q db))
+  ( "thm3.9:val-uniform-block-dp",
+    fun () -> ignore (Count_val.uniform_naive q db) )
 
-let comp_uniform_test =
+let comp_uniform_probe =
   let db = Instances.one_unary ~d:16 ~n:20 ~c:4 in
-  Test.make ~name:"thm4.6:comp-uniform-unary"
-    (Staged.stage (fun () -> Count_comp.uniform_unary db))
+  ( "thm4.6:comp-uniform-unary",
+    fun () -> ignore (Count_comp.uniform_unary db) )
 
-let brute_val_test =
+let brute_val_probe =
   let db = Instances.diagonal_codd 4 4 in
   let q = Query.Bcq (Cq.of_string "R(x,x)") in
-  Test.make ~name:"brute:val-8-nulls-dom-4"
-    (Staged.stage (fun () -> Brute.count_valuations q db))
+  ("brute:val-8-nulls-dom-4", fun () -> ignore (Brute.count_valuations q db))
 
-let karp_luby_test =
+let karp_luby_probe =
   let db = Instances.diagonal_codd 20 10 in
   let q = Query.Bcq (Cq.of_string "R(x,x)") in
-  Test.make ~name:"cor5.3:karp-luby-1000-samples"
-    (Staged.stage (fun () ->
-         Incdb_approx.Karp_luby.estimate ~seed:3 ~samples:1000 q db))
+  ( "cor5.3:karp-luby-1000-samples",
+    fun () ->
+      ignore (Incdb_approx.Karp_luby.estimate ~seed:3 ~samples:1000 q db) )
 
-let coloring_reduction_test =
+let val_kernel_probe =
+  let db = Instances.path_chain ~k:6 ~d:4 ~edges:[ ("v0", "v1") ] in
+  let q = Query.Bcq (Cq.of_string "R(x), S(x,y), T(y)") in
+  ( "val-kernel:path-k6-d4",
+    fun () -> ignore (Val_kernel.count q db) )
+
+let coloring_reduction_probe =
   let g = Generators.cycle 7 in
-  Test.make ~name:"prop3.4:coloring-via-val-c7"
-    (Staged.stage (fun () -> Coloring_red.colorings_via_val g))
+  ( "prop3.4:coloring-via-val-c7",
+    fun () -> ignore (Coloring_red.colorings_via_val g) )
 
-let gadget_test =
+let gadget_probe =
   let g = Generators.cycle 4 in
-  Test.make ~name:"prop5.6:gadget-c4"
-    (Staged.stage (fun () -> Threecol_gadget.completion_count g))
+  ("prop5.6:gadget-c4", fun () -> ignore (Threecol_gadget.completion_count g))
 
-let is_completion_test =
+let is_completion_probe =
   let db = Instances.one_unary ~d:10 ~n:10 ~c:2 in
   let completion =
     Idb.apply db (List.map (fun n -> (n, "v5")) (Idb.nulls db))
   in
-  Test.make ~name:"lemmaB.2:is-completion-matching"
-    (Staged.stage (fun () -> Incdb_incomplete.Codd.is_completion db completion))
+  ( "lemmaB.2:is-completion-matching",
+    fun () ->
+      ignore (Incdb_incomplete.Codd.is_completion db completion) )
 
-let symbolic_test =
+let symbolic_probe =
   let facts =
     List.init 3 (fun i ->
         Incdb_incomplete.Idb.fact "R"
@@ -99,37 +108,43 @@ let symbolic_test =
             [ Incdb_incomplete.Term.null (Printf.sprintf "s%d" i) ])
   in
   let q = Cq.of_string "R(x), S(x)" in
-  Test.make ~name:"thm3.9:symbolic-domain-1e9"
-    (Staged.stage (fun () ->
-         Count_val.uniform_symbolic q facts ~domain_size:1_000_000_000))
+  ( "thm3.9:symbolic-domain-1e9",
+    fun () ->
+      ignore (Count_val.uniform_symbolic q facts ~domain_size:1_000_000_000) )
 
-let candidates_test =
+let candidates_probe =
   let db = Instances.one_unary ~d:3 ~n:18 ~c:0 in
-  Test.make ~name:"propB.1:candidate-space-completions"
-    (Staged.stage (fun () -> Incdb_core.Comp_candidates.count db))
+  ( "propB.1:candidate-space-completions",
+    fun () -> ignore (Incdb_core.Comp_candidates.count db) )
 
-let hopcroft_karp_test =
+let hopcroft_karp_probe =
   let b = Generators.random_bipartite ~seed:5 40 40 1 3 in
-  Test.make ~name:"matching:hopcroft-karp-40x40"
-    (Staged.stage (fun () -> Incdb_graph.Matching.maximum_matching b))
+  ( "matching:hopcroft-karp-40x40",
+    fun () -> ignore (Incdb_graph.Matching.maximum_matching b) )
+
+let all_probes =
+  [
+    figure1_probe;
+    table1_probe;
+    pattern_probe;
+    val_codd_probe;
+    val_uniform_probe;
+    comp_uniform_probe;
+    brute_val_probe;
+    karp_luby_probe;
+    val_kernel_probe;
+    coloring_reduction_probe;
+    gadget_probe;
+    is_completion_probe;
+    symbolic_probe;
+    candidates_probe;
+    hopcroft_karp_probe;
+  ]
 
 let all_tests =
-  [
-    figure1_test;
-    table1_test;
-    pattern_test;
-    val_codd_test;
-    val_uniform_test;
-    comp_uniform_test;
-    brute_val_test;
-    karp_luby_test;
-    coloring_reduction_test;
-    gadget_test;
-    is_completion_test;
-    symbolic_test;
-    candidates_test;
-    hopcroft_karp_test;
-  ]
+  List.map
+    (fun (name, fn) -> Test.make ~name (Staged.stage fn))
+    all_probes
 
 let run () =
   Printf.printf "\n=== Bechamel micro-benchmarks (ns/run, OLS on monotonic clock) ===\n%!";
@@ -155,3 +170,13 @@ let run () =
         Printf.printf "  %-42s %14.1f ns/run   (r² = %.4f)\n" name ns r2
       | _ -> Printf.printf "  %-42s (no estimate)\n" name)
     rows
+
+(* One pass over every probe, no timing harness: catches a probe that
+   raises (stale instance sizes, API drift) without bechamel's quota. *)
+let smoke () =
+  Printf.printf "\n=== Micro-benchmark probes (smoke, one run each) ===\n%!";
+  List.iter
+    (fun (name, fn) ->
+      fn ();
+      Printf.printf "  %-42s ok\n%!" name)
+    all_probes

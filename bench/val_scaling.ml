@@ -1,6 +1,7 @@
-(* #Val valuation-kernel measurements (PR 4).
+(* #Val valuation-kernel measurements (PR 4, extended in PR 5 with the
+   cross-branch subproblem cache).
 
-   Three claims, each measured and written to BENCH_VAL.json (override
+   Four claims, each measured and written to BENCH_VAL.json (override
    with INCDB_BENCH_VAL_OUT):
 
    - on a hard-pattern instance both engines can finish, the
@@ -13,12 +14,23 @@
      level — the conditioning branches run on the pool, but branch and
      component order is fixed;
 
+   - on a K_{k,k}-style instance whose conditioning branches leave
+     value-isomorphic residues, the canonical subproblem cache turns the
+     exponential branch tree into shared work: measured hit rate and
+     wall-time improvement over a cache-off run of the same instance,
+     with counts bit-identical at every job level under both
+     elimination orders;
+
    - the kernel counters (events compiled, elimination width,
-     conditioning splits) quantify where the work went.
+     conditioning splits, cache hits/misses) quantify where the work
+     went.
 
    As with BENCH_COMP.json, the host core count is recorded: on a
    single-core machine the jobs > 1 rows measure domain-scheduling
-   overhead, not speedup. *)
+   overhead, not speedup.
+
+   [smoke] runs every row at tiny sizes (same assertions, no JSON) for
+   the @bench-smoke alias. *)
 
 open Incdb_bignum
 open Incdb_core
@@ -35,16 +47,15 @@ let counter_delta names f =
   Incdb_obs.Runtime.set_enabled false;
   (y, List.map2 (fun name b -> (name, v name - b)) names before)
 
-let kernel ?jobs q db =
-  match Val_kernel.count ?jobs q db with
+let kernel ?width_bound ?order ?cache_entries ?jobs q db =
+  match Val_kernel.count ?width_bound ?order ?cache_entries ?jobs q db with
   | Some n -> n
   | None -> failwith "val_scaling: kernel declined a compilable query"
 
-(* Kernel vs brute force where both finish: k=5 nulls per side over
-   4-value domains is 4^10 ≈ 1.05M valuations, inside the brute-force
-   limit. *)
-let agreement_row () =
-  let db = Instances.path_chain ~k:5 ~d:4 ~edges:[ ("v0", "v1") ] in
+(* Kernel vs brute force where both finish: k nulls per side over
+   d-value domains is d^2k valuations, inside the brute-force limit. *)
+let agreement_row ~k ~d () =
+  let db = Instances.path_chain ~k ~d ~edges:[ ("v0", "v1") ] in
   let n_kernel, t_kernel = Instances.time (fun () -> kernel path_query db) in
   let n_brute, t_brute =
     Instances.time (fun () ->
@@ -62,28 +73,28 @@ let agreement_row () =
   in
   let speedup = t_brute /. t_kernel in
   Printf.printf
-    "  kernel vs brute (k=5, d=4, 4^10 valuations): kernel %.4fs  brute \
+    "  kernel vs brute (k=%d, d=%d, %d^%d valuations): kernel %.4fs  brute \
      %.3fs  (%.0fx; counts identical)\n\
      %!"
-    t_kernel t_brute speedup;
+    k d d (2 * k) t_kernel t_brute speedup;
   ( speedup,
     Printf.sprintf
-      "    { \"section\": \"val_kernel:agreement-k5-d4\", \"result\": %S,\n\
+      "    { \"section\": \"val_kernel:agreement-k%d-d%d\", \"result\": %S,\n\
       \      \"kernel_seconds\": %.6f, \"brute_seconds\": %.6f,\n\
       \      \"speedup_vs_brute\": %.3f,\n\
       \      \"events_compiled\": %d, \"width_sum\": %d, \
        \"conditioning_splits\": %d }"
-      (Nat.to_string n_kernel) t_kernel t_brute speedup
+      k d (Nat.to_string n_kernel) t_kernel t_brute speedup
       (List.assoc "val_kernel.events_compiled" counters)
       (List.assoc "val_kernel.width" counters)
       (List.assoc "val_kernel.conditioning_splits" counters) )
 
-(* Beyond brute force: k=16 per side over 4-value domains is 4^32
-   valuations — the enumerator raises its typed limit error, the kernel
-   answers in milliseconds, identically at every job level. *)
-let beyond_row () =
+(* Beyond brute force: d^2k valuations past the enumerator's limit — it
+   raises its typed error, the kernel answers, identically at every job
+   level. *)
+let beyond_row ~k ~d () =
   let db =
-    Instances.path_chain ~k:16 ~d:4 ~edges:[ ("v0", "v1"); ("v2", "v3") ]
+    Instances.path_chain ~k ~d ~edges:[ ("v0", "v1"); ("v2", "v3") ]
   in
   let brute_refuses =
     match Incdb_par.Brute_par.count_valuations ~jobs:1 path_query db with
@@ -104,9 +115,10 @@ let beyond_row () =
   assert identical;
   assert brute_refuses;
   Printf.printf
-    "  kernel beyond brute limit (k=16, d=4, 4^32 valuations): %s  count %s\n\
+    "  kernel beyond brute limit (k=%d, d=%d, %d^%d valuations): %s  count %s\n\
     \    (brute force refuses; totals identical at all job levels)\n\
      %!"
+    k d d (2 * k)
     (String.concat "  "
        (List.map
           (fun (j, _, t) -> Printf.sprintf "jobs=%d %.3fs" j t)
@@ -119,18 +131,75 @@ let beyond_row () =
       counts_and_times
   in
   Printf.sprintf
-    "    { \"section\": \"val_kernel:beyond-brute-k16-d4\", \"result\": %S,\n\
+    "    { \"section\": \"val_kernel:beyond-brute-k%d-d%d\", \"result\": %S,\n\
     \      \"brute_refuses\": %b, \"totals_bit_identical\": %b,\n\
     \      \"times\": [ %s ] }"
-    (Nat.to_string n1) brute_refuses identical
+    k d (Nat.to_string n1) brute_refuses identical
     (String.concat ", " cells)
+
+(* The cross-branch subproblem cache on a K_{k,k}-style instance: two
+   disjoint S edges make every clause pair a biclique, [width_bound]
+   keeps the kernel in the conditioning regime, and the branches leave
+   value-isomorphic residual components — exactly the sharing the
+   canonical-form cache collapses.  Measures cache-off vs cache-on wall
+   time and the hit/miss counters, and asserts bit-identical counts at
+   every job level under both elimination orders. *)
+let cache_row ~k ~d ~width_bound () =
+  let db =
+    Instances.path_chain ~k ~d ~edges:[ ("v0", "v1"); ("v2", "v3") ]
+  in
+  let n_off, t_off =
+    Instances.time (fun () ->
+        kernel ~width_bound ~cache_entries:0 path_query db)
+  in
+  let n_on, t_on =
+    Instances.time (fun () -> kernel ~width_bound path_query db)
+  in
+  assert (Nat.equal n_off n_on);
+  let (_ : Nat.t), counters =
+    counter_delta
+      [ "val_kernel.cache_hits"; "val_kernel.cache_misses" ]
+      (fun () -> kernel ~width_bound path_query db)
+  in
+  let hits = List.assoc "val_kernel.cache_hits" counters in
+  let misses = List.assoc "val_kernel.cache_misses" counters in
+  assert (hits > 0);
+  let identical =
+    List.for_all
+      (fun jobs ->
+        List.for_all
+          (fun order ->
+            Nat.equal n_on (kernel ~width_bound ~order ~jobs path_query db))
+          [ Val_kernel.Min_degree; Val_kernel.Min_fill ])
+      job_levels
+  in
+  assert identical;
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  let speedup = t_off /. t_on in
+  Printf.printf
+    "  subproblem cache (K_{%d,%d}, d=%d, width_bound=%d): off %.3fs  on \
+     %.3fs  (%.1fx; %d hits / %d misses, %.1f%% hit rate;\n\
+    \    counts identical at all job levels under both orders)\n\
+     %!"
+    k k d width_bound t_off t_on speedup hits misses (100. *. hit_rate);
+  Printf.sprintf
+    "    { \"section\": \"val_kernel:cache-kkk-k%d-d%d-wb%d\", \"result\": \
+     %S,\n\
+    \      \"cache_off_seconds\": %.6f, \"cache_on_seconds\": %.6f,\n\
+    \      \"speedup_vs_cache_off\": %.3f,\n\
+    \      \"cache_hits\": %d, \"cache_misses\": %d, \"hit_rate\": %.4f,\n\
+    \      \"orders\": [ \"min-degree\", \"min-fill\" ], \
+     \"totals_bit_identical\": %b }"
+    k d width_bound (Nat.to_string n_on) t_off t_on speedup hits misses
+    hit_rate identical
 
 let run () =
   Printf.printf "\n=== #Val kernel (lineage variable elimination) ===\n";
   Printf.printf "  host cores (recommended domain count): %d\n%!"
     (Incdb_par.Pool.recommended ());
-  let speedup, r1 = agreement_row () in
-  let r2 = beyond_row () in
+  let speedup, r1 = agreement_row ~k:5 ~d:4 () in
+  let r2 = beyond_row ~k:16 ~d:4 () in
+  let r3 = cache_row ~k:14 ~d:4 ~width_bound:4 () in
   if speedup < 10. then
     Printf.printf
       "  WARNING: kernel speedup %.1fx below the 10x acceptance bar\n%!"
@@ -142,7 +211,7 @@ let run () =
        (Incdb_par.Pool.recommended ())
        (String.concat ", " (List.map string_of_int job_levels)));
   Buffer.add_string buf "  \"sections\": [\n";
-  Buffer.add_string buf (String.concat ",\n" [ r1; r2 ]);
+  Buffer.add_string buf (String.concat ",\n" [ r1; r2; r3 ]);
   Buffer.add_string buf "\n  ]\n}\n";
   let path =
     match Sys.getenv_opt "INCDB_BENCH_VAL_OUT" with
@@ -153,3 +222,10 @@ let run () =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "  valuation-kernel data written to %s\n%!" path
+
+let smoke () =
+  Printf.printf "\n=== #Val kernel (smoke) ===\n%!";
+  let (_ : float), (_ : string) = agreement_row ~k:3 ~d:3 () in
+  let (_ : string) = beyond_row ~k:11 ~d:4 () in
+  let (_ : string) = cache_row ~k:6 ~d:4 ~width_bound:2 () in
+  ()

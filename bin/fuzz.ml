@@ -157,9 +157,24 @@ let () =
   in
   let st = Random.State.make [| seed |] in
   let executed = ref 0 in
+  let limited = ref 0 in
   for round = 1 to rounds do
-    if check_round st round then incr executed
+    (* The engines' typed resource-limit errors are legitimate refusals,
+       not discrepancies: a random instance may blow any of the three
+       enumeration caps.  Skip the round — the generator must keep
+       consuming the same random stream either way, and [check_round]
+       draws its instance before any engine runs, so replayability holds. *)
+    match check_round st round with
+    | true -> incr executed
+    | false -> ()
+    | exception
+        ( Idb.Too_many_valuations _ | Comp_candidates.Too_many_candidates _
+        | Val_kernel.Too_many_events _ ) ->
+      incr limited
   done;
   Printf.printf
-    "fuzz: %d/%d rounds executed (rest skipped as too large), no discrepancies\n"
+    "fuzz: %d/%d rounds executed (%d skipped as too large, %d refused by an \
+     engine limit), no discrepancies\n"
     !executed rounds
+    (rounds - !executed - !limited)
+    !limited

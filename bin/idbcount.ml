@@ -104,6 +104,33 @@ let too_many_msg what (total : Nat.t) limit =
      an estimate."
     what (Nat.to_string total) limit
 
+(* Every subcommand funnels its body through this handler, so the three
+   typed resource-limit errors — and bad arguments — surface as one-line
+   messages with a non-zero exit instead of a backtrace, whichever engine
+   the query happens to route through. *)
+let handle_limits ?(what = "this query/database pair") f =
+  try f () with
+  | Invalid_argument msg ->
+    prerr_endline ("error: " ^ msg);
+    exit 1
+  | Idb.Too_many_valuations { total; limit } ->
+    prerr_endline (too_many_msg what total limit);
+    exit 1
+  | Comp_candidates.Too_many_candidates { universe; limit } ->
+    Printf.eprintf
+      "error: the candidate universe has %d ground facts (limit %d).\n\
+       Raise --max-candidates, or use `idbcount bounds` for an estimate.\n"
+      universe limit;
+    exit 1
+  | Val_kernel.Too_many_events { events; limit } ->
+    Printf.eprintf
+      "error: the #Val kernel would compile %d Karp-Luby events (limit \
+       %d).\n\
+       Raise --val-max-events, or raise --brute-limit to let enumeration \
+       run.\n"
+      events limit;
+    exit 1
+
 (* The #Val lineage-elimination kernel knobs, shared by count/approx. *)
 let val_width_bound_term =
   let doc =
@@ -125,6 +152,32 @@ let val_max_events_term =
       & opt int Val_kernel.default_max_events
       & info [ "val-max-events" ] ~docv:"N" ~doc)
 
+let val_order_term =
+  let doc =
+    "Elimination-order heuristic of the #Val kernel: min-degree (the \
+     default), or min-fill, which simulates both heuristics per clause \
+     component and keeps whichever order induces the smaller width."
+  in
+  Arg.(value
+      & opt
+          (enum
+             [
+               ("min-degree", Val_kernel.Min_degree);
+               ("min-fill", Val_kernel.Min_fill);
+             ])
+          Val_kernel.Min_degree
+      & info [ "val-order" ] ~docv:"HEURISTIC" ~doc)
+
+let val_cache_entries_term =
+  let doc =
+    "Size bound of the #Val kernel's cross-branch subproblem cache \
+     (memoized component counts keyed on the canonicalized residual \
+     lineage).  0 disables the cache; counts are identical either way."
+  in
+  Arg.(value
+      & opt int Val_kernel.default_cache_entries
+      & info [ "val-cache-entries" ] ~docv:"N" ~doc)
+
 (* ------------------------------------------------------------------ *)
 (* classify                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -135,6 +188,7 @@ let classify_cmd =
   in
   let run obs q =
     with_obs obs (fun () ->
+        handle_limits @@ fun () ->
         Printf.printf "query: %s\n\n" (Cq.to_string q);
         (* Pad the continuation lines to the widest setting name so the
            exact/approx/class lines stay aligned whatever the labels are. *)
@@ -187,7 +241,7 @@ let count_cmd =
         & info [ "max-candidates" ] ~docv:"N" ~doc)
   in
   let run obs db_path q problem brute_limit val_width_bound val_max_events
-      max_candidates jobs =
+      val_order val_cache_entries max_candidates jobs =
     with_obs obs (fun () ->
         match load_db db_path with
         | Error msg ->
@@ -203,47 +257,32 @@ let count_cmd =
           Printf.printf "setting: %s\n" (Setting.to_string setting);
           Printf.printf "classification: %s\n"
             (Classify.verdict_to_string (Classify.exact setting q));
-          (try
-             let algo_name, result =
-               match problem with
-               | `Val ->
-                 let a, n =
-                   Count_val.count ~brute_limit
-                     ~val_width_bound ~val_max_events ~jobs q db
-                 in
-                 (Count_val.algorithm_to_string a, n)
-               | `Comp ->
-                 let a, n =
-                   Count_comp.count ~brute_limit ~max_candidates ~jobs q db
-                 in
-                 (Count_comp.algorithm_to_string a, n)
-             in
-             Printf.printf "algorithm: %s\n" algo_name;
-             Printf.printf "total valuations: %s\n"
-               (Nat.to_string (Idb.total_valuations db));
-             Printf.printf "count: %s\n" (Nat.to_string result)
-           with
-           | Invalid_argument msg ->
-             prerr_endline ("error: " ^ msg);
-             exit 1
-           | Idb.Too_many_valuations { total; limit } ->
-             prerr_endline (too_many_msg "this query/database pair" total limit);
-             exit 1
-           | Comp_candidates.Too_many_candidates { universe; limit } ->
-             Printf.eprintf
-               "error: the candidate universe has %d ground facts (limit \
-                %d).\n\
-                Raise --max-candidates, or use `idbcount bounds` for an \
-                estimate.\n"
-               universe limit;
-             exit 1))
+          handle_limits (fun () ->
+              let algo_name, result =
+                match problem with
+                | `Val ->
+                  let a, n =
+                    Count_val.count ~brute_limit ~val_width_bound
+                      ~val_max_events ~val_order ~val_cache_entries ~jobs q db
+                  in
+                  (Count_val.algorithm_to_string a, n)
+                | `Comp ->
+                  let a, n =
+                    Count_comp.count ~brute_limit ~max_candidates ~jobs q db
+                  in
+                  (Count_comp.algorithm_to_string a, n)
+              in
+              Printf.printf "algorithm: %s\n" algo_name;
+              Printf.printf "total valuations: %s\n"
+                (Nat.to_string (Idb.total_valuations db));
+              Printf.printf "count: %s\n" (Nat.to_string result)))
   in
   let doc = "Count satisfying valuations or completions exactly." in
   Cmd.v (Cmd.info "count" ~doc)
     Cmdliner.Term.(
       const run $ obs_term $ db_arg $ query_opt $ problem $ brute_limit
-      $ val_width_bound_term $ val_max_events_term $ max_candidates
-      $ jobs_term)
+      $ val_width_bound_term $ val_max_events_term $ val_order_term
+      $ val_cache_entries_term $ max_candidates $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                              *)
@@ -268,53 +307,58 @@ let approx_cmd =
     in
     Arg.(value & flag & info [ "exact-check" ] ~doc)
   in
-  let run obs db_path q samples seed meth val_width_bound exact_check jobs =
+  let run obs db_path q samples seed meth val_width_bound val_order
+      val_cache_entries exact_check jobs =
     with_obs obs (fun () ->
         match load_db db_path with
         | Error msg ->
           prerr_endline msg;
           exit 1
-        | Ok db -> (
+        | Ok db ->
           let query = Query.Bcq q in
-          try
-            (match meth with
-            | `Kl ->
-              let events =
-                List.length (Incdb_approx.Karp_luby.events query db)
-              in
-              Printf.printf "events: %d\n" events;
-              let est =
-                if jobs = 1 then
-                  Incdb_approx.Karp_luby.estimate ~seed ~samples query db
-                else
-                  Incdb_par.Karp_luby_par.estimate ~jobs ~seed ~samples query
-                    db
-              in
-              Printf.printf "estimate (#Val): %.6g\n" est
-            | `Mc ->
-              Printf.printf "estimate (#Val): %.6g\n"
-                (Incdb_approx.Montecarlo.estimate ~seed ~samples query db));
-            if exact_check then
-              (match
-                 Val_kernel.count ~width_bound:val_width_bound ~jobs query db
-               with
-              | Some n -> Printf.printf "exact (#Val kernel): %s\n" (Nat.to_string n)
-              | None -> ()
-              | exception Val_kernel.Too_many_events { events; limit } ->
-                Printf.printf
-                  "exact (#Val kernel): skipped (%d events exceed limit %d)\n"
-                  events limit);
-            Printf.printf "total valuations: %s\n"
-              (Nat.to_string (Idb.total_valuations db))
-          with Invalid_argument msg ->
-            prerr_endline ("error: " ^ msg);
-            exit 1))
+          handle_limits (fun () ->
+              (match meth with
+              | `Kl ->
+                let events =
+                  List.length (Incdb_approx.Karp_luby.events query db)
+                in
+                Printf.printf "events: %d\n" events;
+                let est =
+                  if jobs = 1 then
+                    Incdb_approx.Karp_luby.estimate ~seed ~samples query db
+                  else
+                    Incdb_par.Karp_luby_par.estimate ~jobs ~seed ~samples
+                      query db
+                in
+                Printf.printf "estimate (#Val): %.6g\n" est
+              | `Mc ->
+                Printf.printf "estimate (#Val): %.6g\n"
+                  (Incdb_approx.Montecarlo.estimate ~seed ~samples query db));
+              if exact_check then
+                (match
+                   Val_kernel.count ~width_bound:val_width_bound
+                     ~order:val_order ~cache_entries:val_cache_entries ~jobs
+                     query db
+                 with
+                | Some n ->
+                  Printf.printf "exact (#Val kernel): %s\n" (Nat.to_string n)
+                | None -> ()
+                | exception Val_kernel.Too_many_events { events; limit } ->
+                  (* Soft skip: the estimate above already printed; the
+                     exact cross-check is best-effort by design. *)
+                  Printf.printf
+                    "exact (#Val kernel): skipped (%d events exceed limit \
+                     %d)\n"
+                    events limit);
+              Printf.printf "total valuations: %s\n"
+                (Nat.to_string (Idb.total_valuations db))))
   in
   let doc = "Estimate #Val with randomized approximation (Section 5)." in
   Cmd.v (Cmd.info "approx" ~doc)
     Cmdliner.Term.(
       const run $ obs_term $ db_arg $ query_opt $ samples $ seed $ meth
-      $ val_width_bound_term $ exact_check $ jobs_term)
+      $ val_width_bound_term $ val_order_term $ val_cache_entries_term
+      $ exact_check $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* enumerate                                                           *)
@@ -334,9 +378,9 @@ let enumerate_cmd =
         | Error msg ->
           prerr_endline msg;
           exit 1
-        | Ok db -> (
+        | Ok db ->
           let shown = ref 0 in
-          try
+          handle_limits ~what:"enumeration" (fun () ->
             Idb.iter_valuations db (fun v ->
               if !shown < limit then begin
                 incr shown;
@@ -356,10 +400,7 @@ let enumerate_cmd =
               end);
             let total = Idb.total_valuations db in
             Printf.printf "(%d of %s valuations shown)\n" !shown
-              (Nat.to_string total)
-          with Idb.Too_many_valuations { total; limit } ->
-            prerr_endline (too_many_msg "enumeration" total limit);
-            exit 1))
+              (Nat.to_string total)))
   in
   let doc = "Enumerate valuations and their completions (Figure 1 style)." in
   Cmd.v (Cmd.info "enumerate" ~doc)
@@ -378,6 +419,7 @@ let certainty_cmd =
           exit 1
         | Ok db ->
           let query = Query.Bcq q in
+          handle_limits @@ fun () ->
           Printf.printf "possible: %b\n" (Certainty.possible query db);
           Printf.printf "certain:  %b\n" (Certainty.certain query db);
           Printf.printf "support:  %s\n"
@@ -404,6 +446,7 @@ let sample_cmd =
           exit 1
         | Ok db ->
           let query = Query.Bcq q in
+          handle_limits @@ fun () ->
           for i = 0 to count - 1 do
             match
               Incdb_approx.Enumerate.sample_uniform ~seed:(seed + i) query db
@@ -434,6 +477,7 @@ let mu_cmd =
         | Ok db ->
           (* Only the naive table matters: mu_k replaces the domains with
              the uniform {1..k}. *)
+          handle_limits @@ fun () ->
           List.iter
             (fun (k, v) ->
               Printf.printf "k=%-3d mu_k = %s\n" k (Qnum.to_string v))
@@ -459,6 +503,7 @@ let bounds_cmd =
           prerr_endline msg;
           exit 1
         | Ok db ->
+          handle_limits @@ fun () ->
           let b = Count_bounds_alias.bounds ~seed ~samples q db in
           Printf.printf "#Comp(q) is within [%s, %s]\n"
             (Nat.to_string b.Count_bounds_alias.lower)
@@ -489,17 +534,14 @@ let reach_cmd =
         | Error msg ->
           prerr_endline msg;
           exit 1
-        | Ok db -> (
+        | Ok db ->
           let q = Incdb_datalog.Datalog.reachability ~from:from_ ~to_ in
-          try
-            let sat = Incdb_par.Brute_par.count_valuations ~jobs q db in
-            let total = Idb.total_valuations db in
-            Printf.printf
-              "worlds where %s reaches %s (over relation E): %s of %s\n" from_
-              to_ (Nat.to_string sat) (Nat.to_string total)
-          with Idb.Too_many_valuations { total; limit } ->
-            prerr_endline (too_many_msg "reachability counting" total limit);
-            exit 1))
+          handle_limits ~what:"reachability counting" (fun () ->
+              let sat = Incdb_par.Brute_par.count_valuations ~jobs q db in
+              let total = Idb.total_valuations db in
+              Printf.printf
+                "worlds where %s reaches %s (over relation E): %s of %s\n"
+                from_ to_ (Nat.to_string sat) (Nat.to_string total)))
   in
   let doc = "Count worlds where one node reaches another (Datalog over E)." in
   Cmd.v (Cmd.info "reach" ~doc)
@@ -531,6 +573,7 @@ let repairs_cmd =
             prerr_endline "repairs: the database must be complete (no nulls)";
             exit 1
           end;
+          handle_limits @@ fun () ->
           let parse_key spec =
             match String.split_on_char ':' spec with
             | [ rel; positions ] ->
@@ -575,6 +618,7 @@ let table1_cmd =
   let queries = Arg.(value & pos_all query_conv [] & info [] ~docv:"QUERY...") in
   let run obs queries =
     with_obs obs (fun () ->
+        handle_limits @@ fun () ->
         let queries =
           if queries <> [] then queries
           else

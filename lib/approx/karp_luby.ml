@@ -235,18 +235,57 @@ let estimate ~seed ~samples q db =
           | None -> 0.
           | Some (total_weight, rate) -> total_weight *. rate))
 
+(* 95% Wilson score half-width for a Bernoulli rate estimated from
+   [samples] draws.  The naive normal-approximation standard error
+   [sqrt (p (1-p) / n)] collapses to a zero-width interval at p ∈ {0, 1}
+   — exactly where a coverage estimator most needs honest uncertainty
+   (every sample hit, or none did).  The Wilson interval keeps width
+   ~ z²/(n + z²) at the endpoints, so the half-width is strictly
+   positive for any finite sample count.  Returned relative to the point
+   estimate [rate]: [rate ± half-width] covers the Wilson interval. *)
+let wilson_half_width ~samples rate =
+  let z = 1.96 in
+  let n = float_of_int samples in
+  let z2 = z *. z in
+  let denom = n +. z2 in
+  let center = ((rate *. n) +. (z2 /. 2.)) /. denom in
+  let spread =
+    z *. sqrt ((rate *. (1. -. rate) *. n) +. (z2 /. 4.)) /. denom
+  in
+  let lo = Float.max 0. (center -. spread) in
+  let hi = Float.min 1. (center +. spread) in
+  Float.max (rate -. lo) (hi -. rate)
+
 let estimate_with_ci ~seed ~samples q db =
   if samples <= 0 then invalid_arg "Karp_luby.estimate: need positive samples";
   Trace.with_span "karp_luby.estimate" (fun () ->
       match run_estimator ~seed ~samples q db with
       | None -> (0., 0.)
       | Some (total_weight, rate) ->
-        let stderr = sqrt (rate *. (1. -. rate) /. float_of_int samples) in
-        (total_weight *. rate, 1.96 *. total_weight *. stderr))
+        (total_weight *. rate, total_weight *. wilson_half_width ~samples rate))
+
+exception Sample_budget_overflow of { epsilon : float; events : int }
+
+let () =
+  Printexc.register_printer (function
+    | Sample_budget_overflow { epsilon; events } ->
+      Some
+        (Printf.sprintf
+           "Karp_luby.Sample_budget_overflow: 4 * %d / %g^2 samples do not \
+            fit a machine int"
+           events epsilon)
+    | _ -> None)
 
 let samples_for ~epsilon ~events =
   if epsilon <= 0. then invalid_arg "Karp_luby.samples_for: epsilon <= 0";
-  int_of_float (ceil (4. *. float_of_int events /. (epsilon *. epsilon)))
+  if events < 0 then invalid_arg "Karp_luby.samples_for: negative events";
+  let budget = ceil (4. *. float_of_int events /. (epsilon *. epsilon)) in
+  (* [float_of_int max_int] rounds up to 2^62, one past max_int, and
+     [int_of_float] is unspecified from there on — a tiny epsilon must
+     fail loudly, not wrap into a garbage (even negative) budget. *)
+  if not (Float.is_finite budget) || budget >= float_of_int max_int then
+    raise (Sample_budget_overflow { epsilon; events });
+  int_of_float budget
 
 (* Extend [sigma] with one event's bindings, or [None] on conflict. *)
 let rec add_partial sigma = function

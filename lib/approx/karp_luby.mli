@@ -70,16 +70,32 @@ val sample_hit : compiled -> Random.State.t -> bool
     [samples >= 4 * (number of events) / epsilon^2]. *)
 val estimate : seed:int -> samples:int -> Query.t -> Idb.t -> float
 
-(** [estimate_with_ci ~seed ~samples q db] additionally returns a
-    normal-approximation 95% confidence half-width for the estimate
-    (the coverage indicator is a Bernoulli variable scaled by the total
-    event weight, so its standard error is directly available). *)
+(** [wilson_half_width ~samples rate] is the half-width of a 95% Wilson
+    score interval around the Bernoulli point estimate [rate], relative
+    to [rate] itself: [rate ± half-width] covers the Wilson interval.
+    Unlike the normal-approximation standard error, it stays strictly
+    positive at [rate ∈ {0, 1}], where an all-hits (or no-hits) sample
+    run still carries genuine uncertainty. *)
+val wilson_half_width : samples:int -> float -> float
+
+(** [estimate_with_ci ~seed ~samples q db] additionally returns a 95%
+    confidence half-width for the estimate: the coverage indicator is a
+    Bernoulli variable scaled by the total event weight, and the
+    half-width is the scaled {!wilson_half_width} — positive for every
+    finite sample count, including degenerate all-hit/no-hit runs. *)
 val estimate_with_ci :
   seed:int -> samples:int -> Query.t -> Idb.t -> float * float
 
+(** The FPRAS budget [4 * events / epsilon^2] exceeds [max_int]: raised
+    by {!samples_for} instead of silently truncating the float to a
+    meaningless (possibly negative) sample count. *)
+exception Sample_budget_overflow of { epsilon : float; events : int }
+
 (** [samples_for ~epsilon ~events] is the sample count prescribed by the
     FPRAS analysis (with the 3/4 success probability of the Section 5
-    definition). *)
+    definition).
+    @raise Invalid_argument on [epsilon <= 0] or negative [events].
+    @raise Sample_budget_overflow when the budget exceeds [max_int]. *)
 val samples_for : epsilon:float -> events:int -> int
 
 (** [exact_via_events q db] computes [#Val] exactly by inclusion–exclusion

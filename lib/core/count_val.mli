@@ -83,13 +83,18 @@ val uniform_weighted :
     fallback when the kernel declines ([Val_kernel.Too_many_events]).
     [jobs] (default 1: the sequential path; 0: auto-detect) parallelizes
     the kernel's conditioning branches and the brute-force fallback's
-    shards; counts are bit-identical at every job count.
+    shards; counts are bit-identical at every job count.  [val_order]
+    selects the kernel's elimination-order heuristic and
+    [val_cache_entries] bounds its cross-branch subproblem cache
+    ([0] disables it); see {!Val_kernel.count}.
     @raise Idb.Too_many_valuations if brute force is needed but the
     instance exceeds [brute_limit] valuations. *)
 val count :
   ?brute_limit:int ->
   ?val_width_bound:int ->
   ?val_max_events:int ->
+  ?val_order:Val_kernel.order ->
+  ?val_cache_entries:int ->
   ?jobs:int ->
   Cq.t ->
   Idb.t ->
@@ -105,6 +110,8 @@ val count_query :
   ?brute_limit:int ->
   ?val_width_bound:int ->
   ?val_max_events:int ->
+  ?val_order:Val_kernel.order ->
+  ?val_cache_entries:int ->
   ?jobs:int ->
   Query.t ->
   Idb.t ->

@@ -19,6 +19,13 @@ let () =
 
 let default_width_bound = 8
 let default_max_events = 4096
+let default_cache_entries = 1 lsl 16
+
+type order = Min_degree | Min_fill
+
+let order_to_string = function
+  | Min_degree -> "min-degree"
+  | Min_fill -> "min-fill"
 
 (* Largest factor table the elimination is allowed to materialize; beyond
    this (or beyond the width bound) a component is split by conditioning
@@ -32,6 +39,8 @@ let width_counter = Metrics.counter "val_kernel.width"
 let factors_merged = Metrics.counter "val_kernel.factors_merged"
 let conditioning_splits = Metrics.counter "val_kernel.conditioning_splits"
 let slots_eliminated = Metrics.counter "val_kernel.slots_eliminated"
+let cache_hits = Metrics.counter "val_kernel.cache_hits"
+let cache_misses = Metrics.counter "val_kernel.cache_misses"
 
 (* ------------------------------------------------------------------ *)
 (* Reduced domains                                                     *)
@@ -196,12 +205,15 @@ let sum_out ctx j f =
    overflow the machine int (anything past the cap is "too big" anyway). *)
 let cells_mul a b = if a > max_factor_cells / b then max_factor_cells + 1 else a * b
 
-(* Min-degree simulation over the slot-interaction graph (slots adjacent
-   when co-fixed by a clause): returns the order, the induced width (max
-   cluster size) and the largest factor-table cell count the elimination
-   would materialize.  Ties break on the smallest slot index, so the
-   order — and with it every count and metric — is deterministic. *)
-let elimination_order ctx slots clauses =
+(* Greedy elimination-order simulation over the slot-interaction graph
+   (slots adjacent when co-fixed by a clause): returns the order, the
+   induced width (max cluster size) and the largest factor-table cell
+   count the elimination would materialize.  [pick] chooses the next
+   slot to eliminate; both heuristics break ties on the smallest slot
+   index (the [Iset] fold visits slots ascending and [<=] keeps the
+   first minimum), so each order — and with it every count and metric —
+   is deterministic. *)
+let simulate_order pick ctx slots clauses =
   let adj = Hashtbl.create 16 in
   Array.iter (fun j -> Hashtbl.replace adj j Iset.empty) slots;
   Array.iter
@@ -220,16 +232,7 @@ let elimination_order ctx slots clauses =
   let width = ref 0 in
   let max_cells = ref 1 in
   while not (Iset.is_empty !remaining) do
-    let j, _ =
-      Iset.fold
-        (fun j acc ->
-          let dj = Iset.cardinal (Hashtbl.find adj j) in
-          match acc with
-          | Some (_, d) when d <= dj -> acc
-          | _ -> Some (j, dj))
-        !remaining None
-      |> Option.get
-    in
+    let j = pick !remaining adj in
     let nbrs = Hashtbl.find adj j in
     let cluster = Iset.add j nbrs in
     width := max !width (Iset.cardinal cluster);
@@ -247,6 +250,55 @@ let elimination_order ctx slots clauses =
     order := j :: !order
   done;
   (List.rev !order, !width, !max_cells)
+
+let pick_min_degree remaining adj =
+  Iset.fold
+    (fun j acc ->
+      let dj = Iset.cardinal (Hashtbl.find adj j) in
+      match acc with
+      | Some (_, d) when d <= dj -> acc
+      | _ -> Some (j, dj))
+    remaining None
+  |> Option.get |> fst
+
+(* Min-fill: eliminate the slot whose neighborhood needs the fewest new
+   edges to become a clique (degree is the secondary criterion). *)
+let pick_min_fill remaining adj =
+  Iset.fold
+    (fun j acc ->
+      let nbrs = Hashtbl.find adj j in
+      let deg = Iset.cardinal nbrs in
+      let fill =
+        Iset.fold
+          (fun a acc ->
+            let adj_a = Hashtbl.find adj a in
+            Iset.fold
+              (fun b acc ->
+                if b > a && not (Iset.mem b adj_a) then acc + 1 else acc)
+              nbrs acc)
+          nbrs 0
+      in
+      match acc with
+      | Some (_, cost) when cost <= (fill, deg) -> acc
+      | _ -> Some (j, (fill, deg)))
+    remaining None
+  |> Option.get |> fst
+
+(* [Min_fill] simulates both heuristics and keeps whichever induces the
+   smaller (width, cells) — min-fill usually wins on dense interaction
+   graphs but can lose on trees, and the point of the flag is a
+   width-minimizing order, so the mode is never worse than min-degree.
+   Ties keep min-degree, preserving the historical order. *)
+let elimination_order ?(heuristic = Min_degree) ctx slots clauses =
+  let min_degree () = simulate_order pick_min_degree ctx slots clauses in
+  match heuristic with
+  | Min_degree -> min_degree ()
+  | Min_fill ->
+    let (_, wd, cd) as by_degree = min_degree () in
+    let (_, wf, cf) as by_fill =
+      simulate_order pick_min_fill ctx slots clauses
+    in
+    if (wf, cf) < (wd, cd) then by_fill else by_degree
 
 (* Bucket elimination of one component along [order]. *)
 let eliminate ctx order clauses =
@@ -317,18 +369,59 @@ let components clauses =
            Array.of_list (Iset.elements slots) ))
 
 (* ------------------------------------------------------------------ *)
+(* Cross-branch subproblem cache                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Component avoidance counts keyed on {!Lineage.canonical_fixes} of the
+   component's clauses (canonical clause array + per-canonical-slot
+   domain sizes): the conditioning fallback re-solves structurally
+   identical residual components once per branch — in K_{k,k} lineage
+   every mentioned-value branch collapses to isomorphic singleton
+   residues, and whole dense sub-biclique components recur across
+   branches — so one shared table across the recursion (including the
+   outermost parallel split) collapses that duplication.
+
+   Sharing across pool domains is a mutex around the table only: lookups
+   and insertions are brief, the solving between them runs unlocked.
+   Two branches may race to solve the same key; both compute the same
+   exact [Nat], so the last [replace] is harmless and counts stay
+   bit-identical at every job count (only the hit/miss split can vary
+   with the schedule).  The table stops absorbing new entries at
+   [capacity] — no eviction, so memory is bounded and what was cached
+   early (the widest-shared shallow subproblems) stays cached. *)
+type cache = {
+  table : ((int * int) array array * int array, Nat.t) Hashtbl.t;
+  lock : Mutex.t;
+  capacity : int;
+}
+
+let cache_create capacity =
+  { table = Hashtbl.create 256; lock = Mutex.create (); capacity }
+
+let cache_find cache key =
+  Mutex.protect cache.lock (fun () -> Hashtbl.find_opt cache.table key)
+
+let cache_add cache key n =
+  Mutex.protect cache.lock (fun () ->
+      if Hashtbl.length cache.table < cache.capacity then
+        Hashtbl.replace cache.table key n)
+
+(* Per-call solver configuration, threaded through the recursion. *)
+type scfg = { width_bound : int; heuristic : order; cache : cache option }
+
+(* ------------------------------------------------------------------ *)
 (* The solver: #assignments avoiding every clause                      *)
 (* ------------------------------------------------------------------ *)
 
-(* [solve dom clauses live] counts the assignments of the slots [live]
-   that extend no clause ([clauses] is minimal and mentions only live
-   slots).  Slots fixed by no clause contribute their full domain size;
-   each connected component is either eliminated (induced width within
-   bounds) or split by conditioning on its highest-degree slot.  The
-   conditioning branches of the outermost split run on the pool when
+(* [solve cfg dom clauses live] counts the assignments of the slots
+   [live] that extend no clause ([clauses] is minimal and mentions only
+   live slots).  Slots fixed by no clause contribute their full domain
+   size; each connected component is either eliminated (induced width
+   within bounds) or split by conditioning on its highest-degree slot.
+   The conditioning branches of the outermost split run on the pool when
    [jobs <> 1]; branches and components are always combined in a fixed
    order, so totals are bit-identical at every job count. *)
-let rec solve ~width_bound ~jobs dom clauses live =
+let rec solve cfg ~jobs dom clauses live =
   if Array.exists (fun c -> Array.length c = 0) clauses then Nat.zero
   else begin
     let constrained = Iset.of_list (Array.to_list (Lineage.fixes_slots clauses)) in
@@ -344,14 +437,38 @@ let rec solve ~width_bound ~jobs dom clauses live =
       List.fold_left
         (fun acc (cls, slots) ->
           if Nat.is_zero acc then acc
-          else Nat.mul acc (solve_component ~width_bound ~jobs dom cls slots))
+          else Nat.mul acc (solve_component cfg ~jobs dom cls slots))
         free_w (components clauses)
   end
 
-and solve_component ~width_bound ~jobs dom clauses slots =
+(* Cache wrapper: canonicalize the component, consult the shared table,
+   only solve on a miss.  The canonical key is what makes branches
+   share: residues that differ only in slot names or in which concrete
+   values survived the split collapse to one entry. *)
+and solve_component cfg ~jobs dom clauses slots =
+  match cfg.cache with
+  | None -> solve_component_uncached cfg ~jobs dom clauses slots
+  | Some cache ->
+    let key =
+      Trace.with_span "val_kernel.canonicalize" (fun () ->
+          Lineage.canonical_fixes clauses ~dom:(fun j -> dom.(j)))
+    in
+    (match cache_find cache key with
+    | Some n ->
+      Metrics.incr cache_hits;
+      n
+    | None ->
+      Metrics.incr cache_misses;
+      let n = solve_component_uncached cfg ~jobs dom clauses slots in
+      cache_add cache key n;
+      n)
+
+and solve_component_uncached cfg ~jobs dom clauses slots =
   let ctx = { dom; vals = mentioned_values clauses } in
-  let order, width, cells = elimination_order ctx slots clauses in
-  if width <= width_bound && cells <= max_factor_cells then begin
+  let order, width, cells =
+    elimination_order ~heuristic:cfg.heuristic ctx slots clauses
+  in
+  if width <= cfg.width_bound && cells <= max_factor_cells then begin
     Metrics.incr width_counter ~by:width;
     eliminate ctx order clauses
   end
@@ -389,13 +506,10 @@ and solve_component ~width_bound ~jobs dom clauses slots =
     let branch v () =
       match Lineage.condition_fixes clauses ~slot:j ~value:v with
       | None -> Nat.zero
-      | Some cls ->
-        solve ~width_bound ~jobs:1 dom (Lineage.minimal_fixes cls) rest
+      | Some cls -> solve cfg ~jobs:1 dom (Lineage.minimal_fixes cls) rest
     in
     let other () =
-      solve ~width_bound ~jobs:1 dom
-        (Lineage.drop_slot_fixes clauses ~slot:j)
-        rest
+      solve cfg ~jobs:1 dom (Lineage.drop_slot_fixes clauses ~slot:j) rest
     in
     let tasks =
       Array.to_list (Array.map branch mvals)
@@ -423,11 +537,14 @@ let rec strip_negations negated = function
   | q -> (negated, q)
 
 let count ?(width_bound = default_width_bound)
-    ?(max_events = default_max_events) ?(jobs = 1) q db =
+    ?(max_events = default_max_events) ?(order = Min_degree)
+    ?(cache_entries = default_cache_entries) ?(jobs = 1) q db =
   if width_bound < 0 then
     invalid_arg "Val_kernel.count: negative width bound";
   if max_events < 0 then
     invalid_arg "Val_kernel.count: negative event limit";
+  if cache_entries < 0 then
+    invalid_arg "Val_kernel.count: negative cache size";
   match strip_negations false q with
   | _, Query.Semantic _ -> None
   | negated, core ->
@@ -450,11 +567,25 @@ let count ?(width_bound = default_width_bound)
                (Idb.nulls db))
         in
         let live = Array.init (Array.length dom) Fun.id in
-        Log.debugf "val_kernel: %d events, %d minimal clauses over %d nulls"
-          n (Array.length clauses) (Array.length dom);
+        Log.debugf
+          "val_kernel: %d events, %d minimal clauses over %d nulls (%s order)"
+          n (Array.length clauses) (Array.length dom) (order_to_string order);
+        let cfg =
+          {
+            width_bound;
+            heuristic = order;
+            (* One fresh table per call: entries key on canonical clause
+               structure plus domain sizes, so nothing ties them to this
+               database — but a per-call table keeps memory bounded by
+               the query and needs no invalidation story. *)
+            cache =
+              (if cache_entries = 0 then None
+               else Some (cache_create cache_entries));
+          }
+        in
         let avoid =
           Trace.with_span "val_kernel.eliminate" (fun () ->
-              solve ~width_bound ~jobs dom clauses live)
+              solve cfg ~jobs dom clauses live)
         in
         let total = Idb.total_valuations db in
         Some (if negated then avoid else Nat.sub total avoid))

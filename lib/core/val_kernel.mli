@@ -46,16 +46,46 @@ val default_width_bound : int
 (** Default cap ([4096]) on the number of compiled events. *)
 val default_max_events : int
 
-(** [count ?width_bound ?max_events ?jobs q db] is [Some (#Val(q)(db))]
-    for any query built from monotone parts and [Not] — [None] only for
-    queries containing an opaque [Semantic] leaf.  [jobs] follows the
-    {!Incdb_par.Pool} convention (1 = sequential, 0 = auto-detect);
-    results are bit-identical at every job count.
+(** Default size bound ([65536] entries) of the cross-branch subproblem
+    cache. *)
+val default_cache_entries : int
+
+(** Elimination-order heuristic over the slot-interaction graph.
+    [Min_degree] (the default) greedily eliminates the smallest-degree
+    slot.  [Min_fill] greedily eliminates the slot whose neighborhood
+    needs the fewest fill edges, simulates both heuristics, and keeps
+    whichever order induces the smaller (width, cells) — so it is never
+    worse than [Min_degree] on the instance at hand.  Both break ties on
+    the smallest slot index; orders, counts and metrics are
+    deterministic either way. *)
+type order = Min_degree | Min_fill
+
+val order_to_string : order -> string
+
+(** [count ?width_bound ?max_events ?order ?cache_entries ?jobs q db] is
+    [Some (#Val(q)(db))] for any query built from monotone parts and
+    [Not] — [None] only for queries containing an opaque [Semantic]
+    leaf.  [jobs] follows the {!Incdb_par.Pool} convention
+    (1 = sequential, 0 = auto-detect); results are bit-identical at
+    every job count, under either [order], and with the cache on or off.
+
+    [cache_entries] bounds the cross-branch subproblem cache: component
+    avoidance counts memoized on {!Incdb_cq.Lineage.canonical_fixes} of
+    the component (slots and values renamed to dense ids, clauses
+    sorted, paired with the per-slot domain sizes), shared across the
+    conditioning recursion and the outermost parallel split — the
+    isomorphic residual subproblems that K_{k,k}-style lineage
+    regenerates once per branch are then solved once.  [0] disables the
+    cache; the [val_kernel.cache_hits]/[..._misses] counters record the
+    sharing.
     @raise Too_many_events when more than [max_events] events compile.
-    @raise Invalid_argument on a negative [width_bound] or [max_events]. *)
+    @raise Invalid_argument on a negative [width_bound], [max_events] or
+    [cache_entries]. *)
 val count :
   ?width_bound:int ->
   ?max_events:int ->
+  ?order:order ->
+  ?cache_entries:int ->
   ?jobs:int ->
   Query.t ->
   Idb.t ->

@@ -193,3 +193,55 @@ let drop_slot_fixes fixes ~slot =
     (List.filter
        (fun c -> not (Array.exists (fun (s, _) -> s = slot) c))
        (Array.to_list fixes))
+
+(* Canonical form of a disjunction of slot clauses, for keying a
+   subproblem cache: slots are renamed to dense ids in order of first
+   occurrence (scanning clauses in the given order, pairs slot-first),
+   each slot's values are renamed to dense ids in order of first
+   occurrence, and the renamed clauses are re-sorted (pairs by new slot,
+   clauses lexicographically).  Two subproblems with the same canonical
+   clauses and the same per-canonical-slot domain sizes have the same
+   avoidance count: the renaming is a slot bijection composed with a
+   per-slot value bijection, and the count only depends on the clause
+   structure up to such bijections.  The converse does not hold — the
+   first-occurrence scan is order-sensitive, so some isomorphic pairs
+   canonicalize apart — which costs cache hits, never correctness. *)
+let canonical_fixes fixes ~dom =
+  let slot_ids = Hashtbl.create 16 in
+  let doms = ref [] in
+  let val_ids : (int, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  let slot_id s =
+    match Hashtbl.find_opt slot_ids s with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length slot_ids in
+      Hashtbl.replace slot_ids s i;
+      Hashtbl.replace val_ids i (Hashtbl.create 4);
+      doms := dom s :: !doms;
+      i
+  in
+  let value_id i v =
+    let vals = Hashtbl.find val_ids i in
+    match Hashtbl.find_opt vals v with
+    | Some r -> r
+    | None ->
+      let r = Hashtbl.length vals in
+      Hashtbl.replace vals v r;
+      r
+  in
+  let renamed =
+    Array.map
+      (fun c ->
+        let c' =
+          Array.map
+            (fun (s, v) ->
+              let i = slot_id s in
+              (i, value_id i v))
+            c
+        in
+        Array.sort compare c';
+        c')
+      fixes
+  in
+  Array.sort compare renamed;
+  (renamed, Array.of_list (List.rev !doms))

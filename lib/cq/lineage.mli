@@ -106,3 +106,18 @@ val condition_fixes :
 (** Clauses not mentioning [slot] — the residual disjunction seen by the
     assignments whose value at [slot] appears in no clause. *)
 val drop_slot_fixes : (int * int) array array -> slot:int -> (int * int) array array
+
+(** [canonical_fixes fixes ~dom] is the canonical form of the
+    disjunction, for keying a subproblem cache: slots renamed to dense
+    ids by first occurrence, each slot's values renamed to dense ids by
+    first occurrence, clauses re-sorted, paired with the per-canonical-
+    slot domain sizes ([dom] maps an original slot to its domain size).
+    Subproblems with equal canonical forms have equal avoidance counts
+    (the renaming composes a slot bijection with per-slot value
+    bijections); the first-occurrence scan is order-sensitive, so the
+    converse may fail — missed sharing, never wrong sharing.  Input
+    clauses must be slot-sorted, as produced by {!minimal_fixes}. *)
+val canonical_fixes :
+  (int * int) array array ->
+  dom:(int -> int) ->
+  (int * int) array array * int array

@@ -74,5 +74,5 @@ let estimate_with_ci ?jobs ~seed ~samples q db =
       match run_estimator ?jobs ~seed ~samples q db with
       | None -> (0., 0.)
       | Some (total_weight, rate) ->
-        let stderr = sqrt (rate *. (1. -. rate) /. float_of_int samples) in
-        (total_weight *. rate, 1.96 *. total_weight *. stderr))
+        ( total_weight *. rate,
+          total_weight *. Karp_luby.wilson_half_width ~samples rate ))

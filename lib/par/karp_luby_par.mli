@@ -30,6 +30,7 @@ val streams : int
 val estimate : ?jobs:int -> seed:int -> samples:int -> Query.t -> Idb.t -> float
 
 (** Parallel analogue of [Karp_luby.estimate_with_ci]: the estimate and
-    a normal-approximation 95% confidence half-width. *)
+    a 95% Wilson-score confidence half-width
+    ([Karp_luby.wilson_half_width] scaled by the total event weight). *)
 val estimate_with_ci :
   ?jobs:int -> seed:int -> samples:int -> Query.t -> Idb.t -> float * float

@@ -130,7 +130,64 @@ let test_samples_for () =
     (Karp_luby.samples_for ~epsilon:0.01 ~events:10);
   Alcotest.check_raises "bad epsilon"
     (Invalid_argument "Karp_luby.samples_for: epsilon <= 0") (fun () ->
-      ignore (Karp_luby.samples_for ~epsilon:0. ~events:1))
+      ignore (Karp_luby.samples_for ~epsilon:0. ~events:1));
+  Alcotest.check_raises "negative events"
+    (Invalid_argument "Karp_luby.samples_for: negative events") (fun () ->
+      ignore (Karp_luby.samples_for ~epsilon:0.5 ~events:(-1)))
+
+let test_samples_for_overflow () =
+  (* ceil(4 * events / eps^2) stops fitting a machine int well before
+     eps underflows: the budget must fail with the typed error, never
+     truncate to a garbage (possibly negative) count. *)
+  Alcotest.(check bool) "tiny epsilon overflows" true
+    (match Karp_luby.samples_for ~epsilon:1e-10 ~events:1 with
+    | (_ : int) -> false
+    | exception Karp_luby.Sample_budget_overflow { epsilon; events } ->
+      epsilon = 1e-10 && events = 1);
+  (* Boundary, with power-of-two epsilons so the float arithmetic is
+     exact: eps = 2^-29 gives budget 4 / 2^-58 = 2^60, which fits... *)
+  Alcotest.(check int) "2^60 budget fits" (1 lsl 60)
+    (Karp_luby.samples_for ~epsilon:(2. ** -29.) ~events:1);
+  (* ... and eps = 2^-30 gives 2^62 = float_of_int max_int: one past. *)
+  Alcotest.(check bool) "2^62 budget overflows" true
+    (match Karp_luby.samples_for ~epsilon:(2. ** -30.) ~events:1 with
+    | (_ : int) -> false
+    | exception Karp_luby.Sample_budget_overflow _ -> true);
+  (* Denormal epsilon: eps^2 underflows to 0 and the float budget is
+     infinite; still the typed error, not Invalid_argument. *)
+  Alcotest.(check bool) "denormal epsilon overflows" true
+    (match Karp_luby.samples_for ~epsilon:1e-320 ~events:1 with
+    | (_ : int) -> false
+    | exception Karp_luby.Sample_budget_overflow _ -> true)
+
+let test_wilson_ci () =
+  (* The normal-approximation stderr sqrt(p(1-p)/n) is exactly 0 at
+     p in {0, 1}; the Wilson half-width must stay positive there. *)
+  List.iter
+    (fun rate ->
+      let hw = Karp_luby.wilson_half_width ~samples:1000 rate in
+      Alcotest.(check bool)
+        (Printf.sprintf "positive half-width at rate %g" rate)
+        true
+        (hw > 0. && Float.is_finite hw))
+    [ 0.; 1.; 0.5; 0.01 ];
+  (* More samples, tighter interval. *)
+  Alcotest.(check bool) "width shrinks with samples" true
+    (Karp_luby.wilson_half_width ~samples:100_000 0.3
+    < Karp_luby.wilson_half_width ~samples:100 0.3);
+  (* An all-miss estimator run reports estimate 0 with a CI that still
+     admits a small positive count. *)
+  let db =
+    Idb.make
+      [ Idb.fact "R" [ Term.null "n"; Term.null "m" ] ]
+      (Idb.Uniform [ "0"; "1" ])
+  in
+  (* R(x,x) missed when n <> m; a seed/sample pair with zero hits would
+     need luck — instead pin the degenerate all-hit side, which every
+     seed produces on a query satisfied by all valuations. *)
+  let est, hw = Karp_luby.estimate_with_ci ~seed:3 ~samples:500 (bcq "R(x,y)") db in
+  Alcotest.(check (float 0.001)) "all-hit estimate is the total" 4.0 est;
+  Alcotest.(check bool) "all-hit half-width positive" true (hw > 0.)
 
 (* KL stays accurate on instances far beyond brute force: 20 nulls over a
    10-value domain is 10^20 valuations, yet the exact Codd-table count is
@@ -286,6 +343,10 @@ let () =
             test_rejects_zero_samples;
           Alcotest.test_case "full" `Quick test_full_case;
           Alcotest.test_case "sample budget" `Quick test_samples_for;
+          Alcotest.test_case "sample budget overflow" `Quick
+            test_samples_for_overflow;
+          Alcotest.test_case "wilson confidence interval" `Quick
+            test_wilson_ci;
           Alcotest.test_case "rare events" `Quick test_rare_event;
           Alcotest.test_case "unbiasedness" `Quick test_unbiasedness;
         ] );

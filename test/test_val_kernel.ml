@@ -14,10 +14,23 @@ let job_levels = [ 1; 2; 4 ]
 let check_nat = Gen.check_nat
 
 (* Unwrap the kernel's option: every query in this file is compilable. *)
-let kernel ?width_bound ?max_events ?jobs q db =
-  match Val_kernel.count ?width_bound ?max_events ?jobs q db with
+let kernel ?width_bound ?max_events ?order ?cache_entries ?jobs q db =
+  match
+    Val_kernel.count ?width_bound ?max_events ?order ?cache_entries ?jobs q db
+  with
   | Some n -> n
   | None -> Alcotest.fail "kernel declined a compilable query"
+
+(* Run [f] with metric collection on and report the named counters'
+   deltas next to its result. *)
+let with_counters names f =
+  let v name = Incdb_obs.Metrics.value (Incdb_obs.Metrics.counter name) in
+  let before = List.map v names in
+  Incdb_obs.Runtime.set_enabled true;
+  let r =
+    Fun.protect f ~finally:(fun () -> Incdb_obs.Runtime.set_enabled false)
+  in
+  (r, List.map2 (fun n b -> (n, v n - b)) names before)
 
 let brute ?jobs q db = Incdb_par.Brute_par.count_valuations ?jobs q db
 
@@ -122,6 +135,81 @@ let test_width_bound_fallback () =
     (Invalid_argument "Val_kernel.count: negative width bound") (fun () ->
       ignore (kernel ~width_bound:(-1) q db))
 
+(* ------------------------------------------------------------------ *)
+(* Cross-branch subproblem cache and the min-fill order                *)
+(* ------------------------------------------------------------------ *)
+
+let test_subproblem_cache () =
+  (* Two S edges over a dense K_{k,k} clause structure: the conditioning
+     branches leave value-isomorphic residual components, which is
+     exactly what the canonical-form cache is meant to collapse. *)
+  let db = path_instance ~k:4 ~d:3 ~edges:[ ("v0", "v1"); ("v2", "v0") ] in
+  let q = Query.Bcq path_query in
+  let reference = kernel ~cache_entries:0 q db in
+  check_nat "cache on = cache off" reference (kernel q db);
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun order ->
+          check_nat
+            (Printf.sprintf "cache on, order=%s, jobs=%d"
+               (Val_kernel.order_to_string order)
+               jobs)
+            reference
+            (kernel ~order ~jobs q db);
+          check_nat
+            (Printf.sprintf "pure conditioning, order=%s, jobs=%d"
+               (Val_kernel.order_to_string order)
+               jobs)
+            reference
+            (kernel ~width_bound:0 ~order ~jobs q db))
+        [ Val_kernel.Min_degree; Val_kernel.Min_fill ])
+    job_levels;
+  (* Pure conditioning maximizes branch count; the isomorphic residues
+     must actually hit the cache, and a disabled cache must not. *)
+  let (_ : Nat.t), deltas =
+    with_counters
+      [ "val_kernel.cache_hits"; "val_kernel.cache_misses" ]
+      (fun () -> kernel ~width_bound:0 q db)
+  in
+  Alcotest.(check bool)
+    "cache hits recorded" true
+    (List.assoc "val_kernel.cache_hits" deltas > 0);
+  Alcotest.(check bool)
+    "cache misses recorded" true
+    (List.assoc "val_kernel.cache_misses" deltas > 0);
+  let (_ : Nat.t), deltas_off =
+    with_counters
+      [ "val_kernel.cache_hits"; "val_kernel.cache_misses" ]
+      (fun () -> kernel ~width_bound:0 ~cache_entries:0 q db)
+  in
+  Alcotest.(check int) "disabled cache never hits" 0
+    (List.assoc "val_kernel.cache_hits" deltas_off);
+  Alcotest.(check int) "disabled cache never misses" 0
+    (List.assoc "val_kernel.cache_misses" deltas_off);
+  Alcotest.check_raises "negative cache size rejected"
+    (Invalid_argument "Val_kernel.count: negative cache size") (fun () ->
+      ignore (kernel ~cache_entries:(-1) q db))
+
+let test_min_fill_order () =
+  List.iter
+    (fun (k, d, edges) ->
+      let db = path_instance ~k ~d ~edges in
+      let q = Query.Bcq path_query in
+      let want = kernel q db in
+      List.iter
+        (fun jobs ->
+          check_nat
+            (Printf.sprintf "min-fill k=%d d=%d jobs=%d" k d jobs)
+            want
+            (kernel ~order:Val_kernel.Min_fill ~jobs q db))
+        job_levels)
+    [
+      (2, 3, [ ("v0", "v1") ]);
+      (4, 3, [ ("v0", "v1"); ("v2", "v0") ]);
+      (5, 4, [ ("v0", "v1"); ("v2", "v3") ]);
+    ]
+
 let test_event_limit () =
   let db = figure1 () in
   let q = Query.Bcq (Cq.of_string "S(x,x)") in
@@ -219,6 +307,39 @@ let prop_kernel_tight_width =
       let query = Query.Bcq q in
       Nat.equal (kernel query db) (kernel ~width_bound:0 query db))
 
+(* Directed at the conditioning "other" bucket: with only the (v0, v1)
+   edge, every R-null mentions one value ([v0]) out of a domain of
+   [d >= 3], so the aggregated rest-of-domain branch carries weight
+   [d - 1 > 1] — precisely the weighted branch a plain mentioned-values
+   split would miss.  width_bound 0 forces every component through it. *)
+let prop_other_bucket_weight =
+  QCheck.Test.make ~count:25
+    ~name:"conditioning other-bucket weight (|dom| > |mentioned|)"
+    QCheck.(make (Gen.pair (Gen.int_range 2 4) (Gen.int_range 3 5)))
+    (fun (k, d) ->
+      let db = path_instance ~k ~d ~edges:[ ("v0", "v1") ] in
+      let q = Query.Bcq path_query in
+      let want = brute q db in
+      List.for_all
+        (fun jobs ->
+          Nat.equal want (kernel ~width_bound:0 ~jobs q db)
+          && Nat.equal want
+               (kernel ~width_bound:0 ~cache_entries:0 ~jobs q db))
+        job_levels)
+
+let prop_cache_and_order_agree =
+  QCheck.Test.make ~count:40
+    ~name:"cache off = cache on = min-fill on random instances" seeds_arb
+    (fun seeds ->
+      let q, db = random_instance seeds in
+      QCheck.assume (Gen.manageable ~limit:20_000 db);
+      let query = Query.Bcq q in
+      let want = kernel ~cache_entries:0 query db in
+      Nat.equal want (kernel query db)
+      && Nat.equal want (kernel ~order:Val_kernel.Min_fill query db)
+      && Nat.equal want
+           (kernel ~order:Val_kernel.Min_fill ~width_bound:1 query db))
+
 let () =
   Alcotest.run "val_kernel"
     [
@@ -237,6 +358,12 @@ let () =
             test_width_bound_fallback;
           Alcotest.test_case "typed event limit" `Quick test_event_limit;
         ] );
+      ( "cache",
+        [
+          Alcotest.test_case "cross-branch subproblem cache" `Quick
+            test_subproblem_cache;
+          Alcotest.test_case "min-fill order" `Quick test_min_fill_order;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -244,5 +371,7 @@ let () =
             prop_kernel_not_agrees;
             prop_kernel_union_agrees;
             prop_kernel_tight_width;
+            prop_other_bucket_weight;
+            prop_cache_and_order_agree;
           ] );
     ]
