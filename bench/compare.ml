@@ -1,0 +1,350 @@
+(* Bench regression gate: diff a fresh benchmark JSON against a
+   committed baseline and fail on wall-time regressions.
+
+     dune exec bench/compare.exe -- BASE.json FRESH.json \
+         [--threshold FRAC] [--min-delta SEC]
+     dune exec bench/compare.exe -- smoke
+
+   Sections are matched by their "section" name.  Within a section every
+   field named "seconds" or ending in "_seconds" is a timing; entries of
+   a "times" array are timings labelled by their "jobs" level.  A timing
+   regresses when the fresh value exceeds base * (1 + threshold) AND the
+   absolute growth exceeds min-delta — the floor keeps microsecond-scale
+   rows from tripping the relative gate on scheduler noise.  A baseline
+   section or timing missing from the fresh file also fails: a silently
+   dropped benchmark is not a pass.
+
+   The smoke mode (wired into @bench-smoke, hence the default runtest)
+   self-tests the gate on synthetic fixtures — a planted regression must
+   fail, a within-noise drift must pass — and then probes the flight
+   recorder's overhead budget: the #Val kernel on a small hard-pattern
+   instance, observability disabled vs enabled, must stay within 5%
+   plus an absolute slack, with retries to ride out scheduler noise. *)
+
+module Json = Incdb_obs.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("bench/compare: " ^ m);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_string what s =
+  match Json.of_string s with
+  | Ok j -> j
+  | Error msg -> fail "%s does not parse: %s" what msg
+
+(* ------------------------------------------------------------------ *)
+(* Timing extraction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let is_seconds_field name =
+  name = "seconds"
+  || (String.length name > 8
+     && String.sub name (String.length name - 8) 8 = "_seconds")
+
+(* Flat (label, seconds) list of every timing in the file, labels like
+   "val_kernel:cache-...:cache_on_seconds" or "...:times:jobs=4". *)
+let timings what j =
+  let sections =
+    match Option.bind (Json.member "sections" j) Json.to_list with
+    | Some l -> l
+    | None -> fail "%s has no \"sections\" array" what
+  in
+  List.concat_map
+    (fun s ->
+      let name =
+        match Json.member "section" s with
+        | Some (Json.String n) -> n
+        | _ -> fail "%s has a section without a \"section\" name" what
+      in
+      let fields = match s with Json.Assoc f -> f | _ -> [] in
+      List.concat_map
+        (fun (k, v) ->
+          if is_seconds_field k then
+            match Json.to_float v with
+            | Some sec -> [ (name ^ ":" ^ k, sec) ]
+            | None -> fail "%s: %s:%s is not a number" what name k
+          else if k = "times" then
+            match Json.to_list v with
+            | None -> fail "%s: %s:times is not an array" what name
+            | Some cells ->
+              List.map
+                (fun cell ->
+                  let jobs =
+                    match
+                      Option.bind (Json.member "jobs" cell) Json.to_int
+                    with
+                    | Some j -> j
+                    | None -> fail "%s: %s:times cell without jobs" what name
+                  in
+                  match
+                    Option.bind (Json.member "seconds" cell) Json.to_float
+                  with
+                  | Some sec ->
+                    (Printf.sprintf "%s:times:jobs=%d" name jobs, sec)
+                  | None -> fail "%s: %s:times cell without seconds" what name)
+                cells
+          else [])
+        fields)
+    sections
+
+type verdict = {
+  regressions : (string * float * float) list; (* label, base, fresh *)
+  missing : string list;
+  improved : int;
+  compared : int;
+}
+
+let diff ~threshold ~min_delta base fresh =
+  let regressions = ref [] in
+  let missing = ref [] in
+  let improved = ref 0 in
+  let compared = ref 0 in
+  List.iter
+    (fun (label, b) ->
+      match List.assoc_opt label fresh with
+      | None -> missing := label :: !missing
+      | Some f ->
+        incr compared;
+        if f > (b *. (1. +. threshold)) && f -. b > min_delta then
+          regressions := (label, b, f) :: !regressions
+        else if f < b then incr improved)
+    base;
+  {
+    regressions = List.rev !regressions;
+    missing = List.rev !missing;
+    improved = !improved;
+    compared = !compared;
+  }
+
+let run_compare ~threshold ~min_delta base_path fresh_path =
+  let base = timings base_path (parse_string base_path (read_file base_path)) in
+  let fresh =
+    timings fresh_path (parse_string fresh_path (read_file fresh_path))
+  in
+  let v = diff ~threshold ~min_delta base fresh in
+  Printf.printf
+    "bench/compare: %d timings compared (%.0f%% threshold, %.3fs floor), %d \
+     faster\n"
+    v.compared (100. *. threshold) min_delta v.improved;
+  List.iter
+    (fun (label, b, f) ->
+      Printf.printf "  REGRESSION %-50s %.4fs -> %.4fs (+%.0f%%)\n" label b f
+        (100. *. ((f /. b) -. 1.)))
+    v.regressions;
+  List.iter
+    (fun label -> Printf.printf "  MISSING    %s (dropped from fresh run)\n" label)
+    v.missing;
+  if v.regressions <> [] || v.missing <> [] then begin
+    Printf.printf "bench/compare: FAIL (%d regression(s), %d missing)\n"
+      (List.length v.regressions)
+      (List.length v.missing);
+    exit 1
+  end
+  else Printf.printf "bench/compare: ok\n"
+
+(* ------------------------------------------------------------------ *)
+(* Smoke: gate self-test + obs overhead probe                          *)
+(* ------------------------------------------------------------------ *)
+
+let fixture rows =
+  Json.Assoc
+    [
+      ("schema_version", Json.Int 1);
+      ( "sections",
+        Json.List
+          (List.map
+             (fun (name, secs, times) ->
+               Json.Assoc
+                 ([ ("section", Json.String name) ]
+                 @ List.map (fun (k, v) -> (k, Json.Float v)) secs
+                 @
+                 if times = [] then []
+                 else
+                   [
+                     ( "times",
+                       Json.List
+                         (List.map
+                            (fun (j, s) ->
+                              Json.Assoc
+                                [
+                                  ("jobs", Json.Int j);
+                                  ("seconds", Json.Float s);
+                                ])
+                            times) );
+                   ]))
+             rows) );
+    ]
+
+let self_test () =
+  let base =
+    fixture
+      [
+        ("a", [ ("kernel_seconds", 1.0) ], [ (1, 0.5); (4, 0.2) ]);
+        ("b", [ ("cache_on_seconds", 0.1) ], []);
+      ]
+  in
+  let check what base fresh expect =
+    let v =
+      diff ~threshold:0.25 ~min_delta:0.02 (timings "base" base)
+        (timings "fresh" fresh)
+    in
+    let got = (List.length v.regressions, List.length v.missing) in
+    if got <> expect then
+      fail "self-test %s: expected %d regressions / %d missing, got %d / %d"
+        what (fst expect) (snd expect) (fst got) (snd got)
+  in
+  (* Identical runs pass. *)
+  check "identical" base base (0, 0);
+  (* A planted 2x regression on one flat field and one times cell. *)
+  check "planted"
+    base
+    (fixture
+       [
+         ("a", [ ("kernel_seconds", 2.0) ], [ (1, 0.5); (4, 0.4) ]);
+         ("b", [ ("cache_on_seconds", 0.1) ], []);
+       ])
+    (2, 0);
+  (* Drift inside the relative threshold passes. *)
+  check "within-threshold"
+    base
+    (fixture
+       [
+         ("a", [ ("kernel_seconds", 1.2) ], [ (1, 0.55); (4, 0.21) ]);
+         ("b", [ ("cache_on_seconds", 0.11) ], []);
+       ])
+    (0, 0);
+  (* Above the relative threshold but under the absolute floor passes:
+     microsecond rows must not gate on noise. *)
+  check "under-floor"
+    base
+    (fixture
+       [
+         ("a", [ ("kernel_seconds", 1.0) ], [ (1, 0.5); (4, 0.215) ]);
+         ("b", [ ("cache_on_seconds", 0.1) ], []);
+       ])
+    (0, 0);
+  (* A dropped section fails. *)
+  check "dropped"
+    base
+    (fixture [ ("a", [ ("kernel_seconds", 1.0) ], [ (1, 0.5); (4, 0.2) ]) ])
+    (0, 1);
+  Printf.printf "  gate self-test: ok (5 fixtures)\n%!"
+
+(* Minimal copy of Instances.path_chain (bench/instances.ml lives in
+   main.exe's module set, which compare.exe cannot share): k unary-null
+   R and T facts over per-null d-value domains, constant S edges. *)
+let path_chain ~k ~d ~edges =
+  let open Incdb_incomplete in
+  let dom = List.init d (fun i -> "v" ^ string_of_int i) in
+  let side prefix rel =
+    List.init k (fun i ->
+        Idb.fact rel [ Term.null (Printf.sprintf "%s%d" prefix i) ])
+  in
+  let names prefix = List.init k (fun i -> Printf.sprintf "%s%d" prefix i) in
+  Idb.make
+    (side "r" "R"
+    @ List.map
+        (fun (a, b) ->
+          Idb.fact "S" [ Term.const a; Term.const b ])
+        edges
+    @ side "t" "T")
+    (Idb.Nonuniform (List.map (fun n -> (n, dom)) (names "r" @ names "t")))
+
+(* Median wall time of [reps] kernel runs, best-of-[trials]: the probe
+   wants the achievable cost of each mode, not its worst scheduling
+   outlier. *)
+let probe_seconds ~trials ~reps f =
+  let one () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let ts = List.sort compare (List.init trials (fun _ -> one ())) in
+  List.nth ts (trials / 2)
+
+let overhead_probe () =
+  let open Incdb_core in
+  let q = Incdb_cq.Query.Bcq (Incdb_cq.Cq.of_string "R(x), S(x,y), T(y)") in
+  let db = path_chain ~k:5 ~d:4 ~edges:[ ("v0", "v1") ] in
+  let kernel () =
+    match Val_kernel.count q db with
+    | Some (_ : Incdb_bignum.Nat.t) -> ()
+    | None -> fail "overhead probe: kernel declined the probe query"
+  in
+  let budget = 0.05 (* 5% relative... *)
+  and slack = 0.005 (* ...plus absolute noise floor, seconds *) in
+  let rec attempt n =
+    Incdb_obs.Runtime.set_enabled false;
+    let off = probe_seconds ~trials:5 ~reps:40 kernel in
+    Incdb_obs.Runtime.set_enabled true;
+    let on = probe_seconds ~trials:5 ~reps:40 kernel in
+    Incdb_obs.Runtime.set_enabled false;
+    let within = on <= (off *. (1. +. budget)) +. slack in
+    Printf.printf
+      "  obs overhead probe: off %.4fs  on %.4fs  (%+.1f%%)%s\n%!" off on
+      (100. *. ((on /. off) -. 1.))
+      (if within then "" else "  over budget");
+    if not within then
+      if n > 1 then attempt (n - 1)
+      else
+        fail
+          "flight-recorder overhead %.4fs -> %.4fs exceeds %.0f%% + %.3fs \
+           budget"
+          off on (100. *. budget) slack
+  in
+  attempt 3
+
+let smoke () =
+  Printf.printf "bench/compare smoke (gate self-test + obs overhead probe)\n";
+  self_test ();
+  overhead_probe ();
+  Printf.printf "bench/compare smoke: ok\n"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "smoke" ] -> smoke ()
+  | _ :: rest -> (
+    let threshold = ref 0.25 in
+    let min_delta = ref 0.02 in
+    let paths = ref [] in
+    let rec go = function
+      | [] -> ()
+      | "--threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f > 0. ->
+          threshold := f;
+          go rest
+        | _ -> fail "--threshold needs a positive number, got %S" v)
+      | "--min-delta" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f >= 0. ->
+          min_delta := f;
+          go rest
+        | _ -> fail "--min-delta needs a non-negative number, got %S" v)
+      | p :: rest ->
+        paths := p :: !paths;
+        go rest
+    in
+    go rest;
+    match List.rev !paths with
+    | [ base; fresh ] ->
+      run_compare ~threshold:!threshold ~min_delta:!min_delta base fresh
+    | _ ->
+      fail
+        "usage: compare BASE.json FRESH.json [--threshold FRAC] [--min-delta \
+         SEC] | compare smoke")
+  | [] -> assert false

@@ -3,10 +3,13 @@
    against brute force on randomly generated queries and databases, with
    a fixed seed for reproducibility.
 
-     dune exec bin/fuzz.exe -- [rounds] [seed]
+     dune exec bin/fuzz.exe -- [--trace] [--metrics-out FILE] \
+                               [--trace-out FILE] [rounds] [seed]
 
    Exits non-zero on the first discrepancy, printing a replayable
-   counterexample. *)
+   counterexample.  The obs flags mirror idbcount's; they are flushed
+   through [at_exit] so a failing round (which exits mid-flight) still
+   leaves a timeline of the run that produced the counterexample. *)
 
 open Incdb_bignum
 open Incdb_cq
@@ -148,13 +151,67 @@ let check_round st round =
   end
   else false
 
+(* Obs flags first, then the positional [rounds] [seed].  Exports hang
+   off [at_exit], not a [Fun.protect]: the [fail] path and the usage
+   errors both leave through [exit], which runs at_exit handlers but
+   would skip a protect finalizer higher up the stack. *)
+let parse_args () =
+  let usage () =
+    prerr_endline
+      "usage: fuzz [--trace] [--metrics-out FILE] [--trace-out FILE] [rounds] \
+       [seed]";
+    exit 2
+  in
+  let trace = ref false in
+  let metrics_out = ref None in
+  let trace_out = ref None in
+  let positional = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--trace" :: rest ->
+      trace := true;
+      go rest
+    | "--metrics-out" :: path :: rest ->
+      metrics_out := Some path;
+      go rest
+    | "--trace-out" :: path :: rest ->
+      trace_out := Some path;
+      go rest
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' -> (
+      match int_of_string_opt arg with
+      | Some n ->
+        positional := n :: !positional;
+        go rest
+      | None -> usage ())
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let rounds, seed =
+    match List.rev !positional with
+    | [] -> (300, 20260704)
+    | [ rounds ] -> (rounds, 20260704)
+    | [ rounds; seed ] -> (rounds, seed)
+    | _ -> usage ()
+  in
+  if !trace || !metrics_out <> None || !trace_out <> None then
+    Incdb_obs.Runtime.set_enabled true;
+  if !trace then at_exit (fun () -> Incdb_obs.Export.pp_summary stderr);
+  (match !metrics_out with
+  | None -> ()
+  | Some path ->
+    at_exit (fun () ->
+        try Incdb_obs.Export.write_file path
+        with Sys_error msg -> prerr_endline ("fuzz: cannot write metrics: " ^ msg)));
+  (match !trace_out with
+  | None -> ()
+  | Some path ->
+    at_exit (fun () ->
+        try Incdb_obs.Chrome.write_file path
+        with Sys_error msg -> prerr_endline ("fuzz: cannot write trace: " ^ msg)));
+  (rounds, seed)
+
 let () =
-  let rounds =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 300
-  in
-  let seed =
-    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 20260704
-  in
+  let rounds, seed = parse_args () in
   let st = Random.State.make [| seed |] in
   let executed = ref 0 in
   let limited = ref 0 in

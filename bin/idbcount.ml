@@ -36,7 +36,12 @@ let load_db path =
 (* Observability flags, shared by every subcommand                     *)
 (* ------------------------------------------------------------------ *)
 
-type obs_opts = { trace : bool; verbose : bool; metrics_out : string option }
+type obs_opts = {
+  trace : bool;
+  verbose : bool;
+  metrics_out : string option;
+  trace_out : string option;
+}
 
 let obs_term =
   let trace =
@@ -54,29 +59,42 @@ let obs_term =
   in
   let metrics_out =
     let doc =
-      "Write span and metric data as JSON (schema version 1) to $(docv) when \
+      "Write span and metric data as JSON (schema version 2) to $(docv) when \
        the command finishes.  Implies metric collection."
     in
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
   in
+  let trace_out =
+    let doc =
+      "Write the flight recorder's per-domain event timeline as Chrome \
+       trace_event JSON to $(docv) when the command finishes (open it in \
+       Perfetto or chrome://tracing).  Implies event collection."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
   Cmdliner.Term.(
-    const (fun trace verbose metrics_out -> { trace; verbose; metrics_out })
-    $ trace $ verbose $ metrics_out)
+    const (fun trace verbose metrics_out trace_out ->
+        { trace; verbose; metrics_out; trace_out })
+    $ trace $ verbose $ metrics_out $ trace_out)
 
 (* Enable collection before the body runs; flush the requested exports
    afterwards, also when the body raises. *)
 let with_obs (o : obs_opts) f =
-  if o.trace || o.metrics_out <> None then Incdb_obs.Runtime.set_enabled true;
+  if o.trace || o.metrics_out <> None || o.trace_out <> None then
+    Incdb_obs.Runtime.set_enabled true;
   if o.verbose then Incdb_obs.Log.set_level (Some Incdb_obs.Log.Debug);
   Fun.protect f ~finally:(fun () ->
       if o.trace then Incdb_obs.Export.pp_summary stderr;
-      match o.metrics_out with
-      | None -> ()
-      | Some path -> (
-        try Incdb_obs.Export.write_file path
-        with Sys_error msg ->
-          prerr_endline ("idbcount: cannot write metrics: " ^ msg);
-          exit 1))
+      let write what writer = function
+        | None -> ()
+        | Some path -> (
+          try writer path
+          with Sys_error msg ->
+            prerr_endline ("idbcount: cannot write " ^ what ^ ": " ^ msg);
+            exit 1)
+      in
+      write "metrics" Incdb_obs.Export.write_file o.metrics_out;
+      write "trace" Incdb_obs.Chrome.write_file o.trace_out)
 
 let query_opt =
   let doc = "Boolean conjunctive query, e.g. \"R(x), S(x,y)\"." in

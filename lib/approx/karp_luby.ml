@@ -104,6 +104,7 @@ let event_size db partial =
 
 module Trace = Incdb_obs.Trace
 module Metrics = Incdb_obs.Metrics
+module Obs_events = Incdb_obs.Events
 module Log = Incdb_obs.Log
 
 let events_built = Metrics.counter "karp_luby.events_built"
@@ -112,6 +113,7 @@ let coverage_hits = Metrics.counter "karp_luby.coverage_hits"
 let estimate_latency = Metrics.histogram "karp_luby.estimate_ns"
 let iex_cache_hits = Metrics.counter "karp_luby.iex_cache_hits"
 let iex_cache_misses = Metrics.counter "karp_luby.iex_cache_misses"
+let running_estimate = Metrics.gauge "karp_luby.running_estimate"
 
 let events q db =
   Trace.with_span "karp_luby.build_events" (fun () ->
@@ -217,9 +219,19 @@ let run_estimator ~seed ~samples q db =
             Metrics.incr coverage_hits;
             incr hits
           end;
-          if s mod snap_every = 0 then
-            Metrics.set_gauge "karp_luby.running_estimate"
-              (total_weight *. float_of_int !hits /. float_of_int s)
+          if s mod snap_every = 0 then begin
+            Metrics.set running_estimate
+              (total_weight *. float_of_int !hits /. float_of_int s);
+            (* One timeline event per batch of [snap_every] samples, so
+               a trace shows the estimator's cadence and convergence
+               without an event per draw. *)
+            Obs_events.instant "karp_luby.sample_batch"
+              ~args:
+                [
+                  ("samples", Obs_events.Int s);
+                  ("hits", Obs_events.Int !hits);
+                ]
+          end
         done);
     let rate = float_of_int !hits /. float_of_int samples in
     Log.debugf "karp_luby: %d events, %d/%d canonical hits, estimate %.6g"

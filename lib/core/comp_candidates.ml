@@ -76,6 +76,7 @@ let () =
 
 module Trace = Incdb_obs.Trace
 module Metrics = Incdb_obs.Metrics
+module Events = Incdb_obs.Events
 
 (* Same counter the brute-force path registers: candidate subsets that
    went through the is-completion check. *)
@@ -255,9 +256,12 @@ let count ?query ?(max_candidates = default_max_candidates) ?(jobs = 1)
             Metrics.incr shards_run;
             let stats = { checked = 0; pruned = 0; found = 0 } in
             let found =
-              run_shard ~m ~shard_bits ~prefix:(s lsl (m - shard_bits))
-                ~kernel:(Codd.kernel_copy kernel0) ~clauses ~sat_mode ~universe
-                ~facts_with_bit ~clauses_with_bit stats
+              Events.with_span "comp_kernel.shard"
+                ~args:[ ("shard", Events.Int s) ]
+                (fun () ->
+                  run_shard ~m ~shard_bits ~prefix:(s lsl (m - shard_bits))
+                    ~kernel:(Codd.kernel_copy kernel0) ~clauses ~sat_mode
+                    ~universe ~facts_with_bit ~clauses_with_bit stats)
             in
             Metrics.incr subsets_checked ~by:stats.checked;
             Metrics.incr completions_checked ~by:stats.checked;

@@ -3,8 +3,15 @@ open Incdb_cq
 open Incdb_incomplete
 module Trace = Incdb_obs.Trace
 module Metrics = Incdb_obs.Metrics
+module Events = Incdb_obs.Events
 module Log = Incdb_obs.Log
 module Iset = Set.Make (Int)
+
+(* Hoisted flight-recorder args for the per-lookup cache instants: the
+   cache probe is the kernel's hottest event site, and a literal list
+   there would allocate even with observability disabled. *)
+let cache_hit_args = [ ("cache", Events.Str "hit") ]
+let cache_miss_args = [ ("cache", Events.Str "miss") ]
 
 exception Too_many_events of { events : int; limit : int }
 
@@ -446,6 +453,13 @@ let rec solve cfg ~jobs dom clauses live =
    share: residues that differ only in slot names or in which concrete
    values survived the split collapse to one entry. *)
 and solve_component cfg ~jobs dom clauses slots =
+  if Incdb_obs.Runtime.enabled () then
+    Events.instant "val_kernel.component"
+      ~args:
+        [
+          ("slots", Events.Int (Array.length slots));
+          ("clauses", Events.Int (Array.length clauses));
+        ];
   match cfg.cache with
   | None -> solve_component_uncached cfg ~jobs dom clauses slots
   | Some cache ->
@@ -456,9 +470,11 @@ and solve_component cfg ~jobs dom clauses slots =
     (match cache_find cache key with
     | Some n ->
       Metrics.incr cache_hits;
+      Events.instant "val_kernel.cache" ~args:cache_hit_args;
       n
     | None ->
       Metrics.incr cache_misses;
+      Events.instant "val_kernel.cache" ~args:cache_miss_args;
       let n = solve_component_uncached cfg ~jobs dom clauses slots in
       cache_add cache key n;
       n)
@@ -470,7 +486,15 @@ and solve_component_uncached cfg ~jobs dom clauses slots =
   in
   if width <= cfg.width_bound && cells <= max_factor_cells then begin
     Metrics.incr width_counter ~by:width;
-    eliminate ctx order clauses
+    Events.with_span "val_kernel.eliminate_component"
+      ~args:
+        [
+          ("width", Events.Int width);
+          ("cells", Events.Int cells);
+          ("slots", Events.Int (Array.length slots));
+          ("clauses", Events.Int (Array.length clauses));
+        ]
+      (fun () -> eliminate ctx order clauses)
   end
   else begin
     (* Condition on the highest-degree slot (ties: smallest index): one
@@ -516,8 +540,16 @@ and solve_component_uncached cfg ~jobs dom clauses slots =
       @ (if dj > m then [ other ] else [])
     in
     let results =
-      if jobs <> 1 then Incdb_par.Pool.run ~jobs tasks
-      else List.map (fun t -> t ()) tasks
+      Events.with_span "val_kernel.condition"
+        ~args:
+          [
+            ("slot", Events.Int j);
+            ("branches", Events.Int (List.length tasks));
+            ("width", Events.Int width);
+          ]
+        (fun () ->
+          if jobs <> 1 then Incdb_par.Pool.run ~jobs tasks
+          else List.map (fun t -> t ()) tasks)
     in
     let acc = ref Nat.zero in
     List.iteri
@@ -557,6 +589,7 @@ let count ?(width_bound = default_width_bound)
         if n > max_events then
           raise (Too_many_events { events = n; limit = max_events });
         Metrics.incr events_compiled ~by:n;
+        Events.instant "val_kernel.compiled" ~args:[ ("events", Events.Int n) ];
         let clauses =
           Lineage.minimal_fixes (Incdb_approx.Karp_luby.encode_fixes evs db)
         in

@@ -2,19 +2,24 @@
    schema-stable JSON document (consumed by bench/ and the obs-smoke
    validator).
 
-   JSON schema (version 1):
+   JSON schema (version 2):
 
-     { "schema_version": 1,
+     { "schema_version": 2,
        "spans":    [ { "name": str, "path": str, "calls": int,
                        "wall_ns": int, "children": [span...] } ... ],
        "counters": { name: int, ... },
        "gauges":   { name: float, ... },
        "histograms": {
          name: { "count": int, "sum": float,
+                 "p50": float, "p90": float, "p99": float,
                  "buckets": [ { "le": float|null, "count": int } ... ] } } }
 
    Adding fields is allowed; renaming or removing them is a schema
-   version bump. *)
+   version bump.  Version 1 -> 2: histograms gained the "p50"/"p90"/
+   "p99" percentile estimates (Metrics.percentile over the exponential
+   buckets; 0.0 when the histogram is empty) — additive in spirit, but
+   consumers that *require* the percentiles need the version gate, so
+   the number moved. *)
 
 type tree = { span : Trace.span; children : tree list }
 
@@ -59,6 +64,9 @@ let histogram_to_json (h : Metrics.histogram_snapshot) =
     [
       ("count", Json.Int h.Metrics.count);
       ("sum", Json.Float h.Metrics.sum);
+      ("p50", Json.Float (Metrics.percentile h 0.50));
+      ("p90", Json.Float (Metrics.percentile h 0.90));
+      ("p99", Json.Float (Metrics.percentile h 0.99));
       ( "buckets",
         Json.List
           (List.map
@@ -74,7 +82,7 @@ let histogram_to_json (h : Metrics.histogram_snapshot) =
 let to_json () =
   Json.Assoc
     [
-      ("schema_version", Json.Int 1);
+      ("schema_version", Json.Int 2);
       ("spans", Json.List (List.map tree_to_json (span_forest ())));
       ( "counters",
         Json.Assoc
@@ -143,9 +151,14 @@ let pp_summary oc =
     List.iter
       (fun (n, h) ->
         if h.Metrics.count > 0 then begin
-          Printf.fprintf oc "  %-44s count %d, mean %s\n" n h.Metrics.count
+          Printf.fprintf oc
+            "  %-44s count %d, mean %s, p50 %s, p90 %s, p99 %s\n" n
+            h.Metrics.count
             (pp_duration
-               (int_of_float (h.Metrics.sum /. float_of_int h.Metrics.count)));
+               (int_of_float (h.Metrics.sum /. float_of_int h.Metrics.count)))
+            (pp_duration (int_of_float (Metrics.percentile h 0.50)))
+            (pp_duration (int_of_float (Metrics.percentile h 0.90)))
+            (pp_duration (int_of_float (Metrics.percentile h 0.99)));
           List.iter
             (fun (le, c) ->
               if c > 0 then
@@ -160,7 +173,10 @@ let pp_summary oc =
   end;
   flush oc
 
-(* Zero every span and metric; registrations survive. *)
+(* Zero every span, metric and recorded event; registrations survive.
+   Safe while spans are open on any domain (see Trace.reset and
+   Events.reset) — incdbd will call this between requests. *)
 let reset () =
   Trace.reset ();
-  Metrics.reset ()
+  Metrics.reset ();
+  Events.reset ()

@@ -8,6 +8,7 @@
    histograms take a mutex (they are never on a per-valuation path). *)
 
 type counter = { name : string; cell : int Atomic.t }
+type gauge = { gname : string; gcell : float Atomic.t }
 
 type histogram = {
   hname : string;
@@ -21,7 +22,7 @@ type histogram = {
 
 let lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
-let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 16
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
 (* Registration order, so exports are stable and diffable. *)
@@ -44,18 +45,31 @@ let incr ?(by = 1) c =
 
 let value c = Atomic.get c.cell
 
-let set_gauge name v =
-  if Runtime.enabled () then
-    Mutex.protect lock (fun () ->
-        match Hashtbl.find_opt gauges name with
-        | Some cell -> cell := v
-        | None ->
-          Hashtbl.replace gauges name (ref v);
-          gauge_order := name :: !gauge_order)
+(* Like [counter]: register the handle eagerly at module-init time of
+   the instrumented code, so the gauge appears in every export at zero
+   even when its code path never ran — [set_gauge]'s historical
+   lazy-and-only-while-enabled registration broke that contract. *)
+let gauge gname =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt gauges gname with
+      | Some g -> g
+      | None ->
+        let g = { gname; gcell = Atomic.make 0. } in
+        Hashtbl.replace gauges gname g;
+        gauge_order := gname :: !gauge_order;
+        g)
+
+let set g v = if Runtime.enabled () then Atomic.set g.gcell v
+let gauge_read g = Atomic.get g.gcell
+
+(* Convenience for one-off call sites: registers eagerly (even while
+   disabled, honoring the every-metric-appears contract), but pays a
+   registry lookup per call — hot paths should hold a [gauge] handle. *)
+let set_gauge name v = set (gauge name) v
 
 let gauge_value name =
   Mutex.protect lock (fun () ->
-      Option.map (fun cell -> !cell) (Hashtbl.find_opt gauges name))
+      Option.map (fun g -> Atomic.get g.gcell) (Hashtbl.find_opt gauges name))
 
 (* Default latency buckets: 1 us doubling 24 times reaches ~8.4 s. *)
 let histogram ?(lower = 1_000.) ?(factor = 2.) ?(nbuckets = 24) hname =
@@ -117,6 +131,30 @@ type histogram_snapshot = {
   bucket_counts : (float * int) list;
 }
 
+(* Estimate the [q]-quantile (q in [0,1]) from the exponential buckets
+   by linear interpolation inside the bucket holding rank [q * count]:
+   the classic Prometheus histogram_quantile estimate.  The first
+   bucket interpolates from 0; observations in the overflow bucket
+   degrade to the largest finite bound (the estimator cannot know how
+   far beyond it they fell).  Returns 0 for an empty histogram. *)
+let percentile (s : histogram_snapshot) q =
+  if q < 0. || q > 1. then invalid_arg "Metrics.percentile: q outside [0,1]";
+  if s.count = 0 then 0.
+  else begin
+    let rank = q *. float_of_int s.count in
+    let rec go lo cum = function
+      | [] -> lo
+      | (le, c) :: rest ->
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= rank then
+          if Float.is_finite le then
+            lo +. ((le -. lo) *. ((rank -. cum) /. float_of_int c))
+          else lo
+        else go (if Float.is_finite le then le else lo) cum' rest
+    in
+    go 0. 0. s.bucket_counts
+  end
+
 let counters_snapshot () =
   Mutex.protect lock (fun () ->
       List.rev_map
@@ -125,7 +163,9 @@ let counters_snapshot () =
 
 let gauges_snapshot () =
   Mutex.protect lock (fun () ->
-      List.rev_map (fun name -> (name, !(Hashtbl.find gauges name))) !gauge_order)
+      List.rev_map
+        (fun name -> (name, Atomic.get (Hashtbl.find gauges name).gcell))
+        !gauge_order)
 
 let histograms_snapshot () =
   let hs =
@@ -148,7 +188,7 @@ let histograms_snapshot () =
 let reset () =
   Mutex.protect lock (fun () ->
       Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
-      Hashtbl.iter (fun _ cell -> cell := 0.) gauges);
+      Hashtbl.iter (fun _ g -> Atomic.set g.gcell 0.) gauges);
   Hashtbl.iter
     (fun _ h ->
       Mutex.protect h.hlock (fun () ->

@@ -23,7 +23,17 @@ let lock = Mutex.create ()
 let nodes : (string, node) Hashtbl.t = Hashtbl.create 64
 let seq = ref 0
 
-let stack_key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+(* Bumped by [reset].  The domain-local span stacks tag themselves with
+   the generation they were built under: a stack from before a reset is
+   stale, and treating it as live would graft every post-reset span
+   onto parent paths that no longer exist in the registry (the exact
+   corruption a mid-span reset used to cause).  Stale stacks are
+   discarded lazily, on the next [with_span] in that domain, so [reset]
+   never has to reach into other domains' storage. *)
+let generation = Atomic.make 0
+
+let stack_key : (int * string list) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (0, []))
 
 let record path name dt =
   Mutex.protect lock (fun () ->
@@ -42,21 +52,28 @@ let record path name dt =
 let with_span name f =
   if not (Runtime.enabled ()) then f ()
   else begin
-    let parent = Domain.DLS.get stack_key in
+    let gen = Atomic.get generation in
+    let sgen, stale = Domain.DLS.get stack_key in
+    let parent = if sgen = gen then stale else [] in
     let path = match parent with [] -> name | p :: _ -> p ^ "/" ^ name in
-    Domain.DLS.set stack_key (path :: parent);
+    Domain.DLS.set stack_key (gen, path :: parent);
     let t0 = Runtime.now_ns () in
     Fun.protect
       ~finally:(fun () ->
         let dt = Runtime.now_ns () - t0 in
-        Domain.DLS.set stack_key parent;
-        record path name dt)
+        Domain.DLS.set stack_key (gen, parent);
+        (* A span that straddled a reset keeps the pre-reset registry's
+           path; recording it would plant a stale root in the fresh
+           registry, so it is dropped instead. *)
+        if Atomic.get generation = gen then record path name dt)
       f
   end
 
 (* The path of the innermost open span, for log correlation. *)
 let current_path () =
-  match Domain.DLS.get stack_key with [] -> None | p :: _ -> Some p
+  match Domain.DLS.get stack_key with
+  | gen, p :: _ when gen = Atomic.get generation -> Some p
+  | _ -> None
 
 type span = { span_path : string; span_name : string; span_calls : int; span_wall_ns : int }
 
@@ -86,7 +103,11 @@ let find path =
           })
         (Hashtbl.find_opt nodes path))
 
+(* Safe while spans are open on any domain: the generation bump orphans
+   every open span (it neither records nor parents anything afterwards)
+   instead of letting it corrupt the fresh registry. *)
 let reset () =
+  Atomic.incr generation;
   Mutex.protect lock (fun () ->
       Hashtbl.reset nodes;
       seq := 0)

@@ -2,6 +2,7 @@ open Incdb_approx
 
 module Trace = Incdb_obs.Trace
 module Metrics = Incdb_obs.Metrics
+module Events = Incdb_obs.Events
 module Log = Incdb_obs.Log
 
 (* Shared with the sequential estimator: same counter names, same
@@ -9,6 +10,7 @@ module Log = Incdb_obs.Log
 let samples_drawn = Metrics.counter "karp_luby.samples_drawn"
 let coverage_hits = Metrics.counter "karp_luby.coverage_hits"
 let streams_run = Metrics.counter "karp_luby.streams_run"
+let running_estimate = Metrics.gauge "karp_luby.running_estimate"
 
 (* Enough streams that any plausible domain count divides the work
    evenly, few enough that tiny sample budgets are not shredded. *)
@@ -47,14 +49,16 @@ let run_estimator ?(jobs = 0) ~seed ~samples q db =
           let count =
             (samples / nstreams) + (if s < samples mod nstreams then 1 else 0)
           in
-          stream_hits ~seed ~stream:s ~count compiled)
+          Events.with_span "karp_luby.stream"
+            ~args:[ ("stream", Events.Int s); ("count", Events.Int count) ]
+            (fun () -> stream_hits ~seed ~stream:s ~count compiled))
     in
     let hits =
       Trace.with_span "karp_luby_par.sample" (fun () ->
           List.fold_left ( + ) 0 (Pool.run ~jobs tasks))
     in
     let rate = float_of_int hits /. float_of_int samples in
-    Metrics.set_gauge "karp_luby.running_estimate" (total_weight *. rate);
+    Metrics.set running_estimate (total_weight *. rate);
     Log.debugf
       "karp_luby_par: %d events, %d streams, %d jobs, %d/%d canonical hits, \
        estimate %.6g"

@@ -1,4 +1,5 @@
 module Metrics = Incdb_obs.Metrics
+module Events = Incdb_obs.Events
 
 (* Registered eagerly so the pool's activity always shows up in metric
    exports, at zero when nothing ran in parallel. *)
@@ -60,6 +61,8 @@ let run ~jobs tasks =
             let stop = min n (i + chunk) in
             if Atomic.compare_and_set next i stop then begin
               Metrics.incr chunks_claimed;
+              Events.instant "pool.claim"
+                ~args:[ ("lo", Events.Int i); ("hi", Events.Int stop) ];
               Some (i, stop)
             end
             else go ()
@@ -76,17 +79,24 @@ let run ~jobs tasks =
                  claimed in index order, so the lowest-indexed failing
                  task is guaranteed to execute and win the failure cell,
                  whatever the schedule. *)
-              for i = lo to hi - 1 do
-                match tasks.(i) () with
-                | r ->
-                  Metrics.incr tasks_run;
-                  results.(i) <- Some r
-                | exception exn ->
-                  record_failure failure i exn (Printexc.get_raw_backtrace ())
-              done;
+              Events.with_span "pool.chunk"
+                ~args:[ ("lo", Events.Int lo); ("hi", Events.Int hi) ]
+                (fun () ->
+                  for i = lo to hi - 1 do
+                    match tasks.(i) () with
+                    | r ->
+                      Metrics.incr tasks_run;
+                      results.(i) <- Some r
+                    | exception exn ->
+                      record_failure failure i exn
+                        (Printexc.get_raw_backtrace ())
+                  done);
               loop ()
         in
-        loop ()
+        (* One lane-covering span per worker: in the Chrome export each
+           domain's lane shows the worker's lifetime with its claimed
+           chunks nested inside, idle gaps visible between them. *)
+        Events.with_span "pool.worker" loop
       in
       let spawned =
         List.init (workers - 1) (fun _ ->

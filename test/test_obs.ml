@@ -1,6 +1,7 @@
 (* Tests for the Incdb_obs observability layer: span nesting, counter
    behaviour under exceptions, the disabled no-op mode, histogram
-   bucketing and the JSON export round-trip. *)
+   bucketing and percentiles, the flight-recorder ring buffers, the
+   Chrome/Prometheus exports and the JSON export round-trip. *)
 
 open Incdb_obs
 
@@ -58,11 +59,16 @@ let test_disabled_noop () =
   Metrics.incr c;
   Metrics.set_gauge "test.obs_noop_gauge" 1.0;
   Trace.with_span "ghost" (fun () -> Metrics.incr c ~by:10);
+  Events.instant "ghost_event";
   Alcotest.(check int) "counter untouched" 0 (Metrics.value c);
-  Alcotest.(check bool) "gauge not created" true
-    (Metrics.gauge_value "test.obs_noop_gauge" = None);
+  (* Gauges register eagerly (like counters, so they export at zero),
+     but the disabled set is still a no-op. *)
+  Alcotest.(check (option (float 0.))) "gauge registered, value untouched"
+    (Some 0.0)
+    (Metrics.gauge_value "test.obs_noop_gauge");
   Alcotest.(check bool) "no span recorded" true (Trace.find "ghost" = None);
-  Alcotest.(check int) "span registry empty" 0 (List.length (Trace.spans ()))
+  Alcotest.(check int) "span registry empty" 0 (List.length (Trace.spans ()));
+  Alcotest.(check int) "no ring created" 0 (List.length (Events.snapshot ()))
 
 let test_histogram_buckets () =
   with_fresh_obs (fun () ->
@@ -82,6 +88,196 @@ let get_exn what = function
   | Some v -> v
   | None -> Alcotest.fail ("missing " ^ what)
 
+let test_gauge_handles () =
+  with_fresh_obs (fun () ->
+      let g = Metrics.gauge "test.obs_gauge_handle" in
+      (* Eager registration: the gauge exports at zero before any set. *)
+      Alcotest.(check (option (float 0.))) "registered at zero" (Some 0.0)
+        (Metrics.gauge_value "test.obs_gauge_handle");
+      Metrics.set g 2.5;
+      Alcotest.(check (float 0.)) "set through the handle" 2.5
+        (Metrics.gauge_read g);
+      (* The legacy name-keyed setter hits the same cell. *)
+      Metrics.set_gauge "test.obs_gauge_handle" 7.25;
+      Alcotest.(check (float 0.)) "name-keyed set shares the cell" 7.25
+        (Metrics.gauge_read g))
+
+let test_percentiles () =
+  with_fresh_obs (fun () ->
+      let h =
+        Metrics.histogram ~lower:10. ~factor:10. ~nbuckets:3 "test.obs_pct"
+      in
+      (* 50 observations in (0,10], 40 in (10,100], 10 in (100,1000]:
+         p50 sits exactly at the first bucket bound, p90 at the second,
+         p99 interpolates 9/10 into the third. *)
+      for _ = 1 to 50 do
+        Metrics.observe h 5.
+      done;
+      for _ = 1 to 40 do
+        Metrics.observe h 50.
+      done;
+      for _ = 1 to 10 do
+        Metrics.observe h 500.
+      done;
+      let snap = List.assoc "test.obs_pct" (Metrics.histograms_snapshot ()) in
+      Alcotest.(check (float 1e-9)) "p50" 10. (Metrics.percentile snap 0.50);
+      Alcotest.(check (float 1e-9)) "p90" 100. (Metrics.percentile snap 0.90);
+      Alcotest.(check (float 1e-9)) "p99" 910. (Metrics.percentile snap 0.99);
+      (* Mass in the overflow bucket degrades to the largest finite
+         bound rather than inventing an infinite quantile. *)
+      let o =
+        Metrics.histogram ~lower:10. ~factor:10. ~nbuckets:3 "test.obs_pct_of"
+      in
+      Metrics.observe o 1e9;
+      let osnap =
+        List.assoc "test.obs_pct_of" (Metrics.histograms_snapshot ())
+      in
+      Alcotest.(check (float 1e-9)) "overflow p99" 1000.
+        (Metrics.percentile osnap 0.99);
+      (* Empty histogram: every quantile is 0. *)
+      let e =
+        Metrics.histogram ~lower:10. ~factor:10. ~nbuckets:3 "test.obs_pct_e"
+      in
+      ignore e;
+      let esnap =
+        List.assoc "test.obs_pct_e" (Metrics.histograms_snapshot ())
+      in
+      Alcotest.(check (float 1e-9)) "empty p50" 0.
+        (Metrics.percentile esnap 0.50))
+
+let test_ring_overflow () =
+  with_fresh_obs (fun () ->
+      let saved = !Events.capacity in
+      Fun.protect
+        ~finally:(fun () ->
+          Events.set_capacity saved;
+          Events.reset ())
+        (fun () ->
+          Events.set_capacity 8;
+          Events.reset ();
+          for i = 1 to 20 do
+            Events.instant (Printf.sprintf "e%d" i)
+          done;
+          Alcotest.(check int) "exact drop count" 12 (Events.dropped ());
+          Alcotest.(check int) "drop counter matches" 12
+            (Metrics.value Events.dropped_counter);
+          match Events.snapshot () with
+          | [ (_, events) ] ->
+            Alcotest.(check (list string))
+              "newest events kept, oldest first"
+              (List.init 8 (fun i -> Printf.sprintf "e%d" (13 + i)))
+              (List.map (fun e -> e.Events.name) events)
+          | lanes ->
+            Alcotest.fail
+              (Printf.sprintf "expected one lane, got %d" (List.length lanes))))
+
+let test_reset_mid_span () =
+  with_fresh_obs (fun () ->
+      (* A reset landing inside open spans (incdbd reusing the obs layer
+         between requests) must neither corrupt the registries nor leak
+         the pre-reset stack into post-reset paths. *)
+      Trace.with_span "outer" (fun () ->
+          Events.with_span "outer_ev" (fun () ->
+              Export.reset ();
+              Alcotest.(check (option string))
+                "stale stack discarded" None (Trace.current_path ());
+              Trace.with_span "fresh" (fun () ->
+                  Alcotest.(check (option string))
+                    "post-reset spans are roots" (Some "fresh")
+                    (Trace.current_path ()))));
+      (* The straddling span skipped recording; the post-reset one
+         recorded at its root path. *)
+      Alcotest.(check bool) "straddling span dropped" true
+        (Trace.find "outer" = None);
+      Alcotest.(check bool) "post-reset span recorded" true
+        (Trace.find "fresh" <> None);
+      (* New spans keep working on the fresh generation. *)
+      Trace.with_span "after" (fun () -> ());
+      Alcotest.(check bool) "registry usable after reset" true
+        (Trace.find "after" <> None))
+
+let test_chrome_lanes () =
+  with_fresh_obs (fun () ->
+      Events.reset ();
+      (* Enough tasks that with 4 workers at least one spawned domain
+         claims a chunk; every worker emits its lane-covering span
+         regardless. *)
+      let tasks = List.init 32 (fun i () -> i * i) in
+      let (_ : int list) = Incdb_par.Pool.run ~jobs:4 tasks in
+      let j = Chrome.to_json () in
+      let events =
+        get_exn "traceEvents"
+          (Option.bind (Json.member "traceEvents" j) Json.to_list)
+      in
+      let lanes = Hashtbl.create 8 in
+      let stacks = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          let ph =
+            match Json.member "ph" e with
+            | Some (Json.String s) -> s
+            | _ -> Alcotest.fail "event without ph"
+          in
+          if ph <> "M" then begin
+            let tid =
+              get_exn "tid" (Option.bind (Json.member "tid" e) Json.to_int)
+            in
+            let name =
+              match Json.member "name" e with
+              | Some (Json.String s) -> s
+              | _ -> Alcotest.fail "event without name"
+            in
+            Hashtbl.replace lanes tid ();
+            let stack =
+              Option.value ~default:[] (Hashtbl.find_opt stacks tid)
+            in
+            match ph with
+            | "B" -> Hashtbl.replace stacks tid (name :: stack)
+            | "E" -> (
+              match stack with
+              | top :: rest when top = name -> Hashtbl.replace stacks tid rest
+              | _ -> Alcotest.fail ("unbalanced end of " ^ name))
+            | _ -> ()
+          end)
+        events;
+      Alcotest.(check bool) "at least two domain lanes" true
+        (Hashtbl.length lanes >= 2);
+      Hashtbl.iter
+        (fun tid stack ->
+          if stack <> [] then
+            Alcotest.fail (Printf.sprintf "lane %d left spans open" tid))
+        stacks)
+
+let test_prom_format () =
+  with_fresh_obs (fun () ->
+      let c = Metrics.counter "test.obs_prom" in
+      Metrics.incr c ~by:3;
+      let g = Metrics.gauge "test.obs_prom_gauge" in
+      Metrics.set g 1.5;
+      let h = Metrics.histogram "test.obs_prom_hist" in
+      Metrics.observe h 42.;
+      Trace.with_span "prom_span" (fun () -> ());
+      let text = Prom.to_string () in
+      let contains sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length text
+          && (String.sub text i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      List.iter
+        (fun (what, needle) ->
+          Alcotest.(check bool) what true (contains needle))
+        [
+          ("counter line", "incdb_test_obs_prom_total 3");
+          ("counter type", "# TYPE incdb_test_obs_prom_total counter");
+          ("gauge line", "incdb_test_obs_prom_gauge 1.5");
+          ("histogram inf bucket", "incdb_test_obs_prom_hist_bucket{le=\"+Inf\"} 1");
+          ("histogram count", "incdb_test_obs_prom_hist_count 1");
+          ("span family", "incdb_span_calls_total{path=\"prom_span\"} 1");
+        ])
+
 let test_json_round_trip () =
   with_fresh_obs (fun () ->
       let c = Metrics.counter "test.obs_rt" in
@@ -94,7 +290,7 @@ let test_json_round_trip () =
       match Json.of_string text with
       | Error msg -> Alcotest.fail ("export does not parse back: " ^ msg)
       | Ok j ->
-        Alcotest.(check int) "schema_version" 1
+        Alcotest.(check int) "schema_version" 2
           (get_exn "schema_version"
              (Option.bind (Json.member "schema_version" j) Json.to_int));
         let counters = get_exn "counters" (Json.member "counters" j) in
@@ -156,10 +352,19 @@ let () =
         [
           Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "gauge handles" `Quick test_gauge_handles;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+          Alcotest.test_case "reset mid-span" `Quick test_reset_mid_span;
+          Alcotest.test_case "chrome lanes" `Quick test_chrome_lanes;
         ] );
       ( "export",
         [
           Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "prometheus format" `Quick test_prom_format;
           Alcotest.test_case "reset" `Quick test_export_reset;
         ] );
     ]

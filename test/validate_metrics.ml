@@ -1,8 +1,18 @@
-(* Schema check for the metrics JSON written by `idbcount --metrics-out`
-   (and bench/main.exe).  Used by the @obs-smoke alias: parses the file
+(* Schema check for the observability artifacts written by `idbcount`
+   (and bench/main.exe).  Used by the smoke aliases: parses the file
    with Incdb_obs.Json and fails loudly if the schema drifted.
 
+   Metrics mode (schema_version 2):
+
      validate_metrics.exe FILE [required_counter ...]
+
+   Chrome-trace mode (flight-recorder export from --trace-out):
+
+     validate_metrics.exe --chrome FILE [--min-lanes N] [required_event ...]
+
+   checks the trace_event JSON shape, that at least N distinct domain
+   lanes carry real (non-metadata) events, that every lane's B/E spans
+   nest with matching names, and that each required event name occurs.
 *)
 
 open Incdb_obs
@@ -17,6 +27,15 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+let parse path =
+  match Json.of_string (read_file path) with
+  | Ok j -> j
+  | Error msg -> fail "%s does not parse: %s" path msg
+
+(* ------------------------------------------------------------------ *)
+(* Metrics export (schema_version 2)                                   *)
+(* ------------------------------------------------------------------ *)
 
 let rec check_span names span =
   let name =
@@ -38,23 +57,33 @@ let rec check_span names span =
   in
   List.fold_left check_span (name :: names) children
 
-let () =
-  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: validate_metrics FILE [counter ...]" in
-  let required_counters =
-    if Array.length Sys.argv > 2 then
-      Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
-    else [ "valuations_visited"; "completions_checked" ]
+(* Every histogram carries count/sum/p50/p90/p99; when the histogram is
+   non-empty the percentiles must be finite, non-negative and
+   monotone — the schema-v2 guarantee downstream dashboards rely on. *)
+let check_histogram name h =
+  let count = get "count" (Option.bind (Json.member "count" h) Json.to_int) in
+  let pct q =
+    get
+      (Printf.sprintf "%s.%s" name q)
+      (Option.bind (Json.member q h) Json.to_float)
   in
-  let j =
-    match Json.of_string (read_file path) with
-    | Ok j -> j
-    | Error msg -> fail "%s does not parse: %s" path msg
-  in
+  let p50 = pct "p50" and p90 = pct "p90" and p99 = pct "p99" in
+  if count > 0 then begin
+    if not (Float.is_finite p50 && Float.is_finite p90 && Float.is_finite p99)
+    then fail "histogram %s has non-finite percentiles" name;
+    if p50 < 0. then fail "histogram %s has negative p50 %g" name p50;
+    if p50 > p90 || p90 > p99 then
+      fail "histogram %s percentiles not monotone (p50 %g, p90 %g, p99 %g)"
+        name p50 p90 p99
+  end
+
+let check_metrics path required_counters =
+  let j = parse path in
   let version =
     get "schema_version"
       (Option.bind (Json.member "schema_version" j) Json.to_int)
   in
-  if version <> 1 then fail "unexpected schema_version %d" version;
+  if version <> 2 then fail "unexpected schema_version %d" version;
   let spans = get "spans" (Option.bind (Json.member "spans" j) Json.to_list) in
   let names =
     List.sort_uniq String.compare (List.fold_left check_span [] spans)
@@ -72,6 +101,95 @@ let () =
       | None -> fail "counter %s missing from export" c)
     required_counters;
   ignore (get "gauges" (Json.member "gauges" j));
-  ignore (get "histograms" (Json.member "histograms" j));
+  (match Json.member "histograms" j with
+  | Some (Json.Assoc hs) -> List.iter (fun (n, h) -> check_histogram n h) hs
+  | Some _ -> fail "histograms is not an object"
+  | None -> fail "missing histograms");
   Printf.printf "validate_metrics: %s ok (%d distinct spans)\n" path
     (List.length names)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let check_chrome path ~min_lanes required_events =
+  let j = parse path in
+  let events =
+    get "traceEvents" (Option.bind (Json.member "traceEvents" j) Json.to_list)
+  in
+  let str what e =
+    match Json.member what e with
+    | Some (Json.String s) -> s
+    | _ -> fail "event without %s: %s" what (Json.to_string e)
+  in
+  (* Per-lane stack of open B spans; E must match the innermost name. *)
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let lanes : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let ph = str "ph" e in
+      if ph <> "M" then begin
+        let name = str "name" e in
+        let tid = get "tid" (Option.bind (Json.member "tid" e) Json.to_int) in
+        let ts = get "ts" (Option.bind (Json.member "ts" e) Json.to_float) in
+        if ts < 0. then fail "event %s has negative ts %g" name ts;
+        Hashtbl.replace lanes tid ();
+        Hashtbl.replace seen name ();
+        let stack = Option.value ~default:[] (Hashtbl.find_opt stacks tid) in
+        match ph with
+        | "B" -> Hashtbl.replace stacks tid (name :: stack)
+        | "E" -> (
+          match stack with
+          | top :: rest when top = name -> Hashtbl.replace stacks tid rest
+          | top :: _ ->
+            fail "lane %d: end of %s while %s is open" tid name top
+          | [] -> fail "lane %d: end of %s with no open span" tid name)
+        | "i" -> ()
+        | ph -> fail "unexpected phase %S on %s" ph name
+      end)
+    events;
+  Hashtbl.iter
+    (fun tid stack ->
+      if stack <> [] then
+        fail "lane %d: %d span(s) never ended (%s)" tid (List.length stack)
+          (String.concat ", " stack))
+    stacks;
+  let nlanes = Hashtbl.length lanes in
+  if nlanes < min_lanes then
+    fail "only %d domain lane(s), expected at least %d" nlanes min_lanes;
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem seen name) then
+        fail "required event %s missing from trace" name)
+    required_events;
+  Printf.printf "validate_metrics: %s ok (%d lanes, %d events)\n" path nlanes
+    (List.length events)
+
+(* ------------------------------------------------------------------ *)
+(* Argument handling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  match argv with
+  | _ :: "--chrome" :: path :: rest ->
+    let min_lanes, rest =
+      match rest with
+      | "--min-lanes" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n -> (n, rest)
+        | None -> fail "--min-lanes needs an integer, got %S" n)
+      | rest -> (1, rest)
+    in
+    check_chrome path ~min_lanes rest
+  | _ :: path :: rest ->
+    let required_counters =
+      if rest <> [] then rest
+      else [ "valuations_visited"; "completions_checked" ]
+    in
+    check_metrics path required_counters
+  | _ ->
+    fail
+      "usage: validate_metrics FILE [counter ...] | validate_metrics --chrome \
+       FILE [--min-lanes N] [event ...]"
