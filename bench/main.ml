@@ -34,6 +34,13 @@ let () =
   else if mode = "val" then
     (* Regenerate BENCH_VAL.json alone, without the experiment phase. *)
     Val_scaling.run ()
+  else if mode = "comp" then
+    (* Kernel-only BENCH_COMP sections for the regression gate (the
+       full comp run's seed-enumerator legs cost minutes); `comp full`
+       regenerates the complete artifact, seed legs included. *)
+    if Array.length Sys.argv > 2 && Sys.argv.(2) = "full" then
+      Comp_scaling.run ()
+    else Comp_scaling.run_gate ()
   else begin
     let quick = mode = "quick" in
     Printf.printf

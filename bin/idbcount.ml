@@ -137,7 +137,8 @@ let handle_limits ?(what = "this query/database pair") f =
   | Comp_candidates.Too_many_candidates { universe; limit } ->
     Printf.eprintf
       "error: the candidate universe has %d ground facts (limit %d).\n\
-       Raise --max-candidates, or use `idbcount bounds` for an estimate.\n"
+       Raise --max-candidates (with --comp-mask auto past 62 facts), or \
+       use `idbcount bounds` for an estimate.\n"
       universe limit;
     exit 1
   | Val_kernel.Too_many_events { events; limit } ->
@@ -147,6 +148,14 @@ let handle_limits ?(what = "this query/database pair") f =
        Raise --val-max-events, or raise --brute-limit to let enumeration \
        run.\n"
       events limit;
+    exit 1
+  | Lineage.Too_many_clauses { clauses; limit } ->
+    Printf.eprintf
+      "error: the compiled lineage has %d clauses, more than one conflict \
+       mask word holds (limit %d).\n\
+       Use `idbcount approx` (sampling does not build conflict masks) or \
+       a smaller instance.\n"
+      clauses limit;
     exit 1
 
 (* The #Val lineage-elimination kernel knobs, shared by count/approx. *)
@@ -258,8 +267,25 @@ let count_cmd =
         & opt int Comp_candidates.default_max_candidates
         & info [ "max-candidates" ] ~docv:"N" ~doc)
   in
+  let comp_mask =
+    let doc =
+      "Mask representation of the completion-counting kernel: auto (the \
+       default; single-word int masks up to the word ceiling, multi-word \
+       bitsets beyond), or force int / wide for A/B measurement."
+    in
+    Arg.(value
+        & opt
+            (enum
+               [
+                 ("auto", Comp_candidates.Auto);
+                 ("int", Comp_candidates.Int_masks);
+                 ("wide", Comp_candidates.Wide_masks);
+               ])
+            Comp_candidates.Auto
+        & info [ "comp-mask" ] ~docv:"REPR" ~doc)
+  in
   let run obs db_path q problem brute_limit val_width_bound val_max_events
-      val_order val_cache_entries max_candidates jobs =
+      val_order val_cache_entries max_candidates comp_mask jobs =
     with_obs obs (fun () ->
         match load_db db_path with
         | Error msg ->
@@ -286,7 +312,8 @@ let count_cmd =
                   (Count_val.algorithm_to_string a, n)
                 | `Comp ->
                   let a, n =
-                    Count_comp.count ~brute_limit ~max_candidates ~jobs q db
+                    Count_comp.count ~brute_limit ~max_candidates ~jobs
+                      ~mask:comp_mask q db
                   in
                   (Count_comp.algorithm_to_string a, n)
               in
@@ -300,7 +327,7 @@ let count_cmd =
     Cmdliner.Term.(
       const run $ obs_term $ db_arg $ query_opt $ problem $ brute_limit
       $ val_width_bound_term $ val_max_events_term $ val_order_term
-      $ val_cache_entries_term $ max_candidates $ jobs_term)
+      $ val_cache_entries_term $ max_candidates $ comp_mask $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                              *)

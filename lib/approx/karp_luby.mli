@@ -109,8 +109,11 @@ val samples_for : epsilon:float -> events:int -> int
     ({!Incdb_cq.Lineage.conflict_masks} — an invalid subset invalidates
     all its supersets), the fixed-null set of a subset is the [lor] of
     its events' fixed-slot masks, and term sizes are cached keyed on that
-    int, with [karp_luby.iex_cache_hits]/[..._misses] counters recording
-    the sharing.  Tables with more nulls than fit one mask word fall back
-    to the equivalent sorted-name-list cache.  [~memo:false] recomputes
-    every subset from scratch; all paths return identical counts. *)
+    mask, with [karp_luby.iex_cache_hits]/[..._misses] counters recording
+    the sharing.  Tables with more nulls than fit one mask word use
+    {!Incdb_bignum.Bitset.Wide} fixed-null masks with the same sharing
+    classes; the [iex.mask_repr] gauge records the words per mask (1 on
+    the single-word path), so the representation choice is observable.
+    [~memo:false] recomputes every subset from scratch; all paths return
+    identical counts. *)
 val exact_via_events : ?memo:bool -> Query.t -> Idb.t -> Nat.t

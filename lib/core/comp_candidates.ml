@@ -89,7 +89,14 @@ let masks_pruned = Metrics.counter "comp_kernel.masks_pruned"
 let subsets_checked = Metrics.counter "comp_kernel.subsets_checked"
 let shards_run = Metrics.counter "comp_kernel.shards_run"
 
-let default_max_candidates = 26
+(* Which representation the last dispatch chose: the probed universe
+   size (= mask width in bits), and how often the wide path ran. *)
+let mask_width = Metrics.gauge "comp_kernel.mask_width"
+let wide_dispatch = Metrics.counter "comp_kernel.wide_dispatch"
+
+let default_max_candidates = 80
+
+type mask_choice = Auto | Int_masks | Wide_masks
 
 (* How the query is decided at an enumeration leaf. *)
 type sat_mode =
@@ -188,6 +195,91 @@ let run_shard ~m ~shard_bits ~prefix ~kernel ~clauses ~sat_mode ~universe
   end
 
 (* ------------------------------------------------------------------ *)
+(* The same shard over multi-word masks                                 *)
+(* ------------------------------------------------------------------ *)
+
+module WB = Bitset.Wide
+
+(* Identical prefix-tree walk, with two representation changes: the
+   [partial] mask is a single worker-private scratch array mutated along
+   the walk (set bit / recurse / clear bit) instead of a value threaded
+   through the recursion, and the bulk pruned-leaf count is a [Nat] —
+   [2^i] leaves at a killed node no longer fits an int once [i] can
+   exceed the word size. *)
+type wide_stats = {
+  mutable wchecked : int;
+  mutable wpruned : Nat.t;
+  mutable wfound : int;
+}
+
+let prune_wide stats i =
+  stats.wpruned <- Nat.add stats.wpruned (Nat.pow Nat.two i)
+
+let run_shard_wide ~m ~shard_bits ~prefix ~kernel ~clauses ~sat_mode ~universe
+    ~facts_with_bit ~clauses_with_bit (stats : wide_stats) =
+  let nd = Codd.Wide.size kernel in
+  let dmasks = Codd.Wide.masks kernel in
+  let free_bits = m - shard_bits in
+  let reach0 = WB.union prefix (WB.low ~width:m free_bits) in
+  let reach = Array.map (fun dm -> WB.popcount_inter dm reach0) dmasks in
+  let outside = Array.map (fun c -> WB.popcount_diff c reach0) clauses in
+  let winnable =
+    ref (Array.fold_left (fun n o -> n + if o = 0 then 1 else 0) 0 outside)
+  in
+  let positive_dnf = match sat_mode with Dnf false -> true | _ -> false in
+  let subtree_dead () =
+    Array.exists (fun r -> r = 0) reach || (positive_dnf && !winnable = 0)
+  in
+  let partial = WB.copy prefix in
+  let leaf_sat () =
+    match sat_mode with
+    | All -> true
+    | Dnf negated -> !winnable > 0 <> negated
+    | Opaque q ->
+      let rec facts i acc =
+        if i = m then acc
+        else facts (i + 1) (if WB.test partial i then universe.(i) :: acc else acc)
+      in
+      Query.eval q (Cdb.of_list (facts 0 []))
+  in
+  if subtree_dead () then begin
+    prune_wide stats free_bits;
+    0
+  end
+  else begin
+    let rec go i included =
+      if i < 0 then begin
+        stats.wchecked <- stats.wchecked + 1;
+        if leaf_sat () && Codd.Wide.saturates kernel partial then
+          stats.wfound <- stats.wfound + 1
+      end
+      else begin
+        if included + 1 <= nd then begin
+          WB.set_inplace partial i;
+          go (i - 1) (included + 1);
+          WB.clear_inplace partial i
+        end
+        else prune_wide stats i;
+        Array.iter (fun f -> reach.(f) <- reach.(f) - 1) facts_with_bit.(i);
+        Array.iter
+          (fun c ->
+            if outside.(c) = 0 then decr winnable;
+            outside.(c) <- outside.(c) + 1)
+          clauses_with_bit.(i);
+        if subtree_dead () then prune_wide stats i else go (i - 1) included;
+        Array.iter (fun f -> reach.(f) <- reach.(f) + 1) facts_with_bit.(i);
+        Array.iter
+          (fun c ->
+            outside.(c) <- outside.(c) - 1;
+            if outside.(c) = 0 then incr winnable)
+          clauses_with_bit.(i)
+      end
+    in
+    go (free_bits - 1) (WB.popcount prefix);
+    stats.wfound
+  end
+
+(* ------------------------------------------------------------------ *)
 (* The kernel driver                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -201,8 +293,75 @@ let run_shard ~m ~shard_bits ~prefix ~kernel ~clauses ~sat_mode ~universe
    counts themselves. *)
 let shard_bits_for m = min m (max 6 (min 12 (m - 16)))
 
+(* The wide driver: same sharding, same shard split (so the totals and
+   metric deltas stay jobs-invariant), masks [Bitset.Wide].  The bulk
+   pruned-leaf total is summed as a [Nat] across shards and exported
+   into the int [masks_pruned] counter with saturation — exact whenever
+   it fits a word (in particular on every universe the int path can also
+   run, which is what the int-vs-wide metric agreement tests pin). *)
+let count_wide ?query ~jobs ~universe ~m db =
+  let kernel0 = Codd.Wide.make db ~universe in
+  let sat_mode, clauses =
+    match query with
+    | None -> (All, [||])
+    | Some q -> (
+      match
+        Trace.with_span "count_comp.lineage_compile" (fun () ->
+            Lineage.Wide.compile q universe)
+      with
+      | Some l -> (Dnf (Lineage.Wide.is_negated l), Lineage.Wide.clauses l)
+      | None -> (Opaque q, [||]))
+  in
+  Metrics.incr clauses_compiled ~by:(Array.length clauses);
+  let index_bits masks n =
+    Array.init m (fun j ->
+        let hits = ref [] in
+        for i = n - 1 downto 0 do
+          if WB.test masks.(i) j then hits := i :: !hits
+        done;
+        Array.of_list !hits)
+  in
+  let facts_with_bit =
+    index_bits (Codd.Wide.masks kernel0) (Codd.Wide.size kernel0)
+  in
+  let clauses_with_bit = index_bits clauses (Array.length clauses) in
+  let shard_bits = shard_bits_for m in
+  let nshards = 1 lsl shard_bits in
+  let wide_prefix s =
+    let p = ref (WB.zero ~width:m) in
+    for j = 0 to shard_bits - 1 do
+      if s land (1 lsl j) <> 0 then p := WB.set !p (m - shard_bits + j)
+    done;
+    !p
+  in
+  let tasks =
+    List.init nshards (fun s () ->
+        Metrics.incr shards_run;
+        let stats = { wchecked = 0; wpruned = Nat.zero; wfound = 0 } in
+        let found =
+          Events.with_span "comp_kernel.shard"
+            ~args:[ ("shard", Events.Int s) ]
+            (fun () ->
+              run_shard_wide ~m ~shard_bits ~prefix:(wide_prefix s)
+                ~kernel:(Codd.Wide.copy kernel0) ~clauses ~sat_mode ~universe
+                ~facts_with_bit ~clauses_with_bit stats)
+        in
+        Metrics.incr subsets_checked ~by:stats.wchecked;
+        Metrics.incr completions_checked ~by:stats.wchecked;
+        (found, stats.wpruned))
+  in
+  let per_shard = Incdb_par.Pool.run ~jobs tasks in
+  let pruned = Nat.sum (List.map snd per_shard) in
+  let pruned_int =
+    match Nat.to_int_opt pruned with
+    | Some p -> Stdlib.min p (max_int - Metrics.value masks_pruned)
+    | None -> max_int - Metrics.value masks_pruned
+  in
+  Metrics.incr masks_pruned ~by:pruned_int;
+  Nat.of_int (List.fold_left (fun acc (f, _) -> acc + f) 0 per_shard)
+
 let count ?query ?(max_candidates = default_max_candidates) ?(jobs = 1)
-    ?universe db =
+    ?(mask = Auto) ?universe db =
   if not (Idb.is_codd db) then
     invalid_arg "Comp_candidates.count: requires a Codd table";
   let universe =
@@ -223,6 +382,24 @@ let count ?query ?(max_candidates = default_max_candidates) ?(jobs = 1)
   let m = Array.length universe in
   if m > max_candidates then
     raise (Too_many_candidates { universe = m; limit = max_candidates });
+  let wide =
+    match mask with
+    | Wide_masks -> true
+    | Auto -> m > Lineage.max_universe
+    | Int_masks ->
+      (* Forced int masks past one word cannot run: report the word
+         ceiling as the limit, like the pre-wide dispatcher did. *)
+      if m > Lineage.max_universe then
+        raise
+          (Too_many_candidates { universe = m; limit = Lineage.max_universe });
+      false
+  in
+  Metrics.set mask_width (float_of_int m);
+  if wide then Metrics.incr wide_dispatch;
+  if wide then
+    Trace.with_span "count_comp.mask_enumeration" (fun () ->
+        count_wide ?query ~jobs ~universe ~m db)
+  else
   Trace.with_span "count_comp.mask_enumeration" (fun () ->
       let kernel0 = Codd.kernel db ~universe in
       let sat_mode, clauses =

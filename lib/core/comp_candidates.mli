@@ -44,22 +44,39 @@ val universe_within : Idb.t -> limit:int -> Cdb.fact array option
     [Idb.Too_many_valuations]. *)
 exception Too_many_candidates of { universe : int; limit : int }
 
-(** Default candidate cap of {!count} (26; the pre-kernel enumerator
-    capped at 22). *)
+(** Default candidate cap of {!count} (80, past the single-word ceiling
+    since the wide-mask path landed; previously 26, and the pre-kernel
+    enumerator capped at 22). *)
 val default_max_candidates : int
 
-(** [count ?query ?max_candidates ?jobs ?universe db] counts the
+(** Which mask representation {!count} enumerates with.  [Auto] (the
+    default) picks the single-word int kernel up to
+    [Lineage.max_universe] candidates and the multi-word
+    {!Incdb_bignum.Bitset.Wide} kernel beyond; [Int_masks]/[Wide_masks]
+    force one side, for A/B measurement ([Int_masks] past one word
+    raises {!Too_many_candidates} at the word ceiling, as the pre-wide
+    dispatcher did). *)
+type mask_choice = Auto | Int_masks | Wide_masks
+
+(** [count ?query ?max_candidates ?jobs ?mask ?universe db] counts the
     completions of the Codd table [db] satisfying [query] (all completions
     if omitted), sharding the mask space over [jobs] worker domains
     (default 1; totals are bit-identical at any job count).  Pass
     [~universe] (as produced by {!universe_within}) to skip re-grounding.
+    Both mask representations share the shard split and walk the same
+    prefix tree, so counts and [comp_kernel.*] metric deltas agree
+    bit-for-bit wherever both apply; the [comp_kernel.mask_width] gauge
+    records the probed width and [comp_kernel.wide_dispatch] counts
+    wide-path runs.
     @raise Invalid_argument if [db] is not Codd.
     @raise Too_many_candidates if the candidate universe exceeds
-    [max_candidates] (default {!default_max_candidates}). *)
+    [max_candidates] (default {!default_max_candidates}), or exceeds
+    [Lineage.max_universe] under [~mask:Int_masks]. *)
 val count :
   ?query:Query.t ->
   ?max_candidates:int ->
   ?jobs:int ->
+  ?mask:mask_choice ->
   ?universe:Cdb.fact array ->
   Idb.t ->
   Nat.t

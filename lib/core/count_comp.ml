@@ -402,7 +402,7 @@ let dispatch_with_universe ?(max_candidates = Comp_candidates.default_max_candid
         | Some u -> (Candidate_enumeration, Some u)
         | None -> (Brute_force, None))
 
-let count ?brute_limit ?max_candidates ?(jobs = 1) q db =
+let count ?brute_limit ?max_candidates ?(jobs = 1) ?mask q db =
   Trace.with_span "count_comp.count" (fun () ->
       let algo, universe = dispatch_with_universe ?max_candidates (Some q) db in
       Log.debugf "count_comp: %s -> %s" (Cq.to_string q)
@@ -416,14 +416,14 @@ let count ?brute_limit ?max_candidates ?(jobs = 1) q db =
         ( algo,
           Trace.with_span "count_comp.candidate_enumeration" (fun () ->
               Comp_candidates.count ~query:(Query.Bcq q) ?max_candidates ~jobs
-                ?universe db) )
+                ?mask ?universe db) )
       | Brute_force ->
         ( algo,
           Trace.with_span "count_comp.completion_dedup" (fun () ->
               Incdb_par.Brute_par.count_completions ?limit:brute_limit ~jobs
                 (Query.Bcq q) db) ))
 
-let count_all ?brute_limit ?max_candidates ?(jobs = 1) db =
+let count_all ?brute_limit ?max_candidates ?(jobs = 1) ?mask db =
   Trace.with_span "count_comp.count" (fun () ->
       let algo, universe = dispatch_with_universe ?max_candidates None db in
       Log.debugf "count_comp: <all completions> -> %s" (algorithm_to_string algo);
@@ -433,7 +433,7 @@ let count_all ?brute_limit ?max_candidates ?(jobs = 1) db =
       | Candidate_enumeration ->
         ( algo,
           Trace.with_span "count_comp.candidate_enumeration" (fun () ->
-              Comp_candidates.count ?max_candidates ~jobs ?universe db) )
+              Comp_candidates.count ?max_candidates ~jobs ?mask ?universe db) )
       | Brute_force ->
         ( algo,
           Trace.with_span "count_comp.completion_dedup" (fun () ->

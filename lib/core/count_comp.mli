@@ -60,22 +60,27 @@ val uniform_symbolic :
     the {!Comp_candidates} bitset kernel; brute-force enumeration
     otherwise.  [jobs] (default 1: sequential; 0: auto-detect) shards the
     brute-force completion dedup — or the kernel's mask space — across
-    domains; kernel totals are bit-identical at any job count.
+    domains; kernel totals are bit-identical at any job count.  [mask]
+    (default [Auto]) picks the kernel's mask representation: single-word
+    up to [Lineage.max_universe] candidates, multi-word beyond (see
+    {!Comp_candidates.mask_choice}).
     @raise Idb.Too_many_valuations if enumeration is needed but the
     instance exceeds [brute_limit] valuations. *)
 val count :
   ?brute_limit:int ->
   ?max_candidates:int ->
   ?jobs:int ->
+  ?mask:Comp_candidates.mask_choice ->
   Cq.t ->
   Idb.t ->
   algorithm * Nat.t
 
-(** [count_all ?brute_limit ?max_candidates ?jobs db] counts all
+(** [count_all ?brute_limit ?max_candidates ?jobs ?mask db] counts all
     completions (no query). *)
 val count_all :
   ?brute_limit:int ->
   ?max_candidates:int ->
   ?jobs:int ->
+  ?mask:Comp_candidates.mask_choice ->
   Idb.t ->
   algorithm * Nat.t

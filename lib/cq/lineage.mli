@@ -20,8 +20,15 @@
 
 open Incdb_relational
 
-(** Largest universe a clause mask can represent ([Sys.int_size - 1]). *)
+(** Largest universe a single-word clause mask can represent
+    ([Sys.int_size - 1]); the {!Wide} instantiation has no such bound. *)
 val max_universe : int
+
+(** Raised by {!conflict_masks} when the clause set exceeds one mask
+    word; carries the actual clause count, mirroring the other typed
+    limits ([Too_many_valuations]/[Too_many_candidates]) so the CLI can
+    report it uniformly. *)
+exception Too_many_clauses of { clauses : int; limit : int }
 
 (** A compiled lineage: minimal DNF clauses over fact-id bits, with an
     outer negation flag (so [Not q] compiles when [q] does). *)
@@ -76,7 +83,7 @@ val compatible : (int * int) array -> (int * int) array -> bool
     conflicts with (some shared slot assigned differently).  A set of
     clauses is jointly mergeable iff it is pairwise conflict-free, which
     makes subset validity an incremental one-word test.
-    @raise Invalid_argument with more than {!max_universe} clauses. *)
+    @raise Too_many_clauses with more than {!max_universe} clauses. *)
 val conflict_masks : (int * int) array array -> int array
 
 (** [fixes_subset a b]: every pair of [a] occurs in [b] (both sorted by
@@ -121,3 +128,36 @@ val canonical_fixes :
   (int * int) array array ->
   dom:(int -> int) ->
   (int * int) array array * int array
+
+(** {2 Mask-generic compilation}
+
+    The same compiler over an abstract {!Incdb_bignum.Bitset.MASK}
+    representation.  [Make (Bitset.Int)] is semantically the single-word
+    compiler above (which stays in its direct int form as the fast
+    path); {!Wide} lifts the universe ceiling past [max_universe] with
+    multi-word masks.  Clause order, subsumption minimization, and
+    satisfaction are identical across instantiations — the enumerator
+    agreement tests check counts {e and} metrics bit-for-bit. *)
+
+module type MASKED = sig
+  type mask
+  type lineage
+
+  val clause_count : lineage -> int
+  val is_negated : lineage -> bool
+  val clauses : lineage -> mask array
+
+  (** Like the single-word [compile]: [None] on [Semantic] queries or a
+      universe beyond the representation ([Wide] never hits that). *)
+  val compile : Query.t -> Cdb.fact array -> lineage option
+
+  val sat : lineage -> mask -> bool
+  val dnf_sat : mask array -> mask -> bool
+
+  (** Per-clause mask of fixed slots, over [width] slots — the
+      mask-generic {!fixed_masks}. *)
+  val fixed_masks : width:int -> (int * int) array array -> mask array
+end
+
+module Make (M : Incdb_bignum.Bitset.MASK) : MASKED with type mask = M.t
+module Wide : MASKED with type mask = Incdb_bignum.Bitset.Wide.t

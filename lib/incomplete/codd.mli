@@ -62,6 +62,33 @@ val kernel_is_completion : kernel -> int -> bool
     whose enumeration already maintains the star check incrementally. *)
 val kernel_saturates : kernel -> int -> bool
 
+(** {2 Mask-generic kernel}
+
+    The same kernel over an abstract {!Incdb_bignum.Bitset.MASK}
+    representation.  [Kernel (Bitset.Int)] is semantically the direct
+    int kernel above (which stays as the fast path — its masks are
+    unboxed); {!Wide} lifts the universe ceiling past one word.
+    Matching order and scratch discipline are identical, so the two
+    agree bit-for-bit wherever both apply. *)
+
+module type KERNEL = sig
+  type mask
+  type t
+
+  (** @raise Invalid_argument if the table is not Codd or the universe
+      exceeds the mask representation. *)
+  val make : Idb.t -> universe:Cdb.fact array -> t
+
+  val masks : t -> mask array
+  val size : t -> int
+  val copy : t -> t
+  val saturates : t -> mask -> bool
+  val is_completion : t -> mask -> bool
+end
+
+module Kernel (M : Incdb_bignum.Bitset.MASK) : KERNEL with type mask = M.t
+module Wide : KERNEL with type mask = Incdb_bignum.Bitset.Wide.t
+
 (** [is_completion_naive db s] decides completion membership for
     arbitrary (naïve) tables by backtracking over nulls with forward
     pruning: a partial assignment is abandoned as soon as some table fact

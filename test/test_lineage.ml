@@ -221,16 +221,27 @@ let test_too_many_candidates_typed () =
   let db =
     Idb.make
       [ Idb.fact "R" [ Term.null "n" ] ]
-      (Idb.Uniform (List.init 30 (fun i -> "v" ^ string_of_int i)))
+      (Idb.Uniform (List.init 90 (fun i -> "v" ^ string_of_int i)))
   in
   (match Comp_candidates.count db with
   | (_ : Nat.t) -> Alcotest.fail "expected Too_many_candidates"
   | exception Comp_candidates.Too_many_candidates { universe; limit } ->
-    Alcotest.(check int) "universe size" 30 universe;
+    Alcotest.(check int) "universe size" 90 universe;
     Alcotest.(check int) "limit" Comp_candidates.default_max_candidates limit);
-  (* An explicit higher cap lifts the error. *)
-  check_nat "explicit cap" (Nat.of_int 30)
-    (Comp_candidates.count ~max_candidates:30 db)
+  (* An explicit higher cap lifts the error (the wide path picks it up:
+     90 candidates no longer fit one mask word). *)
+  check_nat "explicit cap" (Nat.of_int 90)
+    (Comp_candidates.count ~max_candidates:90 db);
+  (* Forcing single-word masks re-imposes the word ceiling, as a typed
+     error rather than a wrong answer. *)
+  (match
+     Comp_candidates.count ~max_candidates:90 ~mask:Comp_candidates.Int_masks
+       db
+   with
+  | (_ : Nat.t) -> Alcotest.fail "expected Too_many_candidates under Int_masks"
+  | exception Comp_candidates.Too_many_candidates { universe; limit } ->
+    Alcotest.(check int) "forced-int universe" 90 universe;
+    Alcotest.(check int) "forced-int limit" Lineage.max_universe limit)
 
 let test_universe_within_probe () =
   let db =
@@ -244,6 +255,188 @@ let test_universe_within_probe () =
   Alcotest.(check bool)
     "early exit" true
     (Comp_candidates.universe_within db ~limit:7 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Wide masks: int/wide equivalence, the lifted ceiling, boundaries    *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = Incdb_obs.Metrics
+
+let kernel_counters =
+  [
+    "comp_kernel.clauses_compiled";
+    "comp_kernel.subsets_checked";
+    "comp_kernel.masks_pruned";
+    "comp_kernel.shards_run";
+    "completions_checked";
+  ]
+
+(* Run [f] with metrics enabled and return its result together with the
+   per-counter deltas it caused.  The test binary is single-domain
+   outside the kernel's own pool, so deltas are attributable. *)
+let with_counter_deltas f =
+  let v n = Metrics.value (Metrics.counter n) in
+  let before = List.map v kernel_counters in
+  let was = Incdb_obs.Runtime.enabled () in
+  Incdb_obs.Runtime.set_enabled true;
+  let y =
+    Fun.protect ~finally:(fun () -> Incdb_obs.Runtime.set_enabled was) f
+  in
+  (y, List.map2 (fun n b -> (n, v n - b)) kernel_counters before)
+
+(* The ISSUE's core contract: on any instance the single-word kernel can
+   handle, forcing wide masks changes nothing observable — not the
+   count, and not the work metrics (subsets checked, masks pruned,
+   shards run) either, because the enumeration order and the shard split
+   are representation-independent. *)
+let prop_int_wide_masks_identical =
+  QCheck.Test.make ~count:40
+    ~name:"wide masks = int masks (counts and metrics) below the ceiling"
+    QCheck.(make (QCheck.Gen.int_range 1 1_000_000))
+    (fun seed ->
+      let db =
+        Gen.random_idb ~seed ~schema:[ ("R", 1); ("S", 1) ] ~rows:3 ~codd:true
+          ~uniform:(seed mod 2 = 0)
+      in
+      QCheck.assume (Comp_candidates.universe_within db ~limit:12 <> None);
+      let q = Query.Bcq (Cq.of_string "R(x), S(x)") in
+      let run mask query =
+        with_counter_deltas (fun () ->
+            Comp_candidates.count ?query ~mask ~jobs:2 db)
+      in
+      List.for_all
+        (fun query ->
+          let ni, di = run Comp_candidates.Int_masks query in
+          let nw, dw = run Comp_candidates.Wide_masks query in
+          Nat.equal ni nw && di = dw)
+        [ None; Some q; Some (Query.Not q) ])
+
+let uniform_unary ~d ~n =
+  Idb.make
+    (List.init n (fun i -> Idb.fact "R" [ Term.null (Printf.sprintf "n%d" i) ]))
+    (Idb.Uniform (List.init d (fun i -> "v" ^ string_of_int i)))
+
+let test_wide_beyond_word_ceiling () =
+  (* 65 candidates: one word cannot hold the universe, the wide kernel
+     must agree with brute-force enumeration and the closed form
+     C(65,1) + C(65,2), bit-identically at every job count. *)
+  let db = uniform_unary ~d:65 ~n:2 in
+  let expected =
+    Nat.add (Combinat.binomial 65 1) (Combinat.binomial 65 2)
+  in
+  let counts =
+    List.map (fun jobs -> Comp_candidates.count ~jobs db) [ 1; 2; 4 ]
+  in
+  List.iteri
+    (fun i n ->
+      check_nat (Printf.sprintf "wide total at jobs %d" (List.nth [ 1; 2; 4 ] i))
+        expected n)
+    counts;
+  check_nat "Brute_par agrees" expected
+    (Incdb_par.Brute_par.count_all_completions ~jobs:2 db);
+  check_nat "Thm 4.6 agrees" expected (Count_comp.uniform_unary db);
+  (* A query leg past the ceiling: R(x) never prunes here (every
+     completion is nonempty), so pair it with a negated query that
+     does. *)
+  let q = Query.Bcq (Cq.of_string "R(x)") in
+  check_nat "wide query = brute query"
+    (Incdb_par.Brute_par.count_completions ~jobs:2 q db)
+    (Comp_candidates.count ~query:q ~jobs:2 db);
+  check_nat "wide negated query"
+    (Incdb_par.Brute_par.count_completions ~jobs:2 (Query.Not q) db)
+    (Comp_candidates.count ~query:(Query.Not q) ~jobs:2 db)
+
+(* A Codd table whose candidate universe is exactly [sizes] summed: one
+   unary null per domain block, pairwise-disjoint domains. *)
+let disjoint_codd sizes =
+  let facts =
+    List.mapi
+      (fun i _ -> Idb.fact "R" [ Term.null (Printf.sprintf "n%d" i) ])
+      sizes
+  in
+  let doms =
+    List.mapi
+      (fun i d ->
+        ( Printf.sprintf "n%d" i,
+          List.init d (fun j -> Printf.sprintf "b%d_%d" i j) ))
+      sizes
+  in
+  Idb.make facts (Idb.Nonuniform doms)
+
+let test_codd_wide_matching_boundary () =
+  (* Universes of exactly 63, 64 and 65 ground facts — one word plus
+     one, two and three bits — so the Kuhn matching's mask walk crosses
+     the word boundary.  Verdicts are checked against the materialized
+     Codd.is_completion on hand-picked masks covering: a valid
+     one-fact-per-null completion (including the highest candidate), a
+     same-null double assignment (star holds, matching must fail), and
+     an oversized mask (popcount > number of nulls). *)
+  List.iter
+    (fun sizes ->
+      let m = List.fold_left ( + ) 0 sizes in
+      let db = disjoint_codd sizes in
+      let universe =
+        match Comp_candidates.universe_within db ~limit:m with
+        | Some u -> u
+        | None -> Alcotest.fail "universe must fit exactly"
+      in
+      Alcotest.(check int) "universe size" m (Array.length universe);
+      let k = Codd.Wide.make db ~universe in
+      let module W = Bitset.Wide in
+      let index_of value =
+        let found = ref (-1) in
+        Array.iteri
+          (fun i f -> if f = Cdb.fact "R" [ value ] then found := i)
+          universe;
+        Alcotest.(check bool) (value ^ " in universe") true (!found >= 0);
+        !found
+      in
+      let mask_of values =
+        List.fold_left
+          (fun acc v -> W.set acc (index_of v))
+          (W.zero ~width:m) values
+      in
+      let check_mask name values =
+        let mask = mask_of values in
+        let subset =
+          Cdb.of_list (List.map (fun v -> Cdb.fact "R" [ v ]) values)
+        in
+        let expected = Codd.is_completion db subset in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s (m=%d)" name m)
+          expected
+          (Codd.Wide.is_completion k mask);
+        expected
+      in
+      let last i = Printf.sprintf "b%d_%d" i (List.nth sizes i - 1) in
+      Alcotest.(check bool) "valid completion, high bits" true
+        (check_mask "one per null" [ "b0_0"; last 1; last 2 ]);
+      Alcotest.(check bool) "double assignment fails matching" false
+        (check_mask "two from one null" [ "b0_0"; "b0_1"; "b1_0" ]);
+      Alcotest.(check bool) "oversized mask" false
+        (check_mask "four facts, three nulls"
+           [ "b0_0"; "b1_0"; "b2_0"; last 2 ]);
+      (* Full count: disjoint domains make completions exactly the
+         choice tuples. *)
+      let expected = List.fold_left (fun a d -> a * d) 1 sizes in
+      check_nat
+        (Printf.sprintf "count at universe %d" m)
+        (Nat.of_int expected)
+        (Comp_candidates.count ~max_candidates:m ~jobs:2 db))
+    [ [ 21; 21; 21 ]; [ 21; 21; 22 ]; [ 21; 22; 22 ] ]
+
+let test_too_many_clauses_typed () =
+  (* 63 pairwise-compatible singleton clauses: one more than fits a
+     conflict-mask word. *)
+  let fixes = Array.init 63 (fun i -> [| (i, 0) |]) in
+  (match Lineage.conflict_masks fixes with
+  | (_ : int array) -> Alcotest.fail "expected Too_many_clauses"
+  | exception Lineage.Too_many_clauses { clauses; limit } ->
+    Alcotest.(check int) "clauses" 63 clauses;
+    Alcotest.(check int) "limit" Lineage.max_universe limit);
+  (* One word's worth still works. *)
+  Alcotest.(check int) "62 clauses fit" 62
+    (Array.length (Lineage.conflict_masks (Array.sub fixes 0 62)))
 
 (* ------------------------------------------------------------------ *)
 
@@ -269,5 +462,15 @@ let () =
           Alcotest.test_case "typed candidate limit" `Quick
             test_too_many_candidates_typed;
           Alcotest.test_case "universe probe" `Quick test_universe_within_probe;
+        ] );
+      ( "wide",
+        [
+          to_alcotest prop_int_wide_masks_identical;
+          Alcotest.test_case "beyond word ceiling" `Quick
+            test_wide_beyond_word_ceiling;
+          Alcotest.test_case "Codd matching at 63/64/65" `Quick
+            test_codd_wide_matching_boundary;
+          Alcotest.test_case "typed clause limit" `Quick
+            test_too_many_clauses_typed;
         ] );
     ]

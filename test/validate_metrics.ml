@@ -93,14 +93,34 @@ let check_metrics path required_counters =
       (List.length names)
       (String.concat ", " names);
   let counters = get "counters" (Json.member "counters" j) in
+  let gauges = get "gauges" (Json.member "gauges" j) in
+  (* A required name may be either a counter or a gauge (e.g. the
+     kernel's comp_kernel.mask_width); both must be non-negative.  A
+     "name>=N" requirement additionally demands the value reach N —
+     used by smoke rules to assert a code path actually ran rather than
+     merely registered its metric. *)
   List.iter
-    (fun c ->
-      match Option.bind (Json.member c counters) Json.to_int with
-      | Some n when n >= 0 -> ()
-      | Some n -> fail "counter %s is negative (%d)" c n
-      | None -> fail "counter %s missing from export" c)
+    (fun spec ->
+      let c, floor =
+        match String.index_opt spec '>' with
+        | Some i
+          when i + 1 < String.length spec && spec.[i + 1] = '=' ->
+          let n = String.sub spec (i + 2) (String.length spec - i - 2) in
+          (match float_of_string_opt n with
+          | Some f -> (String.sub spec 0 i, f)
+          | None -> fail "bad threshold in requirement %S" spec)
+        | _ -> (spec, 0.)
+      in
+      let value =
+        match Option.bind (Json.member c counters) Json.to_int with
+        | Some n -> Some (float_of_int n)
+        | None -> Option.bind (Json.member c gauges) Json.to_float
+      in
+      match value with
+      | Some v when v >= floor && Float.is_finite v -> ()
+      | Some v -> fail "metric %s is %g, expected at least %g" c v floor
+      | None -> fail "metric %s missing from export" c)
     required_counters;
-  ignore (get "gauges" (Json.member "gauges" j));
   (match Json.member "histograms" j with
   | Some (Json.Assoc hs) -> List.iter (fun (n, h) -> check_histogram n h) hs
   | Some _ -> fail "histograms is not an object"
