@@ -56,6 +56,19 @@ let path_chain ~k ~d ~edges =
     @ side "t" "T")
     (Idb.Nonuniform (List.map (fun n -> (n, dom)) (names "r" @ names "t")))
 
+(* Dense K_{k,k} biclique lineage for the same path query: [e] constant
+   S edges over pairwise-distinct values, so every (R-null, T-null,
+   edge) triple compiles to a clause — e·k² events, a complete bipartite
+   interaction graph, and a reduced domain of e mentioned values plus
+   the weighted rest per slot.  Bag tables are then (e+1)^width cells:
+   the out-of-core DP's workload. *)
+let dense_biclique ~k ~d ~e =
+  path_chain ~k ~d
+    ~edges:
+      (List.init e (fun i ->
+           ( "v" ^ string_of_int (2 * i),
+             "v" ^ string_of_int ((2 * i) + 1) )))
+
 let figure1 () =
   Idb.make
     [

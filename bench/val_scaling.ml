@@ -47,8 +47,11 @@ let counter_delta names f =
   Incdb_obs.Runtime.set_enabled false;
   (y, List.map2 (fun name b -> (name, v name - b)) names before)
 
-let kernel ?width_bound ?order ?cache_entries ?jobs q db =
-  match Val_kernel.count ?width_bound ?order ?cache_entries ?jobs q db with
+let kernel ?width_bound ?max_cells ?order ?cache_entries ?spill ?jobs q db =
+  match
+    Val_kernel.count ?width_bound ?max_cells ?order ?cache_entries ?spill ?jobs
+      q db
+  with
   | Some n -> n
   | None -> failwith "val_scaling: kernel declined a compilable query"
 
@@ -193,6 +196,109 @@ let cache_row ~k ~d ~width_bound () =
     k d width_bound (Nat.to_string n_on) t_off t_on speedup hits misses
     hit_rate identical
 
+(* Out-of-core DP on a dense K_{k,k} biclique (Instances.dense_biclique):
+   reduced slot domains are e+1 values, the elimination width is k+1,
+   so one bag table is (e+1)^(k+1) cells.  [max_cells] pins the
+   in-memory ceiling at [mem_width] = the largest w with
+   (e+1)^w <= max_cells: above it the seed policy (spill off) must fall
+   back to conditioning, while the spill kernel streams the oversized
+   separator messages through the disk factor store and finishes by
+   pure DP — zero conditioning splits, spill counters live, and counts
+   bit-identical across spill on/off, cache on/off and every job level
+   (plus brute force where the valuation space permits). *)
+let dense_row ~k ~d ~e ~max_cells () =
+  let db = Instances.dense_biclique ~k ~d ~e in
+  let red = e + 1 in
+  let width = k + 1 in
+  let mem_width =
+    let rec go w cells =
+      if cells * red > max_cells then w else go (w + 1) (cells * red)
+    in
+    go 0 1
+  in
+  (* Bag tables outgrow the cap one notch above the ceiling (the seed
+     policy must then condition); the upward messages — one slot
+     narrower — only outgrow it one notch later, which is when the disk
+     backend actually engages. *)
+  let over_cap = width > mem_width in
+  let expect_spill = width > mem_width + 1 in
+  let width_bound = width in
+  let run ?(spill = Val_kernel.Auto) ?cache_entries ?jobs () =
+    kernel ~width_bound ~max_cells ~spill ?cache_entries ?jobs path_query db
+  in
+  let n_spill, t_spill = Instances.time (fun () -> run ()) in
+  let n_off, t_off =
+    Instances.time (fun () -> run ~spill:Val_kernel.Off ())
+  in
+  assert (Nat.equal n_spill n_off);
+  if Instances.brute_feasible db then
+    assert (
+      Nat.equal n_spill
+        (Incdb_par.Brute_par.count_valuations ~jobs:1 path_query db));
+  let (_ : Nat.t), spill_counters =
+    counter_delta
+      [
+        "val_kernel.bags";
+        "val_kernel.spilled_factors";
+        "val_kernel.spill_bytes";
+        "val_kernel.spill_read_bytes";
+        "val_kernel.conditioning_splits";
+      ]
+      (fun () -> run ())
+  in
+  let sc name = List.assoc name spill_counters in
+  (* The spill run must be pure DP; the seed policy must have needed
+     conditioning exactly when the tables outgrow the cap. *)
+  assert (sc "val_kernel.conditioning_splits" = 0);
+  assert ((sc "val_kernel.spilled_factors" > 0) = expect_spill);
+  assert ((sc "val_kernel.spill_bytes" > 0) = expect_spill);
+  let (_ : Nat.t), off_counters =
+    counter_delta
+      [ "val_kernel.conditioning_splits" ]
+      (fun () -> run ~spill:Val_kernel.Off ())
+  in
+  assert
+    ((List.assoc "val_kernel.conditioning_splits" off_counters > 0)
+    = over_cap);
+  let identical =
+    List.for_all
+      (fun jobs ->
+        List.for_all
+          (fun spill ->
+            List.for_all
+              (fun cache_entries ->
+                Nat.equal n_spill (run ~spill ~cache_entries ~jobs ()))
+              [ 0; Val_kernel.default_cache_entries ])
+          [ Val_kernel.Auto; Val_kernel.Off ])
+      job_levels
+  in
+  assert identical;
+  Printf.printf
+    "  out-of-core DP (K_{%d,%d}, e=%d edges, red=%d, width %d vs in-memory \
+     ceiling %d):\n\
+    \    spill %.3fs  conditioning %.3fs  (%d bags, %d spilled factors, %d \
+     bytes out, %d bytes back;\n\
+    \    counts identical across spill/cache/jobs%s)\n\
+     %!"
+    k k e red width mem_width t_spill t_off (sc "val_kernel.bags")
+    (sc "val_kernel.spilled_factors")
+    (sc "val_kernel.spill_bytes")
+    (sc "val_kernel.spill_read_bytes")
+    (if Instances.brute_feasible db then " and vs brute force" else "");
+  Printf.sprintf
+    "    { \"section\": \"val_kernel:dense-k%d-e%d-cells%d\", \"result\": %S,\n\
+    \      \"spill_seconds\": %.6f, \"conditioning_seconds\": %.6f,\n\
+    \      \"width\": %d, \"mem_width\": %d, \"bags\": %d,\n\
+    \      \"spilled_factors\": %d, \"spill_bytes\": %d, \
+     \"spill_read_bytes\": %d,\n\
+    \      \"totals_bit_identical\": %b }"
+    k e max_cells (Nat.to_string n_spill) t_spill t_off width mem_width
+    (sc "val_kernel.bags")
+    (sc "val_kernel.spilled_factors")
+    (sc "val_kernel.spill_bytes")
+    (sc "val_kernel.spill_read_bytes")
+    identical
+
 let run () =
   Printf.printf "\n=== #Val kernel (lineage variable elimination) ===\n";
   Printf.printf "  host cores (recommended domain count): %d\n%!"
@@ -200,6 +306,14 @@ let run () =
   let speedup, r1 = agreement_row ~k:5 ~d:4 () in
   let r2 = beyond_row ~k:16 ~d:4 () in
   let r3 = cache_row ~k:14 ~d:4 ~width_bound:4 () in
+  (* Out-of-core ladder: a brute-checkable spill row, the in-memory
+     ceiling (width = mem_width, nothing spills), then one and two
+     width notches past the ceiling — the seed policy must condition,
+     the spill kernel must finish by pure DP. *)
+  let r4 = dense_row ~k:2 ~d:6 ~e:3 ~max_cells:4 () in
+  let r5 = dense_row ~k:6 ~d:8 ~e:3 ~max_cells:16384 () in
+  let r6 = dense_row ~k:7 ~d:8 ~e:3 ~max_cells:16384 () in
+  let r7 = dense_row ~k:8 ~d:8 ~e:3 ~max_cells:16384 () in
   if speedup < 10. then
     Printf.printf
       "  WARNING: kernel speedup %.1fx below the 10x acceptance bar\n%!"
@@ -211,7 +325,7 @@ let run () =
        (Incdb_par.Pool.recommended ())
        (String.concat ", " (List.map string_of_int job_levels)));
   Buffer.add_string buf "  \"sections\": [\n";
-  Buffer.add_string buf (String.concat ",\n" [ r1; r2; r3 ]);
+  Buffer.add_string buf (String.concat ",\n" [ r1; r2; r3; r4; r5; r6; r7 ]);
   Buffer.add_string buf "\n  ]\n}\n";
   let path =
     match Sys.getenv_opt "INCDB_BENCH_VAL_OUT" with
@@ -228,4 +342,5 @@ let smoke () =
   let (_ : float), (_ : string) = agreement_row ~k:3 ~d:3 () in
   let (_ : string) = beyond_row ~k:11 ~d:4 () in
   let (_ : string) = cache_row ~k:6 ~d:4 ~width_bound:2 () in
+  let (_ : string) = dense_row ~k:2 ~d:5 ~e:2 ~max_cells:3 () in
   ()

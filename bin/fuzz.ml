@@ -4,7 +4,8 @@
    a fixed seed for reproducibility.
 
      dune exec bin/fuzz.exe -- [--trace] [--metrics-out FILE] \
-                               [--trace-out FILE] [rounds] [seed]
+                               [--trace-out FILE] [--val-max-cells N] \
+                               [rounds] [seed]
 
    Exits non-zero on the first discrepancy, printing a replayable
    counterexample.  The obs flags mirror idbcount's; they are flushed
@@ -80,7 +81,7 @@ let manageable db =
   | Some t -> t <= 50_000
   | None -> false
 
-let check_round st round =
+let check_round ~val_max_cells st round =
   let q = random_query st in
   let db = random_db st q in
   if manageable db then begin
@@ -94,7 +95,7 @@ let check_round st round =
     let brute_val = Brute.count_valuations (Query.Bcq q) db in
     let brute_comp = Brute.count_completions (Query.Bcq q) db in
     (* 1. dispatchers *)
-    let _, v = Count_val.count q db in
+    let _, v = Count_val.count ~val_max_cells q db in
     if not (Nat.equal v brute_val) then
       fail "#Val dispatcher" (Nat.to_string brute_val) (Nat.to_string v);
     let _, c = Count_comp.count q db in
@@ -122,7 +123,7 @@ let check_round st round =
         (string_of_bool possible);
     (* 4b. general query dispatcher on a union with the same atoms *)
     let union = Query.Union [ q ] in
-    let _, vu = Count_val.count_query union db in
+    let _, vu = Count_val.count_query ~val_max_cells union db in
     if not (Nat.equal vu brute_val) then
       fail "count_query (union)" (Nat.to_string brute_val) (Nat.to_string vu);
     (* 4c. bag semantics bounds *)
@@ -158,13 +159,14 @@ let check_round st round =
 let parse_args () =
   let usage () =
     prerr_endline
-      "usage: fuzz [--trace] [--metrics-out FILE] [--trace-out FILE] [rounds] \
-       [seed]";
+      "usage: fuzz [--trace] [--metrics-out FILE] [--trace-out FILE] \
+       [--val-max-cells N] [rounds] [seed]";
     exit 2
   in
   let trace = ref false in
   let metrics_out = ref None in
   let trace_out = ref None in
+  let val_max_cells = ref Val_kernel.default_max_cells in
   let positional = ref [] in
   let rec go = function
     | [] -> ()
@@ -177,6 +179,12 @@ let parse_args () =
     | "--trace-out" :: path :: rest ->
       trace_out := Some path;
       go rest
+    | "--val-max-cells" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n ->
+        val_max_cells := n;
+        go rest
+      | None -> usage ())
     | arg :: rest when String.length arg > 0 && arg.[0] <> '-' -> (
       match int_of_string_opt arg with
       | Some n ->
@@ -208,10 +216,10 @@ let parse_args () =
     at_exit (fun () ->
         try Incdb_obs.Chrome.write_file path
         with Sys_error msg -> prerr_endline ("fuzz: cannot write trace: " ^ msg)));
-  (rounds, seed)
+  (rounds, seed, !val_max_cells)
 
 let () =
-  let rounds, seed = parse_args () in
+  let rounds, seed, val_max_cells = parse_args () in
   let st = Random.State.make [| seed |] in
   let executed = ref 0 in
   let limited = ref 0 in
@@ -221,7 +229,7 @@ let () =
        enumeration caps.  Skip the round — the generator must keep
        consuming the same random stream either way, and [check_round]
        draws its instance before any engine runs, so replayability holds. *)
-    match check_round st round with
+    match check_round ~val_max_cells st round with
     | true -> incr executed
     | false -> ()
     | exception

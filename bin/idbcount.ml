@@ -205,6 +205,45 @@ let val_cache_entries_term =
       & opt int Val_kernel.default_cache_entries
       & info [ "val-cache-entries" ] ~docv:"N" ~doc)
 
+let val_max_cells_term =
+  let doc =
+    "Largest factor table (in cells) the #Val kernel keeps in memory; a \
+     separator message beyond it spills to disk or forces conditioning, \
+     per --val-spill.  Must be at least 1."
+  in
+  Arg.(value
+      & opt int Val_kernel.default_max_cells
+      & info [ "val-max-cells" ] ~docv:"CELLS" ~doc)
+
+let val_spill_term =
+  let doc =
+    "Spill policy of the #Val kernel for factor tables over \
+     --val-max-cells: auto (spill oversized separator messages to disk \
+     within the spill budget), off (the pre-spill behavior: condition \
+     instead), or force (spill every message — a testing mode).  Counts \
+     are identical in all three modes."
+  in
+  Arg.(value
+      & opt
+          (enum
+             [
+               ("auto", Val_kernel.Auto);
+               ("off", Val_kernel.Off);
+               ("force", Val_kernel.Force);
+             ])
+          Val_kernel.Auto
+      & info [ "val-spill" ] ~docv:"POLICY" ~doc)
+
+let val_spill_dir_term =
+  let doc =
+    "Directory for the #Val kernel's spilled factor tables (default: the \
+     system temp directory).  Temp files are always deleted before the \
+     command exits."
+  in
+  Arg.(value
+      & opt (some string) None
+      & info [ "val-spill-dir" ] ~docv:"DIR" ~doc)
+
 (* ------------------------------------------------------------------ *)
 (* classify                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -285,7 +324,8 @@ let count_cmd =
         & info [ "comp-mask" ] ~docv:"REPR" ~doc)
   in
   let run obs db_path q problem brute_limit val_width_bound val_max_events
-      val_order val_cache_entries max_candidates comp_mask jobs =
+      val_max_cells val_order val_cache_entries val_spill val_spill_dir
+      max_candidates comp_mask jobs =
     with_obs obs (fun () ->
         match load_db db_path with
         | Error msg ->
@@ -307,7 +347,8 @@ let count_cmd =
                 | `Val ->
                   let a, n =
                     Count_val.count ~brute_limit ~val_width_bound
-                      ~val_max_events ~val_order ~val_cache_entries ~jobs q db
+                      ~val_max_events ~val_max_cells ~val_order
+                      ~val_cache_entries ~val_spill ?val_spill_dir ~jobs q db
                   in
                   (Count_val.algorithm_to_string a, n)
                 | `Comp ->
@@ -326,8 +367,9 @@ let count_cmd =
   Cmd.v (Cmd.info "count" ~doc)
     Cmdliner.Term.(
       const run $ obs_term $ db_arg $ query_opt $ problem $ brute_limit
-      $ val_width_bound_term $ val_max_events_term $ val_order_term
-      $ val_cache_entries_term $ max_candidates $ comp_mask $ jobs_term)
+      $ val_width_bound_term $ val_max_events_term $ val_max_cells_term
+      $ val_order_term $ val_cache_entries_term $ val_spill_term
+      $ val_spill_dir_term $ max_candidates $ comp_mask $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                              *)
@@ -352,8 +394,8 @@ let approx_cmd =
     in
     Arg.(value & flag & info [ "exact-check" ] ~doc)
   in
-  let run obs db_path q samples seed meth val_width_bound val_order
-      val_cache_entries exact_check jobs =
+  let run obs db_path q samples seed meth val_width_bound val_max_cells
+      val_order val_cache_entries val_spill val_spill_dir exact_check jobs =
     with_obs obs (fun () ->
         match load_db db_path with
         | Error msg ->
@@ -382,8 +424,9 @@ let approx_cmd =
               if exact_check then
                 (match
                    Val_kernel.count ~width_bound:val_width_bound
-                     ~order:val_order ~cache_entries:val_cache_entries ~jobs
-                     query db
+                     ~max_cells:val_max_cells ~order:val_order
+                     ~cache_entries:val_cache_entries ~spill:val_spill
+                     ?spill_dir:val_spill_dir ~jobs query db
                  with
                 | Some n ->
                   Printf.printf "exact (#Val kernel): %s\n" (Nat.to_string n)
@@ -402,7 +445,8 @@ let approx_cmd =
   Cmd.v (Cmd.info "approx" ~doc)
     Cmdliner.Term.(
       const run $ obs_term $ db_arg $ query_opt $ samples $ seed $ meth
-      $ val_width_bound_term $ val_order_term $ val_cache_entries_term
+      $ val_width_bound_term $ val_max_cells_term $ val_order_term
+      $ val_cache_entries_term $ val_spill_term $ val_spill_dir_term
       $ exact_check $ jobs_term)
 
 (* ------------------------------------------------------------------ *)

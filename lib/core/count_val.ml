@@ -627,11 +627,12 @@ let brute_force ?limit ?(jobs = 1) q db =
 (* Try the lineage variable-elimination kernel; [None] means it declined
    (opaque query, or more events than [max_events] would compile) and the
    caller should enumerate instead. *)
-let try_kernel ?width_bound ?max_events ?order ?cache_entries ?jobs q db =
+let try_kernel ?width_bound ?max_events ?max_cells ?order ?cache_entries
+    ?spill ?spill_dir ?jobs q db =
   Trace.with_span "count_val.lineage_elimination" (fun () ->
       match
-        Val_kernel.count ?width_bound ?max_events ?order ?cache_entries ?jobs
-          q db
+        Val_kernel.count ?width_bound ?max_events ?max_cells ?order
+          ?cache_entries ?spill ?spill_dir ?jobs q db
       with
       | result -> result
       | exception Val_kernel.Too_many_events { events; limit } ->
@@ -640,8 +641,8 @@ let try_kernel ?width_bound ?max_events ?order ?cache_entries ?jobs q db =
           events limit;
         None)
 
-let count ?brute_limit ?val_width_bound ?val_max_events ?val_order
-    ?val_cache_entries ?jobs q db =
+let count ?brute_limit ?val_width_bound ?val_max_events ?val_max_cells
+    ?val_order ?val_cache_entries ?val_spill ?val_spill_dir ?jobs q db =
   Trace.with_span "count_val.count" (fun () ->
       (* Phase 1: pattern matching -- decide which closed form applies. *)
       let algo =
@@ -672,8 +673,9 @@ let count ?brute_limit ?val_width_bound ?val_max_events ?val_order
       | Lineage_elimination | Brute_force -> (
         match
           try_kernel ?width_bound:val_width_bound ?max_events:val_max_events
-            ?order:val_order ?cache_entries:val_cache_entries ?jobs
-            (Query.Bcq q) db
+            ?max_cells:val_max_cells ?order:val_order
+            ?cache_entries:val_cache_entries ?spill:val_spill
+            ?spill_dir:val_spill_dir ?jobs (Query.Bcq q) db
         with
         | Some n -> (Lineage_elimination, n)
         | None ->
@@ -681,17 +683,19 @@ let count ?brute_limit ?val_width_bound ?val_max_events ?val_order
             Trace.with_span "count_val.brute_force" (fun () ->
                 brute_force ?limit:brute_limit ?jobs (Query.Bcq q) db) )))
 
-let count_query ?brute_limit ?val_width_bound ?val_max_events ?val_order
-    ?val_cache_entries ?jobs q db =
+let count_query ?brute_limit ?val_width_bound ?val_max_events ?val_max_cells
+    ?val_order ?val_cache_entries ?val_spill ?val_spill_dir ?jobs q db =
   match q with
   | Query.Bcq cq ->
-    count ?brute_limit ?val_width_bound ?val_max_events ?val_order
-      ?val_cache_entries ?jobs cq db
+    count ?brute_limit ?val_width_bound ?val_max_events ?val_max_cells
+      ?val_order ?val_cache_entries ?val_spill ?val_spill_dir ?jobs cq db
   | Query.Union _ | Query.Bcq_neq _ | Query.Not _ ->
     Trace.with_span "count_val.count" (fun () ->
         match
           try_kernel ?width_bound:val_width_bound ?max_events:val_max_events
-            ?order:val_order ?cache_entries:val_cache_entries ?jobs q db
+            ?max_cells:val_max_cells ?order:val_order
+            ?cache_entries:val_cache_entries ?spill:val_spill
+            ?spill_dir:val_spill_dir ?jobs q db
         with
         | Some n -> (Lineage_elimination, n)
         | None ->

@@ -84,17 +84,22 @@ val uniform_weighted :
     [jobs] (default 1: the sequential path; 0: auto-detect) parallelizes
     the kernel's conditioning branches and the brute-force fallback's
     shards; counts are bit-identical at every job count.  [val_order]
-    selects the kernel's elimination-order heuristic and
+    selects the kernel's elimination-order heuristic,
     [val_cache_entries] bounds its cross-branch subproblem cache
-    ([0] disables it); see {!Val_kernel.count}.
+    ([0] disables it), [val_max_cells] caps one in-memory message table,
+    and [val_spill]/[val_spill_dir] control the kernel's spill-to-disk
+    policy for oversized tables; see {!Val_kernel.count}.
     @raise Idb.Too_many_valuations if brute force is needed but the
     instance exceeds [brute_limit] valuations. *)
 val count :
   ?brute_limit:int ->
   ?val_width_bound:int ->
   ?val_max_events:int ->
+  ?val_max_cells:int ->
   ?val_order:Val_kernel.order ->
   ?val_cache_entries:int ->
+  ?val_spill:Val_kernel.spill ->
+  ?val_spill_dir:string ->
   ?jobs:int ->
   Cq.t ->
   Idb.t ->
@@ -110,8 +115,11 @@ val count_query :
   ?brute_limit:int ->
   ?val_width_bound:int ->
   ?val_max_events:int ->
+  ?val_max_cells:int ->
   ?val_order:Val_kernel.order ->
   ?val_cache_entries:int ->
+  ?val_spill:Val_kernel.spill ->
+  ?val_spill_dir:string ->
   ?jobs:int ->
   Query.t ->
   Idb.t ->

@@ -1,0 +1,246 @@
+(* Factor-table storage for the #Val kernel: an in-memory backend (the
+   historical Nat arrays) and a disk-backed backend that serializes
+   tables block-wise to temp files.  See factor_store.mli. *)
+
+open Incdb_bignum
+module Metrics = Incdb_obs.Metrics
+module Log = Incdb_obs.Log
+
+type meta = { scope : int array; sizes : int array; cells : int }
+
+let make_meta ~scope ~sizes =
+  if Array.length scope <> Array.length sizes then
+    invalid_arg "Factor_store.make_meta: scope/sizes length mismatch";
+  if Array.exists (fun s -> s < 1) sizes then
+    invalid_arg "Factor_store.make_meta: non-positive domain size";
+  { scope; sizes; cells = Array.fold_left ( * ) 1 sizes }
+
+(* Registered here (not in val_kernel) so the accounting lives next to
+   the IO it measures; the val_kernel prefix keeps the kernel's metric
+   namespace in one place for dashboards and the smoke assertions. *)
+let spilled_factors = Metrics.counter "val_kernel.spilled_factors"
+let spill_bytes = Metrics.counter "val_kernel.spill_bytes"
+let spill_read_bytes = Metrics.counter "val_kernel.spill_read_bytes"
+
+let disk_block_cells = 1 lsl 14
+
+module type FACTOR_STORE = sig
+  val backend : string
+
+  type writer
+  type factor
+
+  val create : ?dir:string -> ?on_write:(int -> unit) -> meta -> writer
+  val append : writer -> Nat.t -> unit
+  val finish : writer -> factor
+  val abort : writer -> unit
+  val meta : factor -> meta
+  val byte_size : factor -> int
+  val get : factor -> int -> Nat.t
+  val release : factor -> unit
+end
+
+module Memory : FACTOR_STORE = struct
+  let backend = "memory"
+
+  type factor = { mmeta : meta; table : Nat.t array }
+  type writer = { fac : factor; mutable filled : int }
+
+  let create ?dir:_ ?on_write:_ m =
+    { fac = { mmeta = m; table = Array.make m.cells Nat.zero }; filled = 0 }
+
+  let append w v =
+    if w.filled >= w.fac.mmeta.cells then
+      invalid_arg "Factor_store.Memory.append: table already full";
+    w.fac.table.(w.filled) <- v;
+    w.filled <- w.filled + 1
+
+  let finish w =
+    if w.filled <> w.fac.mmeta.cells then
+      invalid_arg "Factor_store.Memory.finish: table not fully written";
+    w.fac
+
+  let abort _ = ()
+  let meta f = f.mmeta
+  let byte_size _ = 0
+  let get f i = f.table.(i)
+  let release _ = ()
+end
+
+module Disk : FACTOR_STORE = struct
+  let backend = "disk"
+
+  (* Layout: a sequence of [Marshal]ed [Nat.t array] chunks, one per
+     block of [disk_block_cells] cells (the last may be short), with
+     the byte offset of every block kept in memory — random access at
+     block granularity, sequential IO within a block.  Files live only
+     as long as the factor: [release]/[abort] delete them, and both are
+     idempotent so the kernel's exception cleanup can fire on top of
+     the normal path. *)
+  type factor = {
+    dmeta : meta;
+    path : string;
+    offsets : int array;
+    bytes : int;
+    mutable chan : in_channel option;
+    mutable cached_block : int;
+    mutable cache : Nat.t array;
+    mutable released : bool;
+  }
+
+  type writer = {
+    wmeta : meta;
+    wpath : string;
+    oc : out_channel;
+    on_write : int -> unit;
+    buf : Nat.t array;
+    mutable filled : int; (* cells in [buf] *)
+    mutable written : int; (* cells flushed *)
+    mutable woffsets : int list; (* reversed block offsets *)
+    mutable closed : bool;
+  }
+
+  let create ?dir ?(on_write = fun _ -> ()) m =
+    let path =
+      Filename.temp_file ?temp_dir:dir "incdb_val_factor_" ".spill"
+    in
+    let oc = open_out_bin path in
+    Log.debugf "factor_store: spilling %d cells over %d slots to %s" m.cells
+      (Array.length m.scope) path;
+    {
+      wmeta = m;
+      wpath = path;
+      oc;
+      on_write;
+      buf = Array.make (min m.cells disk_block_cells) Nat.zero;
+      filled = 0;
+      written = 0;
+      woffsets = [];
+      closed = false;
+    }
+
+  let flush_block w =
+    if w.filled > 0 then begin
+      let start = pos_out w.oc in
+      w.woffsets <- start :: w.woffsets;
+      Marshal.to_channel w.oc (Array.sub w.buf 0 w.filled) [];
+      w.written <- w.written + w.filled;
+      w.filled <- 0;
+      let delta = pos_out w.oc - start in
+      Metrics.incr spill_bytes ~by:delta;
+      (* The budget hook runs after the accounting: if it raises, the
+         bytes were really written and the caller aborts the writer. *)
+      w.on_write delta
+    end
+
+  let append w v =
+    if w.closed then invalid_arg "Factor_store.Disk.append: writer closed";
+    if w.written + w.filled >= w.wmeta.cells then
+      invalid_arg "Factor_store.Disk.append: table already full";
+    w.buf.(w.filled) <- v;
+    w.filled <- w.filled + 1;
+    if w.filled = Array.length w.buf then flush_block w
+
+  let abort w =
+    if not w.closed then begin
+      w.closed <- true;
+      close_out_noerr w.oc;
+      try Sys.remove w.wpath with Sys_error _ -> ()
+    end
+
+  let finish w =
+    if w.closed then invalid_arg "Factor_store.Disk.finish: writer closed";
+    if w.written + w.filled <> w.wmeta.cells then
+      invalid_arg "Factor_store.Disk.finish: table not fully written";
+    flush_block w;
+    let bytes = pos_out w.oc in
+    w.closed <- true;
+    close_out w.oc;
+    Metrics.incr spilled_factors;
+    {
+      dmeta = w.wmeta;
+      path = w.wpath;
+      offsets = Array.of_list (List.rev w.woffsets);
+      bytes;
+      chan = None;
+      cached_block = -1;
+      cache = [||];
+      released = false;
+    }
+
+  let meta f = f.dmeta
+  let byte_size f = f.bytes
+
+  let load_block f b =
+    let ic =
+      match f.chan with
+      | Some ic -> ic
+      | None ->
+        let ic = open_in_bin f.path in
+        f.chan <- Some ic;
+        ic
+    in
+    seek_in ic f.offsets.(b);
+    let cells : Nat.t array = Marshal.from_channel ic in
+    Metrics.incr spill_read_bytes ~by:(pos_in ic - f.offsets.(b));
+    f.cached_block <- b;
+    f.cache <- cells
+
+  let get f i =
+    if f.released then invalid_arg "Factor_store.Disk.get: factor released";
+    let b = i / disk_block_cells in
+    if b <> f.cached_block then load_block f b;
+    f.cache.(i mod disk_block_cells)
+
+  let release f =
+    if not f.released then begin
+      f.released <- true;
+      (match f.chan with Some ic -> close_in_noerr ic | None -> ());
+      f.chan <- None;
+      f.cache <- [||];
+      try Sys.remove f.path with Sys_error _ -> ()
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-facing dispatch                                              *)
+(* ------------------------------------------------------------------ *)
+
+type t = In_memory of Memory.factor | On_disk of Disk.factor
+type writer = W_memory of Memory.writer | W_disk of Disk.writer
+
+let create ~spill ?dir ?on_write m =
+  if spill then W_disk (Disk.create ?dir ?on_write m)
+  else W_memory (Memory.create ?dir ?on_write m)
+
+let append w v =
+  match w with
+  | W_memory w -> Memory.append w v
+  | W_disk w -> Disk.append w v
+
+let finish = function
+  | W_memory w -> In_memory (Memory.finish w)
+  | W_disk w -> On_disk (Disk.finish w)
+
+let abort = function
+  | W_memory w -> Memory.abort w
+  | W_disk w -> Disk.abort w
+
+let meta = function
+  | In_memory f -> Memory.meta f
+  | On_disk f -> Disk.meta f
+
+let get f i =
+  match f with
+  | In_memory f -> Memory.get f i
+  | On_disk f -> Disk.get f i
+
+let byte_size = function
+  | In_memory f -> Memory.byte_size f
+  | On_disk f -> Disk.byte_size f
+
+let release = function
+  | In_memory f -> Memory.release f
+  | On_disk f -> Disk.release f
+
+let spilled = function In_memory _ -> false | On_disk _ -> true

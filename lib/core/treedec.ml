@@ -1,0 +1,228 @@
+(* Tree decompositions of the null-interaction graph: triangulate along
+   an elimination order, keep the maximal cliques as bags, join them
+   with a maximum-weight spanning tree on separator sizes, root at the
+   first bag.  See treedec.mli for the contract. *)
+
+module Iset = Set.Make (Int)
+
+type t = {
+  bags : int array array;
+  parent : int array;
+  postorder : int array;
+  width : int;
+}
+
+(* Adjacency of the interaction graph: each clique's slots are pairwise
+   adjacent.  Values are immutable [Iset]s, so the elimination below can
+   update bindings without aliasing surprises. *)
+let adjacency cliques =
+  let adj = Hashtbl.create 16 in
+  let ensure v =
+    if not (Hashtbl.mem adj v) then Hashtbl.replace adj v Iset.empty
+  in
+  Array.iter
+    (fun cl ->
+      Array.iter ensure cl;
+      Array.iter
+        (fun a ->
+          Array.iter
+            (fun b ->
+              if a <> b then
+                Hashtbl.replace adj a (Iset.add b (Hashtbl.find adj a)))
+            cl)
+        cl)
+    cliques;
+  adj
+
+let build ~order ~cliques =
+  let adj = adjacency cliques in
+  let slots = Hashtbl.fold (fun s _ acc -> Iset.add s acc) adj Iset.empty in
+  let order_set = Iset.of_list order in
+  if List.length order <> Iset.cardinal order_set then
+    invalid_arg "Treedec.build: elimination order repeats a slot";
+  if not (Iset.subset slots order_set) then
+    invalid_arg "Treedec.build: elimination order misses a slot";
+  (* Slots of the order that no clique mentions still get a bag: the
+     caller decides what lives in the decomposition. *)
+  List.iter
+    (fun v -> if not (Hashtbl.mem adj v) then Hashtbl.replace adj v Iset.empty)
+    order;
+  (* Eliminate: bag of [v] is [v] plus its current neighborhood, which
+     then becomes a clique of the fill-in graph. *)
+  let raw =
+    List.map
+      (fun v ->
+        let nbrs = Hashtbl.find adj v in
+        let bag = Iset.add v nbrs in
+        Iset.iter
+          (fun a ->
+            Hashtbl.replace adj a
+              (Iset.remove v (Iset.union (Hashtbl.find adj a) (Iset.remove a nbrs))))
+          nbrs;
+        Hashtbl.remove adj v;
+        bag)
+      order
+  in
+  (* Keep the maximal cliques only (first occurrence wins on duplicates);
+     non-maximal elimination cliques are subsumed by a later one. *)
+  let arr = Array.of_list raw in
+  let n = Array.length arr in
+  let keep = Array.make n true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if
+        keep.(i) && j <> i && keep.(j)
+        && Iset.subset arr.(i) arr.(j)
+        && ((not (Iset.equal arr.(i) arr.(j))) || j < i)
+      then keep.(i) <- false
+    done
+  done;
+  let bag_sets =
+    Array.of_list
+      (List.filteri (fun i _ -> keep.(i)) (Array.to_list arr))
+  in
+  let m = Array.length bag_sets in
+  let bags =
+    Array.map (fun s -> Array.of_list (Iset.elements s)) bag_sets
+  in
+  let parent = Array.make m (-1) in
+  if m > 1 then begin
+    (* Prim from bag 0, maximizing the separator size of the next edge:
+       a maximum-weight spanning tree of the clique graph of a chordal
+       graph is a junction tree (running intersection holds).  Ties
+       break on the smallest candidate node, then the smallest attach
+       node — [best_at] keeps the first maximum, and candidates are
+       scanned ascending. *)
+    let in_tree = Array.make m false in
+    let best_w = Array.make m (-1) in
+    let best_at = Array.make m (-1) in
+    let weight i j = Iset.cardinal (Iset.inter bag_sets.(i) bag_sets.(j)) in
+    let absorb i =
+      in_tree.(i) <- true;
+      for j = 0 to m - 1 do
+        if not in_tree.(j) then begin
+          let w = weight i j in
+          if w > best_w.(j) then begin
+            best_w.(j) <- w;
+            best_at.(j) <- i
+          end
+        end
+      done
+    in
+    absorb 0;
+    for _ = 2 to m do
+      let pick = ref (-1) in
+      for j = m - 1 downto 0 do
+        if (not in_tree.(j)) && (!pick < 0 || best_w.(j) >= best_w.(!pick))
+        then pick := j
+      done;
+      let j = !pick in
+      parent.(j) <- best_at.(j);
+      absorb j
+    done
+  end;
+  (* Children-first traversal from the root, children ascending. *)
+  let children = Array.make m [] in
+  let root = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if p < 0 then root := i else children.(p) <- i :: children.(p))
+    parent;
+  Array.iteri (fun i l -> children.(i) <- List.rev l) children;
+  let post = ref [] in
+  let rec visit i =
+    List.iter visit children.(i);
+    post := i :: !post
+  in
+  if m > 0 then visit !root;
+  let postorder = Array.of_list (List.rev !post) in
+  let width = Array.fold_left (fun w b -> max w (Array.length b)) 0 bags in
+  { bags; parent; postorder; width }
+
+let bag_count t = Array.length t.bags
+
+let separator t i =
+  let p = t.parent.(i) in
+  if p < 0 then [||]
+  else begin
+    let pset = Iset.of_list (Array.to_list t.bags.(p)) in
+    Array.of_list
+      (List.filter (fun s -> Iset.mem s pset) (Array.to_list t.bags.(i)))
+  end
+
+let validate ~cliques t =
+  let m = Array.length t.bags in
+  let bag_sets = Array.map (fun b -> Iset.of_list (Array.to_list b)) t.bags in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if Array.length t.parent <> m then err "parent array has the wrong length"
+  else if Array.length t.postorder <> m then
+    err "postorder has the wrong length"
+  else begin
+    (* postorder: a permutation visiting children before parents. *)
+    let seen = Array.make m false in
+    let post_ok =
+      Array.for_all
+        (fun i ->
+          if i < 0 || i >= m || seen.(i) then false
+          else begin
+            seen.(i) <- true;
+            let p = t.parent.(i) in
+            p < 0 || not seen.(p)
+          end)
+        t.postorder
+    in
+    if not post_ok then err "postorder is not a children-first permutation"
+    else begin
+      let roots =
+        Array.fold_left (fun acc p -> if p < 0 then acc + 1 else acc) 0 t.parent
+      in
+      if m > 0 && roots <> 1 then err "expected exactly one root, found %d" roots
+      else begin
+        let width =
+          Array.fold_left (fun w b -> max w (Array.length b)) 0 t.bags
+        in
+        if width <> t.width then
+          err "reported width %d but the largest bag has %d slots" t.width width
+        else begin
+          (* Every clique's slots inside some bag. *)
+          let uncovered =
+            Array.find_opt
+              (fun cl ->
+                let cset = Iset.of_list (Array.to_list cl) in
+                not (Array.exists (fun b -> Iset.subset cset b) bag_sets))
+              cliques
+          in
+          match uncovered with
+          | Some cl ->
+            err "clique {%s} is covered by no bag"
+              (String.concat "," (List.map string_of_int (Array.to_list cl)))
+          | None ->
+            (* Running intersection: the bags containing a slot form a
+               connected subtree iff exactly one of them is topmost
+               (root, or parent bag missing the slot). *)
+            let slots =
+              Array.fold_left Iset.union Iset.empty bag_sets |> Iset.elements
+            in
+            let bad =
+              List.find_opt
+                (fun s ->
+                  let tops = ref 0 and present = ref 0 in
+                  Array.iteri
+                    (fun i bs ->
+                      if Iset.mem s bs then begin
+                        incr present;
+                        let p = t.parent.(i) in
+                        if p < 0 || not (Iset.mem s bag_sets.(p)) then
+                          incr tops
+                      end)
+                    bag_sets;
+                  !present > 0 && !tops <> 1)
+                slots
+            in
+            (match bad with
+            | Some s -> err "slot %d violates the running intersection property" s
+            | None -> Ok ())
+        end
+      end
+    end
+  end

@@ -1,0 +1,55 @@
+(** Tree decompositions of the null-interaction graph.
+
+    The [#Val] kernel's elimination schedule used to be implicit: a
+    greedy order, factors merged whenever they touch the eliminated
+    slot.  This module makes the schedule a first-class object — a
+    {e tree decomposition} in the dpdb style (dynamic programming on
+    tree decompositions with database-resident tables): triangulate
+    the interaction graph along an elimination order, collect the
+    maximal cliques of the fill-in graph as {e bags}, connect them by a
+    maximum-weight spanning tree on separator sizes (a junction tree),
+    and root it.  The kernel then runs one bag-local join per node and
+    passes an upward message over each parent separator, which is what
+    lets an oversized factor become a streaming problem (see
+    {!Factor_store}) instead of a conditioning fallback.
+
+    Everything here is deterministic: bags are recorded in elimination
+    order, spanning-tree ties break on the smallest node index, and
+    children are visited in ascending index order — so the kernel's
+    counts and metrics stay reproducible. *)
+
+type t = private {
+  bags : int array array;  (** per node, its slots sorted ascending *)
+  parent : int array;  (** parent node index; [-1] for the root *)
+  postorder : int array;
+      (** every node exactly once, children before parents; the last
+          entry is the root *)
+  width : int;
+      (** largest bag cardinality — the {e cluster-size} convention of
+          {!Val_kernel} (graph-theoretic treewidth plus one) *)
+}
+
+(** [build ~order ~cliques] is the tree decomposition obtained by
+    triangulating the union of the [cliques] (each an array of slots —
+    for the kernel, the slot set of one lineage clause) along the
+    elimination [order], which must list every slot of the cliques
+    exactly once.  Isolated slots appearing in a singleton clique get a
+    singleton bag.
+    @raise Invalid_argument if [order] misses a slot of some clique or
+    repeats one. *)
+val build : order:int list -> cliques:int array array -> t
+
+val bag_count : t -> int
+
+(** [separator t i] is [bags.(i) ∩ bags.(parent.(i))], sorted ascending
+    — the scope of the upward message out of node [i].  [[||]] for the
+    root. *)
+val separator : t -> int -> int array
+
+(** Structural soundness check, used by the property tests and cheap
+    enough to assert in debug runs: every clique's slots lie inside
+    some bag, every slot's bags form a connected subtree (the running
+    intersection property), [postorder] is a valid children-first
+    traversal of [parent], and [width] matches the bags.  [Error]
+    carries a human-readable description of the first violation. *)
+val validate : cliques:int array array -> t -> (unit, string) result

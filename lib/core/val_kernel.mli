@@ -16,13 +16,19 @@
       null-interaction graph (components multiply);
     - per component, shrink every null's domain to its mentioned values
       plus one weighted "other" bucket, pick a min-degree elimination
-      order, and run bucket elimination — multiply the factor tables
-      touching the null, marginalize it out with [Nat] weights;
-    - when the simulated induced width (or factor size) exceeds the
-      bound, fall back to {e conditioning}: branch on the highest-degree
-      null's mentioned values plus the aggregated rest, simplify, and
-      recurse on the now smaller (often disconnected) residual problems,
-      so worst-case cost degrades gracefully instead of cliff-ing.
+      order, and run dynamic programming over the induced
+      {!Treedec} tree decomposition — one bag-local join per clique
+      node, one upward message per parent separator, marginalizing each
+      null with [Nat] weights at its topmost bag;
+    - when a message table would exceed [max_cells], stream it through
+      a disk-backed {!Factor_store} instead of giving up (the dpdb
+      idiom), as long as the estimated IO fits the spill budget;
+    - when the simulated induced width exceeds the bound — or spilling
+      is off or out of budget — fall back to {e conditioning}: branch
+      on the highest-degree null's mentioned values plus the aggregated
+      rest, simplify, and recurse on the now smaller (often
+      disconnected) residual problems, so worst-case cost degrades
+      gracefully instead of cliff-ing.
 
     Branches of an outermost conditioning split run on
     {!Incdb_par.Pool} when [jobs <> 1]; branch and component results are
@@ -50,6 +56,14 @@ val default_max_events : int
     cache. *)
 val default_cache_entries : int
 
+(** Default in-memory cap ([2{^20}]) on the cells of one message table;
+    larger tables spill (policy permitting) or force conditioning. *)
+val default_max_cells : int
+
+(** Default spill budget ([2{^30}] bytes ≈ 1 GiB) on the bytes one
+    [count] call may stream through spilled tables. *)
+val default_spill_budget_bytes : int
+
 (** Elimination-order heuristic over the slot-interaction graph.
     [Min_degree] (the default) greedily eliminates the smallest-degree
     slot.  [Min_fill] greedily eliminates the slot whose neighborhood
@@ -62,7 +76,28 @@ type order = Min_degree | Min_fill
 
 val order_to_string : order -> string
 
-(** [count ?width_bound ?max_events ?order ?cache_entries ?jobs q db] is
+(** When a component's message tables outgrow [max_cells]:
+
+    - [Auto] (the default) — spill the oversized messages to disk as
+      long as the component's induced width respects [width_bound] and
+      the estimated stream fits what is left of the spill budget;
+      condition otherwise.  In-bounds components never spill.
+    - [Off] — the seed kernel's behavior: never touch disk, condition
+      any component whose width or tables exceed the bounds.
+    - [Force] — spill {e every} message of {e every} component,
+      ignoring [width_bound] (only the spill budget gates admission).
+      A testing and measurement mode: it exercises the disk backend on
+      instances of any size and makes
+      [val_kernel.spilled_factors]/[spill_bytes] deterministic targets
+      for smoke assertions.
+
+    Counts are bit-identical across all three modes. *)
+type spill = Auto | Off | Force
+
+val spill_to_string : spill -> string
+
+(** [count ?width_bound ?max_events ?max_cells ?order ?cache_entries
+    ?spill ?spill_dir ?spill_budget_bytes ?jobs q db] is
     [Some (#Val(q)(db))] for any query built from monotone parts and
     [Not] — [None] only for queries containing an opaque [Semantic]
     leaf.  [jobs] follows the {!Incdb_par.Pool} convention
@@ -78,14 +113,29 @@ val order_to_string : order -> string
     regenerates once per branch are then solved once.  [0] disables the
     cache; the [val_kernel.cache_hits]/[..._misses] counters record the
     sharing.
+
+    [max_cells] caps the in-memory cells of one message table (see
+    {!spill} for what happens beyond it); [spill_dir] is where spilled
+    tables live (default: the system temp directory — temp files are
+    deleted before [count] returns, on every path including
+    exceptions); [spill_budget_bytes] bounds the call's total spill
+    traffic, shared across branches and pool domains.  The
+    [val_kernel.bags] counter, [val_kernel.bag] flight-recorder spans
+    and the [treedec.width] gauge record the DP's shape, and
+    [val_kernel.spilled_factors]/[spill_bytes]/[spill_read_bytes] its
+    disk traffic.
     @raise Too_many_events when more than [max_events] events compile.
-    @raise Invalid_argument on a negative [width_bound], [max_events] or
-    [cache_entries]. *)
+    @raise Invalid_argument on a negative [width_bound], [max_events],
+    [cache_entries] or [spill_budget_bytes], or a [max_cells] below 1. *)
 val count :
   ?width_bound:int ->
   ?max_events:int ->
+  ?max_cells:int ->
   ?order:order ->
   ?cache_entries:int ->
+  ?spill:spill ->
+  ?spill_dir:string ->
+  ?spill_budget_bytes:int ->
   ?jobs:int ->
   Query.t ->
   Idb.t ->

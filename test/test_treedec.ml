@@ -1,0 +1,190 @@
+(* Tests for the tree-decomposition builder behind the #Val kernel's
+   bag-local DP: hand-checked shapes (single clique, path, disconnected
+   cliques), the Invalid_argument contract on malformed elimination
+   orders, and a qcheck property that decompositions built from random
+   lineage-style clause sets along random elimination orders pass
+   [Treedec.validate] — clique coverage, running intersection, a valid
+   children-first postorder — with the reported width matching the
+   bags. *)
+
+open Incdb_core
+
+let int_array = Alcotest.(array int)
+
+let ok_or_fail ~cliques td =
+  match Treedec.validate ~cliques td with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invalid decomposition: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Hand-checked shapes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_clique () =
+  let cliques = [| [| 1; 0; 2 |] |] in
+  let td = Treedec.build ~order:[ 0; 1; 2 ] ~cliques in
+  ok_or_fail ~cliques td;
+  Alcotest.(check int) "one bag" 1 (Treedec.bag_count td);
+  Alcotest.(check int) "width = clique size" 3 td.Treedec.width;
+  Alcotest.check int_array "bag is the sorted clique" [| 0; 1; 2 |]
+    td.Treedec.bags.(0);
+  Alcotest.check int_array "root has empty separator" [||]
+    (Treedec.separator td 0)
+
+let test_path () =
+  (* A path R(0)-S(0,1), S(1,2), T(2)-style interaction graph: the
+     decomposition must be a chain of 2-slot bags overlapping in one
+     slot — width 2, every non-root separator a singleton. *)
+  let cliques = [| [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |] |] in
+  let td = Treedec.build ~order:[ 0; 1; 2; 3 ] ~cliques in
+  ok_or_fail ~cliques td;
+  Alcotest.(check int) "three bags" 3 (Treedec.bag_count td);
+  Alcotest.(check int) "path width" 2 td.Treedec.width;
+  let roots = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if p = -1 then incr roots
+      else
+        Alcotest.(check int)
+          (Printf.sprintf "bag %d separator is a singleton" i)
+          1
+          (Array.length (Treedec.separator td i)))
+    td.Treedec.parent;
+  Alcotest.(check int) "exactly one root" 1 !roots
+
+let test_disconnected () =
+  (* Two slot-disjoint cliques still form one tree (a weight-0 edge in
+     the junction tree), with an empty separator between them. *)
+  let cliques = [| [| 0; 1 |]; [| 2; 3 |] |] in
+  let td = Treedec.build ~order:[ 0; 1; 2; 3 ] ~cliques in
+  ok_or_fail ~cliques td;
+  Alcotest.(check int) "two bags" 2 (Treedec.bag_count td);
+  let child =
+    match td.Treedec.parent with
+    | [| -1; _ |] -> 1
+    | [| _; -1 |] -> 0
+    | _ -> Alcotest.fail "expected exactly one root among two bags"
+  in
+  Alcotest.check int_array "disjoint bags share nothing" [||]
+    (Treedec.separator td child)
+
+let test_subsumed_clique () =
+  (* A clause whose slot set is contained in another's must not get its
+     own bag: only maximal cliques of the fill-in graph survive. *)
+  let cliques = [| [| 0; 1; 2 |]; [| 1; 2 |]; [| 0 |] |] in
+  let td = Treedec.build ~order:[ 0; 1; 2 ] ~cliques in
+  ok_or_fail ~cliques td;
+  Alcotest.(check int) "subsumed cliques fold into one bag" 1
+    (Treedec.bag_count td);
+  Alcotest.(check int) "width" 3 td.Treedec.width
+
+let test_bad_orders () =
+  let cliques = [| [| 0; 1 |] |] in
+  let raises order =
+    match Treedec.build ~order ~cliques with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "missing slot rejected" true (raises [ 0 ]);
+  Alcotest.(check bool) "repeated slot rejected" true (raises [ 0; 1; 0 ]);
+  (* Slots in the order that no clique mentions are allowed: they get a
+     singleton bag (the caller decides what lives in the decomposition). *)
+  let td = Treedec.build ~order:[ 0; 1; 7 ] ~cliques in
+  ok_or_fail ~cliques td;
+  Alcotest.(check int) "extra slot gets its own bag" 2 (Treedec.bag_count td)
+
+(* ------------------------------------------------------------------ *)
+(* Random lineage graphs                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Random clause slot sets over [n] slots, in the shape the kernel
+   feeds [build]: small scopes, duplicates and subsumption allowed. *)
+let random_cliques st n =
+  let nclauses = 1 + Random.State.int st 8 in
+  Array.init nclauses (fun _ ->
+      let size = 1 + Random.State.int st (min 4 n) in
+      let seen = Hashtbl.create 8 in
+      let rec draw acc k =
+        if k = 0 then acc
+        else
+          let s = Random.State.int st n in
+          if Hashtbl.mem seen s then draw acc k
+          else begin
+            Hashtbl.add seen s ();
+            draw (s :: acc) (k - 1)
+          end
+      in
+      Array.of_list (draw [] size))
+
+let slots_of_cliques cliques =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (Array.iter (fun s -> if not (Hashtbl.mem seen s) then Hashtbl.add seen s ()))
+    cliques;
+  Hashtbl.fold (fun s () acc -> s :: acc) seen []
+
+let shuffle st l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+let prop_random_valid =
+  QCheck.Test.make ~count:300
+    ~name:"random decompositions validate (cover + running intersection)"
+    QCheck.(make Gen.(pair (int_range 1 10) (int_range 0 1_000_000)))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n |] in
+      let cliques = random_cliques st n in
+      let order = shuffle st (slots_of_cliques cliques) in
+      let td = Treedec.build ~order ~cliques in
+      let max_bag =
+        Array.fold_left (fun w b -> max w (Array.length b)) 0 td.Treedec.bags
+      in
+      let max_clique =
+        Array.fold_left (fun w c -> max w (Array.length c)) 0 cliques
+      in
+      (match Treedec.validate ~cliques td with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "validate: %s" msg);
+      (* validate already cross-checks width against the bags; pin the
+         two obvious bounds independently. *)
+      td.Treedec.width = max_bag
+      && td.Treedec.width >= max_clique
+      && td.Treedec.width <= List.length order
+      && Array.length td.Treedec.postorder = Treedec.bag_count td)
+
+let prop_order_independent_validity =
+  QCheck.Test.make ~count:100
+    ~name:"every elimination order yields a valid decomposition"
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let cliques = random_cliques st 5 in
+      let slots = slots_of_cliques cliques in
+      List.for_all
+        (fun _ ->
+          let order = shuffle st slots in
+          let td = Treedec.build ~order ~cliques in
+          Treedec.validate ~cliques td = Ok ())
+        [ (); (); () ])
+
+let () =
+  Alcotest.run "treedec"
+    [
+      ( "shapes",
+        [
+          Alcotest.test_case "single clique" `Quick test_single_clique;
+          Alcotest.test_case "path" `Quick test_path;
+          Alcotest.test_case "disconnected cliques" `Quick test_disconnected;
+          Alcotest.test_case "subsumed cliques" `Quick test_subsumed_clique;
+          Alcotest.test_case "malformed orders" `Quick test_bad_orders;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_valid; prop_order_independent_validity ] );
+    ]

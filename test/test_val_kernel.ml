@@ -14,9 +14,11 @@ let job_levels = [ 1; 2; 4 ]
 let check_nat = Gen.check_nat
 
 (* Unwrap the kernel's option: every query in this file is compilable. *)
-let kernel ?width_bound ?max_events ?order ?cache_entries ?jobs q db =
+let kernel ?width_bound ?max_events ?max_cells ?order ?cache_entries ?spill
+    ?spill_dir ?spill_budget_bytes ?jobs q db =
   match
-    Val_kernel.count ?width_bound ?max_events ?order ?cache_entries ?jobs q db
+    Val_kernel.count ?width_bound ?max_events ?max_cells ?order ?cache_entries
+      ?spill ?spill_dir ?spill_budget_bytes ?jobs q db
   with
   | Some n -> n
   | None -> Alcotest.fail "kernel declined a compilable query"
@@ -133,7 +135,17 @@ let test_width_bound_fallback () =
     [ 0; 1; 2 ];
   Alcotest.check_raises "negative width bound rejected"
     (Invalid_argument "Val_kernel.count: negative width bound") (fun () ->
-      ignore (kernel ~width_bound:(-1) q db))
+      ignore (kernel ~width_bound:(-1) q db));
+  Alcotest.check_raises "max_cells below 1 rejected"
+    (Invalid_argument "Val_kernel.count: max_cells must be at least 1")
+    (fun () -> ignore (kernel ~max_cells:0 q db));
+  Alcotest.check_raises "negative spill budget rejected"
+    (Invalid_argument "Val_kernel.count: negative spill budget") (fun () ->
+      ignore (kernel ~spill_budget_bytes:(-1) q db));
+  (* A 1-cell message cap forces every component through conditioning
+     when spilling is off — same counts as unrestricted elimination. *)
+  check_nat "max_cells=1, spill off agrees with default" reference
+    (kernel ~max_cells:1 ~spill:Val_kernel.Off q db)
 
 (* ------------------------------------------------------------------ *)
 (* Cross-branch subproblem cache and the min-fill order                *)
@@ -221,6 +233,129 @@ let test_event_limit () =
   | exception Val_kernel.Too_many_events { events; limit } ->
     Alcotest.(check int) "limit payload" 0 limit;
     Alcotest.(check bool) "events payload positive" true (events > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Spill-to-disk factor store                                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "incdb_test_spill" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    (fun () -> f dir)
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> Sys.remove (Filename.concat dir e))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+
+let check_empty_dir msg dir =
+  Alcotest.(check (list string)) msg [] (Array.to_list (Sys.readdir dir))
+
+let test_spill_agreement () =
+  let db = path_instance ~k:4 ~d:3 ~edges:[ ("v0", "v1"); ("v2", "v0") ] in
+  let q = Query.Bcq path_query in
+  let reference = kernel ~spill:Val_kernel.Off q db in
+  List.iter
+    (fun jobs ->
+      check_nat
+        (Printf.sprintf "forced spill, jobs=%d" jobs)
+        reference
+        (kernel ~spill:Val_kernel.Force ~jobs q db);
+      check_nat
+        (Printf.sprintf "forced spill, cache off, jobs=%d" jobs)
+        reference
+        (kernel ~spill:Val_kernel.Force ~cache_entries:0 ~jobs q db);
+      (* A 2-cell cap overflows every multi-slot message: Auto must
+         rescue the component by spilling, Off must condition — both
+         bit-identical to the unrestricted in-memory run. *)
+      check_nat
+        (Printf.sprintf "auto spill under a 2-cell cap, jobs=%d" jobs)
+        reference
+        (kernel ~spill:Val_kernel.Auto ~max_cells:2 ~jobs q db);
+      check_nat
+        (Printf.sprintf "conditioning under a 2-cell cap, jobs=%d" jobs)
+        reference
+        (kernel ~spill:Val_kernel.Off ~max_cells:2 ~jobs q db))
+    job_levels;
+  (* The forced run must actually touch the disk backend. *)
+  let n, deltas =
+    with_counters
+      [
+        "val_kernel.spilled_factors";
+        "val_kernel.spill_bytes";
+        "val_kernel.spill_read_bytes";
+      ]
+      (fun () -> kernel ~spill:Val_kernel.Force q db)
+  in
+  check_nat "forced spill count" reference n;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " recorded") true
+        (List.assoc name deltas > 0))
+    [
+      "val_kernel.spilled_factors";
+      "val_kernel.spill_bytes";
+      "val_kernel.spill_read_bytes";
+    ]
+
+let test_spill_cleanup () =
+  let db = path_instance ~k:4 ~d:3 ~edges:[ ("v0", "v1") ] in
+  let q = Query.Bcq path_query in
+  let reference = kernel ~spill:Val_kernel.Off q db in
+  with_temp_dir (fun dir ->
+      let n, deltas =
+        with_counters
+          [ "val_kernel.spilled_factors" ]
+          (fun () -> kernel ~spill:Val_kernel.Force ~spill_dir:dir q db)
+      in
+      check_nat "forced spill in a custom dir" reference n;
+      Alcotest.(check bool)
+        "factors spilled into the custom dir" true
+        (List.assoc "val_kernel.spilled_factors" deltas > 0);
+      check_empty_dir "no temp files survive a successful run" dir)
+
+(* Mid-DP abort: a single-slot component whose only slot has reduced
+   domain size 1 streams an estimated 16 bytes (one bag cell) but
+   marshals to a ~22-byte block, so there is a budget window where
+   admission passes and the on_write hook then raises
+   Spill_budget_exhausted from inside the DP — the injected exception
+   of the cleanup contract.  Sweeping the budget covers all three
+   regimes (admission refusal, mid-write abort, success) without
+   hard-coding marshalling sizes; the abort regime is asserted to occur
+   via its counter signature (bytes written, then conditioned). *)
+let test_spill_budget_exhaustion () =
+  let db =
+    Idb.make
+      [ Idb.fact "R" [ Term.null "n1" ] ]
+      (Idb.Nonuniform [ ("n1", [ "a" ]) ])
+  in
+  let q = Query.Bcq (Cq.of_string "R(x)") in
+  let reference = kernel ~spill:Val_kernel.Off q db in
+  with_temp_dir (fun dir ->
+      let saw_mid_dp_abort = ref false in
+      for budget = 1 to 64 do
+        let n, deltas =
+          with_counters
+            [ "val_kernel.spill_bytes"; "val_kernel.conditioning_splits" ]
+            (fun () ->
+              kernel ~spill:Val_kernel.Force ~spill_dir:dir
+                ~spill_budget_bytes:budget q db)
+        in
+        check_nat (Printf.sprintf "budget=%d count" budget) reference n;
+        check_empty_dir
+          (Printf.sprintf "budget=%d leaves no temp files" budget)
+          dir;
+        if
+          List.assoc "val_kernel.spill_bytes" deltas > 0
+          && List.assoc "val_kernel.conditioning_splits" deltas > 0
+        then saw_mid_dp_abort := true
+      done;
+      Alcotest.(check bool)
+        "some budget aborted mid-DP (bytes written, then conditioned)" true
+        !saw_mid_dp_abort)
 
 (* ------------------------------------------------------------------ *)
 (* Edge cases                                                          *)
@@ -327,6 +462,25 @@ let prop_other_bucket_weight =
                (kernel ~width_bound:0 ~cache_entries:0 ~jobs q db))
         job_levels)
 
+let prop_spill_agrees =
+  QCheck.Test.make ~count:40
+    ~name:"spill force/auto/off bit-identical for jobs in {1,2,4}" seeds_arb
+    (fun seeds ->
+      let q, db = random_instance seeds in
+      QCheck.assume (Gen.manageable ~limit:20_000 db);
+      let query = Query.Bcq q in
+      let want = kernel ~spill:Val_kernel.Off query db in
+      List.for_all
+        (fun jobs ->
+          Nat.equal want (kernel ~spill:Val_kernel.Force ~jobs query db)
+          && Nat.equal want
+               (kernel ~spill:Val_kernel.Auto ~max_cells:2 ~jobs query db)
+          && Nat.equal want
+               (kernel ~spill:Val_kernel.Off ~max_cells:1 ~jobs query db)
+          && Nat.equal want
+               (kernel ~spill:Val_kernel.Force ~cache_entries:0 ~jobs query db))
+        job_levels)
+
 let prop_cache_and_order_agree =
   QCheck.Test.make ~count:40
     ~name:"cache off = cache on = min-fill on random instances" seeds_arb
@@ -364,6 +518,14 @@ let () =
             test_subproblem_cache;
           Alcotest.test_case "min-fill order" `Quick test_min_fill_order;
         ] );
+      ( "spill",
+        [
+          Alcotest.test_case "spill modes agree" `Quick test_spill_agreement;
+          Alcotest.test_case "forced spill leaves no temp files" `Quick
+            test_spill_cleanup;
+          Alcotest.test_case "mid-DP budget exhaustion" `Quick
+            test_spill_budget_exhaustion;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -372,6 +534,7 @@ let () =
             prop_kernel_union_agrees;
             prop_kernel_tight_width;
             prop_other_bucket_weight;
+            prop_spill_agrees;
             prop_cache_and_order_agree;
           ] );
     ]
