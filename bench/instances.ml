@@ -69,6 +69,30 @@ let dense_biclique ~k ~d ~e =
            ( "v" ^ string_of_int (2 * i),
              "v" ^ string_of_int ((2 * i) + 1) )))
 
+(* Non-Codd workload: the null ?p occurs in both an R-fact and an
+   S-fact, plus [free_r] and [free_s] single-occurrence nulls, each null
+   over its own copy of a [d]-value domain (nonuniform, so the
+   Theorem 4.6 closed form is out; non-Codd, so the candidate enumerator
+   is out).  Before the elimination kernel this shape always fell off
+   the brute-force cliff — d^(1+free_r+free_s) valuations enumerated and
+   deduped.  The kernel conditions on ?p (d branches, run jointly) and
+   sweeps the 2d-candidate universe once. *)
+let shared_unary ~d ~free_r ~free_s =
+  let dom = List.init d (fun i -> "v" ^ string_of_int i) in
+  let free rel prefix k =
+    List.init k (fun i ->
+        Idb.fact rel [ Term.null (Printf.sprintf "%s%d" prefix i) ])
+  in
+  let names =
+    "p"
+    :: (List.init free_r (Printf.sprintf "r%d")
+       @ List.init free_s (Printf.sprintf "s%d"))
+  in
+  Idb.make
+    ((Idb.fact "R" [ Term.null "p" ] :: free "R" "r" free_r)
+    @ (Idb.fact "S" [ Term.null "p" ] :: free "S" "s" free_s))
+    (Idb.Nonuniform (List.map (fun n -> (n, dom)) names))
+
 let figure1 () =
   Idb.make
     [

@@ -5,7 +5,8 @@
 
      dune exec bin/fuzz.exe -- [--trace] [--metrics-out FILE] \
                                [--trace-out FILE] [--val-max-cells N] \
-                               [rounds] [seed]
+                               [--comp-elim auto|off|force] \
+                               [--comp-width-bound W] [rounds] [seed]
 
    Exits non-zero on the first discrepancy, printing a replayable
    counterexample.  The obs flags mirror idbcount's; they are flushed
@@ -81,7 +82,7 @@ let manageable db =
   | Some t -> t <= 50_000
   | None -> false
 
-let check_round ~val_max_cells st round =
+let check_round ~val_max_cells ~comp_elim ~comp_width_bound st round =
   let q = random_query st in
   let db = random_db st q in
   if manageable db then begin
@@ -98,9 +99,24 @@ let check_round ~val_max_cells st round =
     let _, v = Count_val.count ~val_max_cells q db in
     if not (Nat.equal v brute_val) then
       fail "#Val dispatcher" (Nat.to_string brute_val) (Nat.to_string v);
-    let _, c = Count_comp.count q db in
+    let _, c = Count_comp.count ~comp_elim ~comp_width_bound q db in
     if not (Nat.equal c brute_comp) then
       fail "#Comp dispatcher" (Nat.to_string brute_comp) (Nat.to_string c);
+    (* 1b. the elimination kernel, forced, against the dispatcher's own
+       answer: a disagreement between the DP sweep and the enumerator /
+       brute force is a first-class failure, not a fallback.  A typed
+       [Infeasible] refusal is legitimate (the instance may genuinely
+       exceed a kernel limit) — but only under the default policy; with
+       --comp-elim force the count above already went through the
+       kernel, so this cross-check is free. *)
+    (match
+       Count_comp.count ~comp_elim:Comp_kernel.Force ~comp_width_bound q db
+     with
+    | _, ce ->
+      if not (Nat.equal ce brute_comp) then
+        fail "comp elimination vs enumerator" (Nat.to_string brute_comp)
+          (Nat.to_string ce)
+    | exception Comp_kernel.Infeasible _ -> ());
     (* 2. Karp-Luby event inclusion-exclusion *)
     let events = Incdb_approx.Karp_luby.events (Query.Bcq q) db in
     if List.length events <= 16 then begin
@@ -160,13 +176,16 @@ let parse_args () =
   let usage () =
     prerr_endline
       "usage: fuzz [--trace] [--metrics-out FILE] [--trace-out FILE] \
-       [--val-max-cells N] [rounds] [seed]";
+       [--val-max-cells N] [--comp-elim auto|off|force] \
+       [--comp-width-bound W] [rounds] [seed]";
     exit 2
   in
   let trace = ref false in
   let metrics_out = ref None in
   let trace_out = ref None in
   let val_max_cells = ref Val_kernel.default_max_cells in
+  let comp_elim = ref Comp_kernel.Auto in
+  let comp_width_bound = ref Comp_kernel.default_width_bound in
   let positional = ref [] in
   let rec go = function
     | [] -> ()
@@ -183,6 +202,24 @@ let parse_args () =
       match int_of_string_opt n with
       | Some n ->
         val_max_cells := n;
+        go rest
+      | None -> usage ())
+    | "--comp-elim" :: policy :: rest -> (
+      match policy with
+      | "auto" ->
+        comp_elim := Comp_kernel.Auto;
+        go rest
+      | "off" ->
+        comp_elim := Comp_kernel.Off;
+        go rest
+      | "force" ->
+        comp_elim := Comp_kernel.Force;
+        go rest
+      | _ -> usage ())
+    | "--comp-width-bound" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n ->
+        comp_width_bound := n;
         go rest
       | None -> usage ())
     | arg :: rest when String.length arg > 0 && arg.[0] <> '-' -> (
@@ -216,25 +253,29 @@ let parse_args () =
     at_exit (fun () ->
         try Incdb_obs.Chrome.write_file path
         with Sys_error msg -> prerr_endline ("fuzz: cannot write trace: " ^ msg)));
-  (rounds, seed, !val_max_cells)
+  (rounds, seed, !val_max_cells, !comp_elim, !comp_width_bound)
 
 let () =
-  let rounds, seed, val_max_cells = parse_args () in
+  let rounds, seed, val_max_cells, comp_elim, comp_width_bound =
+    parse_args ()
+  in
   let st = Random.State.make [| seed |] in
   let executed = ref 0 in
   let limited = ref 0 in
   for round = 1 to rounds do
     (* The engines' typed resource-limit errors are legitimate refusals,
-       not discrepancies: a random instance may blow any of the three
-       enumeration caps.  Skip the round — the generator must keep
-       consuming the same random stream either way, and [check_round]
-       draws its instance before any engine runs, so replayability holds. *)
-    match check_round ~val_max_cells st round with
+       not discrepancies: a random instance may blow any of the
+       enumeration caps, and under --comp-elim force the elimination
+       kernel's typed [Infeasible] is the same kind of refusal.  Skip
+       the round — the generator must keep consuming the same random
+       stream either way, and [check_round] draws its instance before
+       any engine runs, so replayability holds. *)
+    match check_round ~val_max_cells ~comp_elim ~comp_width_bound st round with
     | true -> incr executed
     | false -> ()
     | exception
         ( Idb.Too_many_valuations _ | Comp_candidates.Too_many_candidates _
-        | Val_kernel.Too_many_events _ ) ->
+        | Val_kernel.Too_many_events _ | Comp_kernel.Infeasible _ ) ->
       incr limited
   done;
   Printf.printf

@@ -149,6 +149,14 @@ let handle_limits ?(what = "this query/database pair") f =
        run.\n"
       events limit;
     exit 1
+  | Comp_kernel.Infeasible reason ->
+    Printf.eprintf
+      "error: the #Comp elimination kernel declined the instance: %s.\n\
+       Drop --comp-elim force to let the dispatcher fall back, or raise \
+       the offending limit (--comp-width-bound, --max-candidates, \
+       --brute-limit).\n"
+      (Comp_kernel.infeasible_to_string reason);
+    exit 1
   | Lineage.Too_many_clauses { clauses; limit } ->
     Printf.eprintf
       "error: the compiled lineage has %d clauses, more than one conflict \
@@ -323,9 +331,50 @@ let count_cmd =
             Comp_candidates.Auto
         & info [ "comp-mask" ] ~docv:"REPR" ~doc)
   in
+  let comp_elim =
+    let doc =
+      "The #Comp lineage-elimination arm: auto (the default; used \
+       whenever a sweep plan compiles and the candidate enumerator does \
+       not apply), off (restore the pre-kernel dispatch), or force \
+       (require the kernel; a declined instance is a hard error instead \
+       of a fallback)."
+    in
+    Arg.(value
+        & opt
+            (enum
+               [
+                 ("auto", Comp_kernel.Auto);
+                 ("off", Comp_kernel.Off);
+                 ("force", Comp_kernel.Force);
+               ])
+            Comp_kernel.Auto
+        & info [ "comp-elim" ] ~docv:"POLICY" ~doc)
+  in
+  let comp_width_bound =
+    let doc =
+      "Width bound of the #Comp elimination sweep: the largest number of \
+       fact windows open at once before the kernel declines the instance \
+       (plan-time, so under --comp-elim auto the dispatcher falls back \
+       without wasted work).  Capped at 62 regardless."
+    in
+    Arg.(value
+        & opt int Comp_kernel.default_width_bound
+        & info [ "comp-width-bound" ] ~docv:"W" ~doc)
+  in
+  let comp_max_cells =
+    let doc =
+      "Largest in-memory DP frontier (in states) the #Comp elimination \
+       kernel carries across a tree-decomposition bag boundary; a larger \
+       message spills its counts to disk.  Counts are identical either \
+       way."
+    in
+    Arg.(value
+        & opt int Comp_kernel.default_max_cells
+        & info [ "comp-max-cells" ] ~docv:"CELLS" ~doc)
+  in
   let run obs db_path q problem brute_limit val_width_bound val_max_events
       val_max_cells val_order val_cache_entries val_spill val_spill_dir
-      max_candidates comp_mask jobs =
+      max_candidates comp_mask comp_elim comp_width_bound comp_max_cells jobs =
     with_obs obs (fun () ->
         match load_db db_path with
         | Error msg ->
@@ -354,7 +403,8 @@ let count_cmd =
                 | `Comp ->
                   let a, n =
                     Count_comp.count ~brute_limit ~max_candidates ~jobs
-                      ~mask:comp_mask q db
+                      ~mask:comp_mask ~comp_elim ~comp_width_bound
+                      ~comp_max_cells ?comp_spill_dir:val_spill_dir q db
                   in
                   (Count_comp.algorithm_to_string a, n)
               in
@@ -369,7 +419,8 @@ let count_cmd =
       const run $ obs_term $ db_arg $ query_opt $ problem $ brute_limit
       $ val_width_bound_term $ val_max_events_term $ val_max_cells_term
       $ val_order_term $ val_cache_entries_term $ val_spill_term
-      $ val_spill_dir_term $ max_candidates $ comp_mask $ jobs_term)
+      $ val_spill_dir_term $ max_candidates $ comp_mask $ comp_elim
+      $ comp_width_bound $ comp_max_cells $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                              *)

@@ -286,12 +286,24 @@ let run_shard_wide ~m ~shard_bits ~prefix ~kernel ~clauses ~sat_mode ~universe
 (* Shard granularity.  At least the 64-way split of small universes, and
    on large ones enough prefix bits to cap a shard's subtree at 2^16
    leaf masks — concentrated pruning can no longer strand most of the
-   surviving work in one shard, and the pool's size-halving chunk
-   claiming absorbs the larger shard count without a fixed per-job
-   split.  The split still depends only on [m], never on [jobs], so
-   per-shard work and metric totals stay jobs-invariant, like the
-   counts themselves. *)
-let shard_bits_for m = min m (max 6 (min 12 (m - 16)))
+   surviving work in one shard.  But sharding is not free: every shard
+   re-walks the prefix constraints before touching its subtree, so a
+   shard count far beyond what the pool can keep busy is pure overhead
+   (a 1-core host paid 2–5x for the 4096-way split that a 64-core host
+   amortizes).  Cap the split at [16 x recommended] shards — ample for
+   the pool's size-halving chunk claiming to balance, proportional to
+   the machine.  The split depends only on [m] and the host's
+   recommended domain count, never on the [jobs] argument, so per-shard
+   work and metric totals stay jobs-invariant, like the counts
+   themselves. *)
+let shard_bits_for ?(pool = Incdb_par.Pool.recommended ()) m =
+  let cap =
+    let target = 16 * max 1 pool in
+    let b = ref 6 in
+    while 1 lsl !b < target do incr b done;
+    !b
+  in
+  min m (min (max 6 (min 12 (m - 16))) cap)
 
 (* The wide driver: same sharding, same shard split (so the totals and
    metric deltas stay jobs-invariant), masks [Bitset.Wide].  The bulk

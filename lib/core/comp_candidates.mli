@@ -19,10 +19,13 @@
     by recursive prefix descent, maintaining per-fact reachability and
     per-clause winnability counters incrementally — so star-check failures
     and query falsification prune whole subtrees, and a leaf costs only
-    the saturating-matching test.  The mask space is split into 64
-    prefix shards executed on {!Incdb_par.Pool}; the shard split is
-    independent of [jobs], so totals (and the [comp_kernel.*] metrics)
-    are bit-identical at any job count. *)
+    the saturating-matching test.  The mask space is split into prefix
+    shards executed on {!Incdb_par.Pool} — at least 64, growing with the
+    universe up to a cap of 16x the host's recommended domain count (so
+    a small machine is not taxed with re-walking thousands of shard
+    prefixes it cannot run in parallel).  The shard split depends on the
+    universe and the host, never on [jobs], so totals (and the
+    [comp_kernel.*] metrics) are bit-identical at any job count. *)
 
 open Incdb_bignum
 open Incdb_cq

@@ -1,0 +1,817 @@
+(* Lineage-driven elimination for #Comp.
+
+   The enumerator (Comp_candidates) visits every surviving completion;
+   this kernel counts them by DP instead, and extends past Codd tables.
+
+   Correctness rests on the surjection characterization: fixing an
+   assignment [a] of the shared nulls, S is a completion of the residual
+   table iff every fact's ground image under [a] meets S (star) and S is
+   saturated by a matching of candidates to distinct producing facts
+   (the valuation is onto S).  The DP sweeps candidate bits in a
+   tree-decomposition order, deciding in/out per bit; per conditioning
+   branch the state is the antichain of achievable free-fact sets over
+   the currently open fact windows (matching feasibility is monotone in
+   the free set, so maximal sets are exactly the information the future
+   needs) plus a hit mask for the star condition.  Clause satisfaction
+   of the compiled DNF is per-clause viability over clause windows.
+
+   Non-Codd caveat: summing the per-branch counts would overcount —
+   distinct shared assignments can yield the same completion (e.g.
+   R(n), R(m), S(n), S(m) with (n,m) = (0,1) and (1,0)).  All branches
+   therefore run jointly in one sweep; a subset is accepted when at
+   least one branch is alive, so each completion counts once: the joint
+   state is a function of the selected subset alone.
+
+   Determinism: the sweep is sequential (jobs accepted, unused), the
+   frontier is an explicit array in first-reach order, families are
+   interned behind canonical sorting, and Nat addition is exact — the
+   count and every elim counter are invariant across jobs, mask
+   representation and cache on/off. *)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+open Incdb_relational
+module Metrics = Incdb_obs.Metrics
+module Events = Incdb_obs.Events
+module Trace = Incdb_obs.Trace
+module WB = Bitset.Wide
+
+type choice = Auto | Off | Force
+
+let choice_to_string = function Auto -> "auto" | Off -> "off" | Force -> "force"
+
+type infeasible =
+  | Uncompilable_query
+  | Universe_too_large of { universe : int; limit : int }
+  | Too_many_branches of { branches : int; limit : int }
+  | Width_exceeded of { width : int; bound : int }
+  | Too_many_states of { states : int; limit : int }
+
+exception Infeasible of infeasible
+
+let infeasible_to_string = function
+  | Uncompilable_query -> "query has no mask-DNF lineage"
+  | Universe_too_large { universe; limit } ->
+    Printf.sprintf "candidate universe exceeds %d ground facts (saw %d)" limit
+      universe
+  | Too_many_branches { branches; limit } ->
+    Printf.sprintf "shared-null conditioning needs more than %d branches (at least %d)"
+      limit branches
+  | Width_exceeded { width; bound } ->
+    Printf.sprintf "elimination width %d exceeds the bound %d" width bound
+  | Too_many_states { states; limit } ->
+    Printf.sprintf "DP frontier grew past %d states (%d)" limit states
+
+let default_width_bound = 16
+let default_max_branches = 64
+let default_max_universe = 512
+let default_max_states = 1 lsl 20
+let default_max_cells = 1 lsl 16
+
+(* Fact and clause window slots live in single-word masks. *)
+let max_slots = 62
+
+(* Registered eagerly so the kernel's activity always shows up in metric
+   exports, at zero when it never ran. *)
+let elim_dispatch = Metrics.counter "comp_kernel.elim_dispatch"
+let elim_width_gauge = Metrics.gauge "comp_kernel.elim_width"
+let cond_branches = Metrics.counter "comp_kernel.cond_branches"
+let elim_states = Metrics.counter "comp_kernel.elim_states"
+let elim_cache_hits = Metrics.counter "comp_kernel.elim_cache_hits"
+let elim_cache_misses = Metrics.counter "comp_kernel.elim_cache_misses"
+let elim_spilled = Metrics.counter "comp_kernel.elim_spilled_messages"
+let elim_spill_bytes = Metrics.counter "comp_kernel.elim_spill_bytes"
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type step = {
+  bag : int;  (* tree-decomposition bag that introduced this bit *)
+  enter_facts : int array;  (* fact windows opening before this bit *)
+  enter_clauses : int array;
+  producers : (int * int array option) array;
+      (* facts whose image contains this bit: (fact, Some branches)
+         restricts to the listed conditioning branches, None means all *)
+  kill_clauses : int array;  (* clauses containing this bit *)
+  exit_facts : int array;  (* windows closing after this bit *)
+  exit_clauses : int array;
+}
+
+type plan = {
+  m : int;  (* candidate bits *)
+  nfacts : int;
+  nclauses : int;
+  nbranches : int;
+  nshared : int;
+  steps : step array;
+  width : int;  (* max simultaneously open fact windows *)
+  nbags : int;
+  negated : bool;
+  sat_all : bool;  (* no query: acceptance ignores clause state *)
+  init_sat : bool;  (* an empty clause satisfies every completion *)
+}
+
+let plan_universe p = p.m
+let plan_branches p = p.nbranches
+let plan_width p = p.width
+let plan_bags p = p.nbags
+
+let build ?query ~width_bound ~max_branches ~max_universe db =
+  let facts = Array.of_list (Idb.facts db) in
+  let nf = Array.length facts in
+  (* Shared nulls: more than one argument position across the table
+     (two positions of the same fact count — R(n,n) must condition). *)
+  let occ : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (f : Idb.fact) ->
+      Array.iter
+        (function
+          | Term.Null n ->
+            Hashtbl.replace occ n
+              (1 + Option.value ~default:0 (Hashtbl.find_opt occ n))
+          | Term.Const _ -> ())
+        f.Idb.args)
+    facts;
+  let shared =
+    List.filter
+      (fun n -> Option.value ~default:0 (Hashtbl.find_opt occ n) >= 2)
+      (Idb.nulls db)
+  in
+  let sdoms =
+    Array.of_list
+      (List.map (fun n -> (n, Array.of_list (Idb.domain_of db n))) shared)
+  in
+  let nshared = Array.length sdoms in
+  let nbranches =
+    Array.fold_left
+      (fun acc (_, d) ->
+        let acc = acc * Array.length d in
+        if acc > max_branches then
+          raise
+            (Infeasible (Too_many_branches { branches = acc; limit = max_branches }));
+        acc)
+      1 sdoms
+  in
+  (* Branch b assigns shared null i the value asg.(b).(i): mixed-radix
+     decode with the first shared null most significant. *)
+  let asg = Array.make_matrix (max 1 nbranches) (max 1 nshared) "" in
+  for b = 0 to nbranches - 1 do
+    let x = ref b in
+    for i = nshared - 1 downto 0 do
+      let _, d = sdoms.(i) in
+      asg.(b).(i) <- d.(!x mod Array.length d);
+      x := !x / Array.length d
+    done
+  done;
+  let shared_ix : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri (fun i (n, _) -> Hashtbl.replace shared_ix n i) sdoms;
+  (* Per-position grounding choices; a free null occurs in exactly one
+     position, so the positional product never equates distinct vectors. *)
+  let fact_choices =
+    Array.map
+      (fun (f : Idb.fact) ->
+        Array.map
+          (function
+            | Term.Const c -> `Const c
+            | Term.Null n -> (
+              match Hashtbl.find_opt shared_ix n with
+              | Some si -> `Shared si
+              | None -> `Free (Array.of_list (Idb.domain_of db n))))
+          f.Idb.args)
+      facts
+  in
+  let bdep =
+    Array.map
+      (fun ch -> Array.exists (function `Shared _ -> true | _ -> false) ch)
+      fact_choices
+  in
+  let iter_image f b yield =
+    let ch = fact_choices.(f) in
+    let k = Array.length ch in
+    let out = Array.make k "" in
+    let rec go i =
+      if i = k then yield { Cdb.rel = facts.(f).Idb.rel; args = Array.copy out }
+      else
+        match ch.(i) with
+        | `Const c ->
+          out.(i) <- c;
+          go (i + 1)
+        | `Shared si ->
+          out.(i) <- asg.(b).(si);
+          go (i + 1)
+        | `Free d ->
+          Array.iter
+            (fun v ->
+              out.(i) <- v;
+              go (i + 1))
+            d
+    in
+    go 0
+  in
+  (* Candidate universe over all branches, with an early-exit cap: any
+     single fact-branch image is duplicate-free, so the cap fires within
+     max_universe + 1 yields of each sweep. *)
+  let bit_of : (Cdb.fact, int) Hashtbl.t = Hashtbl.create 64 in
+  let ulist = ref [] in
+  let usize = ref 0 in
+  let note g =
+    if not (Hashtbl.mem bit_of g) then begin
+      incr usize;
+      if !usize > max_universe then
+        raise
+          (Infeasible (Universe_too_large { universe = !usize; limit = max_universe }));
+      Hashtbl.replace bit_of g (-1);
+      ulist := g :: !ulist
+    end
+  in
+  for f = 0 to nf - 1 do
+    if bdep.(f) then
+      for b = 0 to nbranches - 1 do
+        iter_image f b note
+      done
+    else iter_image f 0 note
+  done;
+  let universe = Array.of_list (List.sort Cdb.compare_fact !ulist) in
+  let m = Array.length universe in
+  Array.iteri (fun i g -> Hashtbl.replace bit_of g i) universe;
+  (* Per-branch images as sorted bit arrays. *)
+  let img_common = Array.make (max 1 nf) [||] in
+  let img_branch = Array.make (max 1 nf) [||] in
+  let bits_of f b =
+    let l = ref [] in
+    iter_image f b (fun g -> l := Hashtbl.find bit_of g :: !l);
+    let a = Array.of_list !l in
+    Array.sort compare a;
+    a
+  in
+  for f = 0 to nf - 1 do
+    if bdep.(f) then
+      img_branch.(f) <- Array.init nbranches (fun b -> bits_of f b)
+    else img_common.(f) <- bits_of f 0
+  done;
+  let unions =
+    Array.init nf (fun f ->
+        if not bdep.(f) then img_common.(f)
+        else begin
+          let seen = Array.make m false in
+          Array.iter
+            (Array.iter (fun i -> seen.(i) <- true))
+            img_branch.(f);
+          let l = ref [] in
+          for i = m - 1 downto 0 do
+            if seen.(i) then l := i :: !l
+          done;
+          Array.of_list !l
+        end)
+  in
+  (* Compiled clause windows. *)
+  let negated, clause_bits, sat_all =
+    match query with
+    | None -> (false, [||], true)
+    | Some q -> (
+      match Lineage.Wide.compile q universe with
+      | None -> raise (Infeasible Uncompilable_query)
+      | Some l ->
+        let cl =
+          Array.map
+            (fun mask ->
+              let bits = ref [] in
+              WB.iter (fun i -> bits := i :: !bits) mask;
+              Array.of_list (List.rev !bits))
+            (Lineage.Wide.clauses l)
+        in
+        (Lineage.Wide.is_negated l, cl, false))
+  in
+  let init_sat =
+    (not sat_all) && Array.exists (fun c -> Array.length c = 0) clause_bits
+  in
+  let clause_bits = if init_sat then [||] else clause_bits in
+  let nclauses = Array.length clause_bits in
+  (* Interaction graph: a fact's branch-union image is a clique (those
+     bits compete for the fact in the matching), and so is each clause.
+     Min-degree elimination with fill-in gives the Treedec order; the
+     sweep walks the junction tree's bags in postorder. *)
+  let cliques = Array.append unions clause_bits in
+  let sweep, bag_of_step, nbags =
+    if m = 0 then ([||], [||], 0)
+    else begin
+      let adj = Array.init m (fun _ -> WB.zero ~width:m) in
+      Array.iter
+        (fun cl ->
+          if Array.length cl > 1 then begin
+            let cm = WB.zero ~width:m in
+            Array.iter (fun v -> WB.set_inplace cm v) cl;
+            Array.iter
+              (fun v ->
+                let r = WB.union adj.(v) cm in
+                WB.clear_inplace r v;
+                adj.(v) <- r)
+              cl
+          end)
+        cliques;
+      let alive = WB.copy (WB.full ~width:m) in
+      let order = Array.make m 0 in
+      for k = 0 to m - 1 do
+        let best = ref (-1) and bestd = ref max_int in
+        for v = 0 to m - 1 do
+          if WB.test alive v then begin
+            let d = WB.popcount_inter adj.(v) alive in
+            if d < !bestd then begin
+              best := v;
+              bestd := d
+            end
+          end
+        done;
+        let v = !best in
+        order.(k) <- v;
+        WB.clear_inplace alive v;
+        let nbrs = WB.inter adj.(v) alive in
+        WB.iter
+          (fun u ->
+            let r = WB.union adj.(u) nbrs in
+            WB.clear_inplace r u;
+            adj.(u) <- r)
+          nbrs
+      done;
+      let td = Treedec.build ~order:(Array.to_list order) ~cliques in
+      let seen = Array.make m false in
+      let ord = ref [] and bag_of = ref [] in
+      Array.iter
+        (fun bi ->
+          Array.iter
+            (fun v ->
+              if not seen.(v) then begin
+                seen.(v) <- true;
+                ord := v :: !ord;
+                bag_of := bi :: !bag_of
+              end)
+            td.Treedec.bags.(bi))
+        td.Treedec.postorder;
+      ( Array.of_list (List.rev !ord),
+        Array.of_list (List.rev !bag_of),
+        Treedec.bag_count td )
+    end
+  in
+  let pos = Array.make (max 1 m) 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) sweep;
+  (* Window schedule. *)
+  let window bits =
+    Array.fold_left
+      (fun (lo, hi) b -> (min lo pos.(b), max hi pos.(b)))
+      (max_int, -1) bits
+  in
+  let enter_f = Array.make (max 1 m) []
+  and exit_f = Array.make (max 1 m) []
+  and enter_c = Array.make (max 1 m) []
+  and exit_c = Array.make (max 1 m) [] in
+  for f = nf - 1 downto 0 do
+    let lo, hi = window unions.(f) in
+    enter_f.(lo) <- f :: enter_f.(lo);
+    exit_f.(hi) <- f :: exit_f.(hi)
+  done;
+  for c = nclauses - 1 downto 0 do
+    let lo, hi = window clause_bits.(c) in
+    enter_c.(lo) <- c :: enter_c.(lo);
+    exit_c.(hi) <- c :: exit_c.(hi)
+  done;
+  let max_open enter exit =
+    let active = ref 0 and w = ref 0 in
+    for i = 0 to m - 1 do
+      active := !active + List.length enter.(i);
+      if !active > !w then w := !active;
+      active := !active - List.length exit.(i)
+    done;
+    !w
+  in
+  let width = max_open enter_f exit_f in
+  let width_cap = min width_bound max_slots in
+  if width > width_cap then
+    raise (Infeasible (Width_exceeded { width; bound = width_cap }));
+  let cwidth = max_open enter_c exit_c in
+  if cwidth > max_slots then
+    raise (Infeasible (Width_exceeded { width = cwidth; bound = max_slots }));
+  (* Producers and clause kills, scattered over the sweep. *)
+  let producers = Array.make (max 1 m) [] in
+  for f = nf - 1 downto 0 do
+    if bdep.(f) then begin
+      let per_bit : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+      Array.iteri
+        (fun b img ->
+          Array.iter
+            (fun bit ->
+              Hashtbl.replace per_bit bit
+                (b :: Option.value ~default:[] (Hashtbl.find_opt per_bit bit)))
+            img)
+        img_branch.(f);
+      Array.iter
+        (fun bit ->
+          match Hashtbl.find_opt per_bit bit with
+          | None -> ()
+          | Some rev ->
+            let brs = Array.of_list (List.rev rev) in
+            let p = pos.(bit) in
+            let sel = if Array.length brs = nbranches then None else Some brs in
+            producers.(p) <- (f, sel) :: producers.(p))
+        unions.(f)
+    end
+    else
+      Array.iter
+        (fun bit -> producers.(pos.(bit)) <- (f, None) :: producers.(pos.(bit)))
+        img_common.(f)
+  done;
+  let kills = Array.make (max 1 m) [] in
+  for c = nclauses - 1 downto 0 do
+    Array.iter (fun bit -> kills.(pos.(bit)) <- c :: kills.(pos.(bit))) clause_bits.(c)
+  done;
+  let steps =
+    Array.init m (fun i ->
+        {
+          bag = bag_of_step.(i);
+          enter_facts = Array.of_list enter_f.(i);
+          enter_clauses = Array.of_list enter_c.(i);
+          producers = Array.of_list producers.(i);
+          kill_clauses = Array.of_list kills.(i);
+          exit_facts = Array.of_list exit_f.(i);
+          exit_clauses = Array.of_list exit_c.(i);
+        })
+  in
+  {
+    m;
+    nfacts = nf;
+    nclauses;
+    nbranches;
+    nshared;
+    steps;
+    width;
+    nbags;
+    negated;
+    sat_all;
+    init_sat;
+  }
+
+let plan ?query ?(width_bound = default_width_bound)
+    ?(max_branches = default_max_branches)
+    ?(max_universe = default_max_universe) db =
+  Trace.with_span "comp_kernel.plan" (fun () ->
+      try Ok (build ?query ~width_bound ~max_branches ~max_universe db)
+      with Infeasible i -> Error i)
+
+(* ------------------------------------------------------------------ *)
+(* The sweep DP                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Int-array keys hash by folding the whole array: the default
+   polymorphic hash only examines a bounded prefix, which degenerates on
+   long, similar state vectors. *)
+module IntArrH = Hashtbl.Make (struct
+  type t = int array
+
+  let equal (a : int array) (b : int array) = a = b
+
+  let hash (a : int array) =
+    Array.fold_left (fun h x -> ((h * 1000003) + x) land max_int) (Array.length a) a
+end)
+
+type 'a vec = { mutable data : 'a array; mutable len : int }
+
+let vec_create () = { data = [||]; len = 0 }
+
+let vec_push v x =
+  if v.len = Array.length v.data then begin
+    let d = Array.make (max 64 (2 * v.len)) x in
+    Array.blit v.data 0 d 0 v.len;
+    v.data <- d
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+type counts = Mem of Nat.t array | Stored of Factor_store.t
+
+(* State key layout: [0] viable clause-slot mask, [1] sat flag, then per
+   branch b a (family id, hit mask) pair at 2+2b / 3+2b; family id -1 is
+   a dead branch.  Once sat is set, viable is canonicalized to 0 so
+   states that differ only in doomed clause bookkeeping merge. *)
+
+let run ?(max_states = default_max_states) ?(max_cells = default_max_cells)
+    ?(cache = true) ?spill_dir ?jobs:_ p =
+  Trace.with_span "comp_kernel.run" (fun () ->
+      Metrics.incr elim_dispatch;
+      Metrics.set elim_width_gauge (float_of_int p.width);
+      if p.nshared > 0 then Metrics.incr cond_branches ~by:p.nbranches;
+      let nb = p.nbranches in
+      (* Family store: canonical antichains of free-fact-slot masks,
+         interned to dense ids.  The transforms below are pure mask
+         operations, so the memo tables are shared across branches and
+         states — the canonical-form subproblem cache of the #Val
+         kernel, at the mask level. *)
+      let fam_tbl = IntArrH.create 256 in
+      let fams : int array vec = vec_create () in
+      let intern_fam a =
+        match IntArrH.find_opt fam_tbl a with
+        | Some id -> id
+        | None ->
+          let id = fams.len in
+          vec_push fams a;
+          IntArrH.replace fam_tbl a id;
+          id
+      in
+      let fam0 = intern_fam [| 0 |] in
+      (* Canonical form: maximal masks only (feasibility is monotone in
+         the free set), sorted ascending. *)
+      let canon l =
+        let a = Array.of_list l in
+        Array.sort
+          (fun x y ->
+            let c = compare (Lineage.popcount y) (Lineage.popcount x) in
+            if c <> 0 then c else compare x y)
+          a;
+        let kept = vec_create () in
+        Array.iter
+          (fun mask ->
+            let dominated = ref false in
+            for i = 0 to kept.len - 1 do
+              if (not !dominated) && mask land kept.data.(i) = mask then
+                dominated := true
+            done;
+            if not !dominated then vec_push kept mask)
+          a;
+        let r = Array.sub kept.data 0 kept.len in
+        Array.sort compare r;
+        r
+      in
+      let memo tbl key compute =
+        if not cache then compute ()
+        else
+          match Hashtbl.find_opt tbl key with
+          | Some r ->
+            Metrics.incr elim_cache_hits;
+            r
+          | None ->
+            Metrics.incr elim_cache_misses;
+            let r = compute () in
+            Hashtbl.replace tbl key r;
+            r
+      in
+      let entry_memo : (int, int) Hashtbl.t = Hashtbl.create 256 in
+      (* A fresh slot joins every achievable free set; the slot bit is
+         set in no mask, so order and maximality are preserved as-is. *)
+      let fam_entry fid slot =
+        memo entry_memo ((fid * 64) + slot) (fun () ->
+            intern_fam
+              (Array.map (fun mask -> mask lor (1 lsl slot)) fams.data.(fid)))
+      in
+      let include_memo : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+      (* Match the included bit to one free producer: children are
+         F \ {p} for p in pmask ∩ F; -1 when no family member can pay. *)
+      let fam_include fid pmask =
+        memo include_memo (fid, pmask) (fun () ->
+            let l = ref [] in
+            Array.iter
+              (fun mask ->
+                let avail = ref (mask land pmask) in
+                while !avail <> 0 do
+                  let pbit = !avail land - !avail in
+                  avail := !avail land lnot pbit;
+                  l := (mask land lnot pbit) :: !l
+                done)
+              fams.data.(fid);
+            if !l = [] then -1 else intern_fam (canon !l))
+      in
+      let project_memo : (int, int) Hashtbl.t = Hashtbl.create 256 in
+      (* A closing window's slot no longer constrains the future: drop
+         the coordinate (unmatched facts are allowed). *)
+      let fam_project fid slot =
+        memo project_memo ((fid * 64) + slot) (fun () ->
+            intern_fam
+              (canon
+                 (Array.fold_left
+                    (fun acc mask -> (mask land lnot (1 lsl slot)) :: acc)
+                    [] fams.data.(fid))))
+      in
+      (* Window slot allocation: lowest free index, freed after the
+         step that closes the window — deterministic and reusable. *)
+      let fact_slot = Array.make (max 1 p.nfacts) (-1) in
+      let fact_used = Array.make max_slots false in
+      let clause_slot = Array.make (max 1 p.nclauses) (-1) in
+      let clause_used = Array.make max_slots false in
+      let alloc used =
+        let rec go i = if used.(i) then go (i + 1) else (used.(i) <- true; i) in
+        go 0
+      in
+      let key_len = 2 + (2 * nb) in
+      let init_key = Array.make key_len 0 in
+      init_key.(1) <- (if p.init_sat then 1 else 0);
+      for b = 0 to nb - 1 do
+        init_key.((2 * b) + 2) <- fam0
+      done;
+      let keys = ref [| init_key |] in
+      let counts = ref (Mem [| Nat.one |]) in
+      let release_counts () =
+        match !counts with Mem _ -> () | Stored f -> Factor_store.release f
+      in
+      let get_count i =
+        match !counts with Mem a -> a.(i) | Stored f -> Factor_store.get f i
+      in
+      let step i =
+        let s = p.steps.(i) in
+        let entry_slots =
+          Array.map
+            (fun f ->
+              let sl = alloc fact_used in
+              fact_slot.(f) <- sl;
+              sl)
+            s.enter_facts
+        in
+        let cl_entry =
+          Array.fold_left
+            (fun acc c ->
+              let sl = alloc clause_used in
+              clause_slot.(c) <- sl;
+              acc lor (1 lsl sl))
+            0 s.enter_clauses
+        in
+        let kill =
+          Array.fold_left
+            (fun acc c -> acc lor (1 lsl clause_slot.(c)))
+            0 s.kill_clauses
+        in
+        let pm = Array.make nb 0 in
+        Array.iter
+          (fun (f, brs) ->
+            let bit = 1 lsl fact_slot.(f) in
+            match brs with
+            | None ->
+              for b = 0 to nb - 1 do
+                pm.(b) <- pm.(b) lor bit
+              done
+            | Some arr -> Array.iter (fun b -> pm.(b) <- pm.(b) lor bit) arr)
+          s.producers;
+        let exit_slots = Array.map (fun f -> fact_slot.(f)) s.exit_facts in
+        let cexit_slots = Array.map (fun c -> clause_slot.(c)) s.exit_clauses in
+        let next_tbl = IntArrH.create 256 in
+        let next_keys : int array vec = vec_create () in
+        let next_counts : Nat.t vec = vec_create () in
+        let emit key cnt =
+          match IntArrH.find_opt next_tbl key with
+          | Some ix -> next_counts.data.(ix) <- Nat.add next_counts.data.(ix) cnt
+          | None ->
+            IntArrH.replace next_tbl key next_keys.len;
+            vec_push next_keys key;
+            vec_push next_counts cnt
+        in
+        (* Apply window exits to a child key (owned, mutable), then emit
+           unless every branch died. *)
+        let finish key cnt =
+          Array.iter
+            (fun sl ->
+              let bit = 1 lsl sl in
+              for b = 0 to nb - 1 do
+                let fi = 2 + (2 * b) in
+                let hi = fi + 1 in
+                if key.(fi) >= 0 then
+                  if key.(hi) land bit = 0 then begin
+                    (* star violated: the fact's image misses the subset *)
+                    key.(fi) <- -1;
+                    key.(hi) <- 0
+                  end
+                  else begin
+                    key.(hi) <- key.(hi) land lnot bit;
+                    key.(fi) <- fam_project key.(fi) sl
+                  end
+              done)
+            exit_slots;
+          let alive = ref false in
+          for b = 0 to nb - 1 do
+            if key.(2 + (2 * b)) >= 0 then alive := true
+          done;
+          if !alive then begin
+            Array.iter
+              (fun sl ->
+                let bit = 1 lsl sl in
+                if key.(0) land bit <> 0 then key.(1) <- 1;
+                key.(0) <- key.(0) land lnot bit)
+              cexit_slots;
+            if key.(1) = 1 then key.(0) <- 0;
+            emit key cnt
+          end
+        in
+        let cur = !keys in
+        for si = 0 to Array.length cur - 1 do
+          let cnt = get_count si in
+          let base = Array.copy cur.(si) in
+          Array.iter
+            (fun sl ->
+              for b = 0 to nb - 1 do
+                let fi = 2 + (2 * b) in
+                if base.(fi) >= 0 then base.(fi) <- fam_entry base.(fi) sl
+              done)
+            entry_slots;
+          if base.(1) = 0 then base.(0) <- base.(0) lor cl_entry;
+          (* exclude the bit: clauses containing it die *)
+          let ex = Array.copy base in
+          ex.(0) <- ex.(0) land lnot kill;
+          finish ex cnt;
+          (* include the bit: each branch matches it to a free producer *)
+          let inc = Array.copy base in
+          let any = ref false in
+          for b = 0 to nb - 1 do
+            let fi = 2 + (2 * b) in
+            let hi = fi + 1 in
+            if inc.(fi) >= 0 then begin
+              let pmb = pm.(b) in
+              let fid = if pmb = 0 then -1 else fam_include inc.(fi) pmb in
+              if fid < 0 then begin
+                inc.(fi) <- -1;
+                inc.(hi) <- 0
+              end
+              else begin
+                inc.(fi) <- fid;
+                inc.(hi) <- inc.(hi) lor pmb;
+                any := true
+              end
+            end
+          done;
+          if !any then finish inc cnt
+        done;
+        Array.iter
+          (fun f ->
+            fact_used.(fact_slot.(f)) <- false;
+            fact_slot.(f) <- -1)
+          s.exit_facts;
+        Array.iter
+          (fun c ->
+            clause_used.(clause_slot.(c)) <- false;
+            clause_slot.(c) <- -1)
+          s.exit_clauses;
+        release_counts ();
+        let n = next_keys.len in
+        if n > max_states then begin
+          keys := [||];
+          counts := Mem [||];
+          raise (Infeasible (Too_many_states { states = n; limit = max_states }))
+        end;
+        keys := Array.sub next_keys.data 0 n;
+        counts := Mem (Array.sub next_counts.data 0 n);
+        Metrics.incr elim_states ~by:n
+      in
+      let nsteps = Array.length p.steps in
+      Fun.protect ~finally:release_counts (fun () ->
+          let i = ref 0 in
+          while !i < nsteps do
+            let bag = p.steps.(!i).bag in
+            let states_in = Array.length !keys in
+            Events.with_span "comp_kernel.bag"
+              ~args:
+                [
+                  ("bag", Events.Int bag);
+                  ("states", Events.Int states_in);
+                ]
+              (fun () ->
+                while !i < nsteps && p.steps.(!i).bag = bag do
+                  step !i;
+                  incr i
+                done);
+            (* Bag boundary: the frontier is the separator message; past
+               the cell budget its counts go through the factor store
+               (disk-backed), read back streamily by the next bag. *)
+            if !i < nsteps && Array.length !keys > max_cells then begin
+              match !counts with
+              | Stored _ -> ()
+              | Mem arr ->
+                let w =
+                  Factor_store.create ~spill:true ?dir:spill_dir
+                    ~on_write:(fun bytes ->
+                      Metrics.incr elim_spill_bytes ~by:bytes)
+                    (Factor_store.make_meta ~scope:[| 0 |]
+                       ~sizes:[| Array.length arr |])
+                in
+                (try Array.iter (Factor_store.append w) arr
+                 with e ->
+                   Factor_store.abort w;
+                   raise e);
+                counts := Stored (Factor_store.finish w);
+                Metrics.incr elim_spilled
+            end
+          done;
+          (* Accept: some branch alive (the subset is a completion of at
+             least one shared assignment — counted once), and the clause
+             verdict matches the query's polarity. *)
+          let total = ref Nat.zero in
+          Array.iteri
+            (fun si key ->
+              let alive = ref false in
+              for b = 0 to nb - 1 do
+                if key.(2 + (2 * b)) >= 0 then alive := true
+              done;
+              let sat_ok = p.sat_all || (key.(1) = 1) <> p.negated in
+              if !alive && sat_ok then total := Nat.add !total (get_count si))
+            !keys;
+          !total))
+
+let count ?query ?width_bound ?max_branches ?max_universe ?max_states
+    ?max_cells ?cache ?spill_dir ?jobs db =
+  match plan ?query ?width_bound ?max_branches ?max_universe db with
+  | Error i -> raise (Infeasible i)
+  | Ok p -> run ?max_states ?max_cells ?cache ?spill_dir ?jobs p

@@ -1,0 +1,143 @@
+(** Lineage-driven elimination for [#Comp]: count the query-satisfying
+    completions of an incomplete database by dynamic programming over the
+    candidate-fact interaction graph, without visiting completions one by
+    one — and without requiring the table to be Codd.
+
+    {2 The surjection view}
+
+    Fix an assignment [a] of the {e shared} nulls (those occurring in
+    more than one argument position).  A ground database [S] over the
+    candidate universe is a completion of the residual table iff
+
+    - {e star}: every table fact's ground image under [a] intersects [S]
+      (each fact must land somewhere inside [S]), and
+    - {e matching}: [S] is saturated by a matching of candidates to
+      distinct table facts whose images contain them (the valuation is a
+      surjection onto [S]; equivalently [S] is independent in the
+      transversal matroid of the candidate-fact bipartite graph — the
+      Lemma B.2 matching condition, generalized off the Codd diagonal).
+
+    The kernel sweeps the candidate bits in a {!Treedec}-derived order
+    and counts the accepted subsets by DP.  Per conditioning branch the
+    separator state is (i) the {e antichain of achievable free-fact
+    sets} over the facts whose image windows are currently open — the
+    exact information needed to extend a partial matching — and (ii) a
+    {e hit} mask recording which open facts already intersect the chosen
+    prefix.  Clause satisfaction of the compiled {!Lineage} DNF is
+    tracked the same way with per-clause viability bits.
+
+    Non-Codd tables are handled by conditioning on the shared nulls, but
+    the branches are {e not} summed — distinct shared assignments can
+    produce the same completion — instead all branches run jointly in
+    one sweep (the state maps each branch to a sub-state) and a subset
+    is accepted when at least one branch stays alive, so each completion
+    is counted exactly once.
+
+    The DP is sequential and fully deterministic: counts and the
+    [comp_kernel.elim_*] counters are invariant across [jobs], mask
+    representation and cache configuration. *)
+
+open Incdb_bignum
+open Incdb_cq
+open Incdb_incomplete
+
+(** Dispatch choice for the elimination arm ([--comp-elim]). *)
+type choice = Auto | Off | Force
+
+val choice_to_string : choice -> string
+
+(** Typed reasons the kernel declines (or abandons) an instance, in the
+    style of the other limits ([Too_many_valuations] / [_candidates] /
+    [_events]) so the CLI reports them uniformly:
+
+    - [Uncompilable_query]: the query has no mask-DNF lineage
+      (opaque [Semantic] queries).
+    - [Universe_too_large]: the per-branch ground universe exceeds
+      [max_universe] candidates.
+    - [Too_many_branches]: the shared-null assignment space exceeds
+      [max_branches] (reported count is a partial product — "at least").
+    - [Width_exceeded]: more than [width_bound] fact windows (or more
+      than 62 clause windows) would be open at once in the sweep order.
+    - [Too_many_states]: the DP frontier outgrew [max_states] mid-run. *)
+type infeasible =
+  | Uncompilable_query
+  | Universe_too_large of { universe : int; limit : int }
+  | Too_many_branches of { branches : int; limit : int }
+  | Width_exceeded of { width : int; bound : int }
+  | Too_many_states of { states : int; limit : int }
+
+exception Infeasible of infeasible
+
+val infeasible_to_string : infeasible -> string
+
+val default_width_bound : int
+val default_max_branches : int
+val default_max_universe : int
+val default_max_states : int
+
+(** Frontier size past which a bag-boundary message spills its counts
+    through {!Factor_store} (the [--comp-max-cells] default). *)
+val default_max_cells : int
+
+(** A compiled instance: universe, conditioning branches, per-branch
+    fact images scattered over a tree-decomposition sweep order, window
+    entry/exit schedule, compiled clause windows. *)
+type plan
+
+(** Number of candidate bits (distinct ground facts over all branches). *)
+val plan_universe : plan -> int
+
+(** Number of shared-null conditioning branches ([1] on Codd tables). *)
+val plan_branches : plan -> int
+
+(** Maximum number of fact windows open at once in the sweep. *)
+val plan_width : plan -> int
+
+(** Bags of the underlying tree decomposition ([0] on an empty table). *)
+val plan_bags : plan -> int
+
+(** [plan ?query ... db] compiles [db] (Codd or not) and the optional
+    query into a sweep plan, or says why it will not.  Cheap relative to
+    {!run}: grounding is capped by [max_universe] with early exit, the
+    branch product bails at [max_branches], and width is computed from
+    the min-degree/tree-decomposition order before any DP state exists. *)
+val plan :
+  ?query:Query.t ->
+  ?width_bound:int ->
+  ?max_branches:int ->
+  ?max_universe:int ->
+  Idb.t ->
+  (plan, infeasible) result
+
+(** [run plan] executes the sweep and returns the exact number of
+    distinct query-satisfying completions.  [cache] (default [true])
+    memoizes the antichain transforms (entry / include / project) across
+    branches and states; [max_cells] bounds the in-memory message at bag
+    boundaries before counts spill to disk under [spill_dir]; [jobs] is
+    accepted for signature uniformity but the DP is sequential — results
+    and counters never depend on it.
+    @raise Infeasible ([Too_many_states]) if the frontier outgrows
+    [max_states]. *)
+val run :
+  ?max_states:int ->
+  ?max_cells:int ->
+  ?cache:bool ->
+  ?spill_dir:string ->
+  ?jobs:int ->
+  plan ->
+  Nat.t
+
+(** {!plan} + {!run}.
+    @raise Infeasible instead of returning [Error]. *)
+val count :
+  ?query:Query.t ->
+  ?width_bound:int ->
+  ?max_branches:int ->
+  ?max_universe:int ->
+  ?max_states:int ->
+  ?max_cells:int ->
+  ?cache:bool ->
+  ?spill_dir:string ->
+  ?jobs:int ->
+  Idb.t ->
+  Nat.t

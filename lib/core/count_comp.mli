@@ -29,6 +29,10 @@ type algorithm =
   | Candidate_enumeration
       (** Proposition B.1 candidate-space enumeration (Codd tables with a
           small ground-fact universe); see {!Comp_candidates} *)
+  | Lineage_elimination
+      (** Counting by DP over the candidate-fact interaction graph —
+          Codd tables past the enumeration cap and (via shared-null
+          conditioning) non-Codd tables; see {!Comp_kernel} *)
   | Brute_force
 
 val algorithm_to_string : algorithm -> string
@@ -57,30 +61,58 @@ val uniform_symbolic :
     whose candidate universe fits within [max_candidates] (default
     {!Comp_candidates.default_max_candidates}; probed with an early-exit
     grounding, and the probed universe is reused by the counting call),
-    the {!Comp_candidates} bitset kernel; brute-force enumeration
-    otherwise.  [jobs] (default 1: sequential; 0: auto-detect) shards the
-    brute-force completion dedup — or the kernel's mask space — across
-    domains; kernel totals are bit-identical at any job count.  [mask]
-    (default [Auto]) picks the kernel's mask representation: single-word
-    up to [Lineage.max_universe] candidates, multi-word beyond (see
-    {!Comp_candidates.mask_choice}).
+    the {!Comp_candidates} bitset kernel; then — Codd or not — the
+    {!Comp_kernel} elimination arm whenever it can compile a plan;
+    brute-force enumeration as the last resort.  [jobs] (default 1:
+    sequential; 0: auto-detect) shards the brute-force completion dedup
+    — or the enumerator's mask space — across domains; totals are
+    bit-identical at any job count (the elimination DP is sequential).
+    [mask] (default [Auto]) picks the enumerator's mask representation:
+    single-word up to [Lineage.max_universe] candidates, multi-word
+    beyond (see {!Comp_candidates.mask_choice}).
+
+    The elimination arm is steered by [comp_elim] (default
+    [Comp_kernel.Auto]): [Off] restores the pre-kernel policy, [Force]
+    requires the kernel — overriding every other arm, the Theorem 4.6
+    closed form included — and raises {!Comp_kernel.Infeasible} when it
+    declines; under [Auto] a mid-run [Too_many_states] falls back to
+    brute force.  [comp_width_bound] caps the sweep's open fact windows
+    (plan-time, typed failure), [comp_max_cells] bounds the in-memory
+    bag-boundary message before counts spill to disk under
+    [comp_spill_dir], [comp_max_states] bounds the DP frontier, and
+    [comp_cache] (default [true]) toggles the kernel's antichain
+    transform memos — none of them change any count.
     @raise Idb.Too_many_valuations if enumeration is needed but the
-    instance exceeds [brute_limit] valuations. *)
+    instance exceeds [brute_limit] valuations.
+    @raise Comp_kernel.Infeasible under [comp_elim = Force] when the
+    kernel declines the instance. *)
 val count :
   ?brute_limit:int ->
   ?max_candidates:int ->
   ?jobs:int ->
   ?mask:Comp_candidates.mask_choice ->
+  ?comp_elim:Comp_kernel.choice ->
+  ?comp_width_bound:int ->
+  ?comp_max_cells:int ->
+  ?comp_max_states:int ->
+  ?comp_cache:bool ->
+  ?comp_spill_dir:string ->
   Cq.t ->
   Idb.t ->
   algorithm * Nat.t
 
 (** [count_all ?brute_limit ?max_candidates ?jobs ?mask db] counts all
-    completions (no query). *)
+    completions (no query); same dispatch and options as {!count}. *)
 val count_all :
   ?brute_limit:int ->
   ?max_candidates:int ->
   ?jobs:int ->
   ?mask:Comp_candidates.mask_choice ->
+  ?comp_elim:Comp_kernel.choice ->
+  ?comp_width_bound:int ->
+  ?comp_max_cells:int ->
+  ?comp_max_states:int ->
+  ?comp_cache:bool ->
+  ?comp_spill_dir:string ->
   Idb.t ->
   algorithm * Nat.t

@@ -194,7 +194,8 @@ let test_dispatcher_algorithms () =
   Alcotest.(check string) "non-uniform Codd routes to candidate enumeration"
     (Count_comp.algorithm_to_string Count_comp.Candidate_enumeration)
     (Count_comp.algorithm_to_string algo2);
-  (* A naive table with a wide domain falls back to brute force. *)
+  (* A naive table is now picked up by the elimination kernel (it used
+     to be the brute-force cliff)... *)
   let naive_wide =
     Idb.make
       [
@@ -203,10 +204,19 @@ let test_dispatcher_algorithms () =
       ]
       (Idb.Nonuniform [ ("n", [ "0"; "1" ]); ("m", [ "0"; "1" ]) ])
   in
-  let algo3, _ = Count_comp.count (Cq.of_string "R(x,y), S(x)") naive_wide in
-  Alcotest.(check string) "naive falls back to brute force"
+  let q3 = Cq.of_string "R(x,y), S(x)" in
+  let algo3, n3 = Count_comp.count q3 naive_wide in
+  Alcotest.(check string) "naive routes to lineage elimination"
+    (Count_comp.algorithm_to_string Count_comp.Lineage_elimination)
+    (Count_comp.algorithm_to_string algo3);
+  check_nat "elimination count matches brute" (brute q3 naive_wide) n3;
+  (* ... unless the elimination arm is off, which restores the cliff. *)
+  let algo4, _ =
+    Count_comp.count ~comp_elim:Comp_kernel.Off q3 naive_wide
+  in
+  Alcotest.(check string) "naive with --comp-elim off falls back to brute force"
     (Count_comp.algorithm_to_string Count_comp.Brute_force)
-    (Count_comp.algorithm_to_string algo3)
+    (Count_comp.algorithm_to_string algo4)
 
 (* ------------------------------------------------------------------ *)
 (* Hand-checked small cases                                            *)

@@ -98,28 +98,43 @@ let check_metrics path required_counters =
      kernel's comp_kernel.mask_width); both must be non-negative.  A
      "name>=N" requirement additionally demands the value reach N —
      used by smoke rules to assert a code path actually ran rather than
-     merely registered its metric. *)
+     merely registered its metric — and "name=N" demands exact equality,
+     used to assert a path did NOT run (e.g. zero brute-force fallbacks
+     in the elimination smoke); for "=0" a metric missing from the
+     export also passes, since an untouched counter may simply never
+     have been registered in this process. *)
   List.iter
     (fun spec ->
-      let c, floor =
+      let c, check =
         match String.index_opt spec '>' with
         | Some i
           when i + 1 < String.length spec && spec.[i + 1] = '=' ->
           let n = String.sub spec (i + 2) (String.length spec - i - 2) in
           (match float_of_string_opt n with
-          | Some f -> (String.sub spec 0 i, f)
+          | Some f -> (String.sub spec 0 i, `At_least f)
           | None -> fail "bad threshold in requirement %S" spec)
-        | _ -> (spec, 0.)
+        | _ -> (
+          match String.index_opt spec '=' with
+          | Some i ->
+            let n = String.sub spec (i + 1) (String.length spec - i - 1) in
+            (match float_of_string_opt n with
+            | Some f -> (String.sub spec 0 i, `Exactly f)
+            | None -> fail "bad threshold in requirement %S" spec)
+          | None -> (spec, `At_least 0.))
       in
       let value =
         match Option.bind (Json.member c counters) Json.to_int with
         | Some n -> Some (float_of_int n)
         | None -> Option.bind (Json.member c gauges) Json.to_float
       in
-      match value with
-      | Some v when v >= floor && Float.is_finite v -> ()
-      | Some v -> fail "metric %s is %g, expected at least %g" c v floor
-      | None -> fail "metric %s missing from export" c)
+      match (value, check) with
+      | Some v, `At_least floor when v >= floor && Float.is_finite v -> ()
+      | Some v, `At_least floor ->
+        fail "metric %s is %g, expected at least %g" c v floor
+      | Some v, `Exactly want when v = want -> ()
+      | Some v, `Exactly want -> fail "metric %s is %g, expected %g" c v want
+      | None, `Exactly 0. -> ()
+      | None, _ -> fail "metric %s missing from export" c)
     required_counters;
   (match Json.member "histograms" j with
   | Some (Json.Assoc hs) -> List.iter (fun (n, h) -> check_histogram n h) hs
