@@ -29,11 +29,15 @@ let () =
     Scaling.smoke ();
     Comp_scaling.smoke ();
     Val_scaling.smoke ();
+    Serve_scaling.smoke ();
     Printf.printf "\nAll benchmark sections smoke-tested.\n"
   end
   else if mode = "val" then
     (* Regenerate BENCH_VAL.json alone, without the experiment phase. *)
     Val_scaling.run ()
+  else if mode = "serve" then
+    (* Regenerate BENCH_SERVE.json alone (warm-vs-cold service rates). *)
+    Serve_scaling.run ()
   else if mode = "comp" then
     (* Kernel-only BENCH_COMP sections for the regression gate (the
        full comp run's seed-enumerator legs cost minutes); `comp full`
@@ -55,7 +59,8 @@ let () =
       Timings.run ();
       Scaling.run ();
       Comp_scaling.run ();
-      Val_scaling.run ()
+      Val_scaling.run ();
+      Serve_scaling.run ()
     end;
     let metrics_path =
       match Sys.getenv_opt "INCDB_METRICS_OUT" with

@@ -1,0 +1,206 @@
+(* Persistent-service measurements (PR 10).
+
+   incdbd's value proposition is the warm state: a repeated request
+   must be answered faster than a cold process could, and bit-identically.
+   Three claims, each measured and written to BENCH_SERVE.json (override
+   with INCDB_BENCH_SERVE_OUT):
+
+   - warm kernel reuse: the same #Val count re-issued with [fresh]
+     (result cache bypassed) against one long-lived engine state runs
+     faster than a cold engine per request, because the classification
+     verdicts, the compiled-lineage parse caches and the kernel's
+     canonical subproblem cache survive — the cache-hit counters are
+     asserted, not presumed;
+
+   - warm result replay: the same request without [fresh] is served
+     from the result cache at a rate far above recomputation, with a
+     byte-identical payload;
+
+   - batch fan-out: a batch of fresh requests scheduled on the domain
+     pool at jobs 1/2/4 answers every entry bit-identically to jobs 1.
+
+   The whole section runs with observability collection enabled — the
+   server always serves live counters, so that is the deployed
+   configuration; requests/s below include the probe cost.
+
+   [smoke] runs every row at tiny sizes (same assertions, no JSON) for
+   the @bench-smoke alias. *)
+
+open Incdb_serve
+module Json = Incdb_obs.Json
+
+let job_levels = [ 1; 2; 4 ]
+
+let counter name = Incdb_obs.Metrics.value (Incdb_obs.Metrics.counter name)
+
+let request_line ?(fresh = false) ?id ~db_text ~query () =
+  Json.to_string
+    (Json.Assoc
+       ((match id with
+        | Some id -> [ ("id", Json.String id) ]
+        | None -> [])
+       @ [
+           ("op", Json.String "count");
+           ("db_text", Json.String db_text);
+           ("query", Json.String query);
+           ("fresh", Json.Bool fresh);
+         ]))
+
+let parse line =
+  match Protocol.of_line line with
+  | Ok r -> r
+  | Error msg -> failwith ("serve_scaling: bad request line: " ^ msg)
+
+let handle state line = Engine.handle state (parse line)
+
+let result_of resp =
+  match (Json.member "ok" resp, Json.member "result" resp) with
+  | Some (Json.Bool true), Some r -> Json.to_string r
+  | _ -> failwith ("serve_scaling: request failed: " ^ Json.to_string resp)
+
+(* One #Val kernel instance: k nulls per side of a path query, served
+   inline so the bench needs no fixture files. *)
+let instance ~k ~d =
+  let db = Instances.path_chain ~k ~d ~edges:[ ("v0", "v1") ] in
+  (Incdb_incomplete.Idb_parser.to_string db, "R(x), S(x,y), T(y)")
+
+(* Claim 1 + 2: cold per-request state vs one warm engine. *)
+let warm_row ~k ~d ~n () =
+  let db_text, query = instance ~k ~d in
+  let fresh_line = request_line ~fresh:true ~db_text ~query () in
+  let cached_line = request_line ~db_text ~query () in
+  (* Cold: a brand-new state (and a cold verdict cache) per request —
+     what n one-shot processes would do, minus process startup, so the
+     comparison flatters the cold side. *)
+  let reference = ref "" in
+  let (), t_cold =
+    Instances.time (fun () ->
+        for _ = 1 to n do
+          Incdb_core.Classify.reset_cache ();
+          let state = State.create () in
+          reference := result_of (handle state fresh_line)
+        done)
+  in
+  let reference = !reference in
+  (* Warm kernel: one state, result cache bypassed with [fresh] — the
+     verdict/parse/subproblem caches are what's being measured. *)
+  Incdb_core.Classify.reset_cache ();
+  let state = State.create () in
+  ignore (result_of (handle state fresh_line));
+  let kernel_hits0 = counter "val_kernel.cache_hits" in
+  let (), t_warm =
+    Instances.time (fun () ->
+        for _ = 1 to n do
+          let got = result_of (handle state fresh_line) in
+          assert (String.equal got reference)
+        done)
+  in
+  let kernel_hits = counter "val_kernel.cache_hits" - kernel_hits0 in
+  assert (kernel_hits > 0);
+  (* Warm result: replayed payloads, byte-identical. *)
+  ignore (result_of (handle state cached_line));
+  let replay_hits0 = counter "serve.result_cache_hits" in
+  let (), t_replay =
+    Instances.time (fun () ->
+        for _ = 1 to n do
+          let got = result_of (handle state cached_line) in
+          assert (String.equal got reference)
+        done)
+  in
+  assert (counter "serve.result_cache_hits" - replay_hits0 = n);
+  let rps t = float_of_int n /. t in
+  Printf.printf
+    "  warm vs cold (k=%d, d=%d, %d requests): cold %.1f req/s  warm kernel \
+     %.1f req/s (%.1fx, %d cache hits)  warm replay %.0f req/s (%.0fx; \
+     payloads byte-identical)\n\
+     %!"
+    k d n (rps t_cold) (rps t_warm) (t_cold /. t_warm) kernel_hits
+    (rps t_replay) (t_cold /. t_replay);
+  Printf.sprintf
+    "    { \"section\": \"serve:warm-vs-cold-k%d-d%d\", \"requests\": %d,\n\
+    \      \"cold_seconds\": %.6f, \"warm_kernel_seconds\": %.6f, \
+     \"warm_replay_seconds\": %.6f,\n\
+    \      \"cold_rps\": %.1f, \"warm_kernel_rps\": %.1f, \
+     \"warm_replay_rps\": %.1f,\n\
+    \      \"kernel_cache_hits\": %d, \"payloads_bit_identical\": true }"
+    k d n t_cold t_warm t_replay (rps t_cold) (rps t_warm) (rps t_replay)
+    kernel_hits
+
+(* Claim 3: batch fan-out over the pool, bit-identical at every jobs
+   level. *)
+let batch_row ~k ~d ~m ~jobs_levels () =
+  let db_text, query = instance ~k ~d in
+  let subs =
+    List.init m (fun i ->
+        request_line ~fresh:true ~id:(Printf.sprintf "s%d" i) ~db_text ~query ())
+  in
+  let batch jobs =
+    Printf.sprintf {|{"op":"batch","jobs":%d,"requests":[%s]}|} jobs
+      (String.concat "," subs)
+  in
+  let state = State.create () in
+  let run jobs =
+    let resp, t = Instances.time (fun () -> handle state (batch jobs)) in
+    (result_of resp, t)
+  in
+  let reference, _warmup = run 1 in
+  let times =
+    List.map
+      (fun jobs ->
+        let got, t = run jobs in
+        assert (String.equal got reference);
+        (jobs, t))
+      jobs_levels
+  in
+  Printf.printf "  batch fan-out (k=%d, d=%d, %d sub-requests): %s (results \
+                 bit-identical)\n%!"
+    k d m
+    (String.concat "  "
+       (List.map (fun (j, t) -> Printf.sprintf "jobs=%d %.4fs" j t) times));
+  Printf.sprintf
+    "    { \"section\": \"serve:batch-k%d-d%d-m%d\", \"sub_requests\": %d,\n\
+    \      \"times\": [ %s ],\n\
+    \      \"results_bit_identical\": true }"
+    k d m m
+    (String.concat ", "
+       (List.map
+          (fun (j, t) ->
+            Printf.sprintf "{ \"jobs\": %d, \"seconds\": %.6f }" j t)
+          times))
+
+let run () =
+  Printf.printf "\n=== incdbd persistent service ===\n";
+  Printf.printf "  host cores (recommended domain count): %d\n%!"
+    (Incdb_par.Pool.recommended ());
+  let was_enabled = Incdb_obs.Runtime.enabled () in
+  Incdb_obs.Runtime.set_enabled true;
+  let r1 = warm_row ~k:10 ~d:4 ~n:20 () in
+  let r2 = batch_row ~k:8 ~d:4 ~m:8 ~jobs_levels:job_levels () in
+  Incdb_obs.Runtime.set_enabled was_enabled;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"schema_version\": 1,\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cores\": %d,\n  \"job_levels\": [ %s ],\n"
+       (Incdb_par.Pool.recommended ())
+       (String.concat ", " (List.map string_of_int job_levels)));
+  Buffer.add_string buf "  \"sections\": [\n";
+  Buffer.add_string buf (String.concat ",\n" [ r1; r2 ]);
+  Buffer.add_string buf "\n  ]\n}\n";
+  let path =
+    match Sys.getenv_opt "INCDB_BENCH_SERVE_OUT" with
+    | Some p -> p
+    | None -> "BENCH_SERVE.json"
+  in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  serve data written to %s\n%!" path
+
+let smoke () =
+  Printf.printf "\n=== incdbd persistent service (smoke) ===\n%!";
+  let was_enabled = Incdb_obs.Runtime.enabled () in
+  Incdb_obs.Runtime.set_enabled true;
+  let (_ : string) = warm_row ~k:3 ~d:3 ~n:2 () in
+  let (_ : string) = batch_row ~k:3 ~d:3 ~m:2 ~jobs_levels:[ 1; 2 ] () in
+  Incdb_obs.Runtime.set_enabled was_enabled;
+  Printf.printf "  serve section ok\n%!"

@@ -77,24 +77,39 @@ let obs_term =
         { trace; verbose; metrics_out; trace_out })
     $ trace $ verbose $ metrics_out $ trace_out)
 
+(* A fatal CLI error whose message is already on stderr.  The bodies
+   under with_obs raise this instead of calling exit: Stdlib.exit does
+   not unwind Fun.protect, so an exit inside the protected body would
+   silently skip the export flush — a refused run with --metrics-out
+   must still write its metrics file. *)
+exception Cli_error
+
 (* Enable collection before the body runs; flush the requested exports
-   afterwards, also when the body raises. *)
+   afterwards, also when the body raises or is refused.  Both exports
+   are always attempted — a failed metrics write must not eat the trace
+   write — and every failure is reported before the single exit. *)
 let with_obs (o : obs_opts) f =
   if o.trace || o.metrics_out <> None || o.trace_out <> None then
     Incdb_obs.Runtime.set_enabled true;
   if o.verbose then Incdb_obs.Log.set_level (Some Incdb_obs.Log.Debug);
-  Fun.protect f ~finally:(fun () ->
-      if o.trace then Incdb_obs.Export.pp_summary stderr;
-      let write what writer = function
-        | None -> ()
-        | Some path -> (
-          try writer path
-          with Sys_error msg ->
-            prerr_endline ("idbcount: cannot write " ^ what ^ ": " ^ msg);
-            exit 1)
-      in
-      write "metrics" Incdb_obs.Export.write_file o.metrics_out;
-      write "trace" Incdb_obs.Chrome.write_file o.trace_out)
+  let export_failed = ref false in
+  let flush_exports () =
+    if o.trace then Incdb_obs.Export.pp_summary stderr;
+    let write what writer = function
+      | None -> ()
+      | Some path -> (
+        try writer path
+        with Sys_error msg ->
+          prerr_endline ("idbcount: cannot write " ^ what ^ ": " ^ msg);
+          export_failed := true)
+    in
+    write "metrics" Incdb_obs.Export.write_file o.metrics_out;
+    write "trace" Incdb_obs.Chrome.write_file o.trace_out
+  in
+  (match Fun.protect f ~finally:flush_exports with
+  | () -> ()
+  | exception Cli_error -> exit 1);
+  if !export_failed then exit 1
 
 let query_opt =
   let doc = "Boolean conjunctive query, e.g. \"R(x), S(x,y)\"." in
@@ -130,17 +145,17 @@ let handle_limits ?(what = "this query/database pair") f =
   try f () with
   | Invalid_argument msg ->
     prerr_endline ("error: " ^ msg);
-    exit 1
+    raise Cli_error
   | Idb.Too_many_valuations { total; limit } ->
     prerr_endline (too_many_msg what total limit);
-    exit 1
+    raise Cli_error
   | Comp_candidates.Too_many_candidates { universe; limit } ->
     Printf.eprintf
       "error: the candidate universe has %d ground facts (limit %d).\n\
        Raise --max-candidates (with --comp-mask auto past 62 facts), or \
        use `idbcount bounds` for an estimate.\n"
       universe limit;
-    exit 1
+    raise Cli_error
   | Val_kernel.Too_many_events { events; limit } ->
     Printf.eprintf
       "error: the #Val kernel would compile %d Karp-Luby events (limit \
@@ -148,7 +163,7 @@ let handle_limits ?(what = "this query/database pair") f =
        Raise --val-max-events, or raise --brute-limit to let enumeration \
        run.\n"
       events limit;
-    exit 1
+    raise Cli_error
   | Comp_kernel.Infeasible reason ->
     Printf.eprintf
       "error: the #Comp elimination kernel declined the instance: %s.\n\
@@ -156,7 +171,7 @@ let handle_limits ?(what = "this query/database pair") f =
        the offending limit (--comp-width-bound, --max-candidates, \
        --brute-limit).\n"
       (Comp_kernel.infeasible_to_string reason);
-    exit 1
+    raise Cli_error
   | Lineage.Too_many_clauses { clauses; limit } ->
     Printf.eprintf
       "error: the compiled lineage has %d clauses, more than one conflict \
@@ -164,7 +179,7 @@ let handle_limits ?(what = "this query/database pair") f =
        Use `idbcount approx` (sampling does not build conflict masks) or \
        a smaller instance.\n"
       clauses limit;
-    exit 1
+    raise Cli_error
 
 (* The #Val lineage-elimination kernel knobs, shared by count/approx. *)
 let val_width_bound_term =
@@ -379,7 +394,7 @@ let count_cmd =
         match load_db db_path with
         | Error msg ->
           prerr_endline msg;
-          exit 1
+          raise Cli_error
         | Ok db ->
           let setting_problem =
             match problem with
@@ -451,7 +466,7 @@ let approx_cmd =
         match load_db db_path with
         | Error msg ->
           prerr_endline msg;
-          exit 1
+          raise Cli_error
         | Ok db ->
           let query = Query.Bcq q in
           handle_limits (fun () ->
@@ -517,7 +532,7 @@ let enumerate_cmd =
         match load_db db_path with
         | Error msg ->
           prerr_endline msg;
-          exit 1
+          raise Cli_error
         | Ok db ->
           let shown = ref 0 in
           handle_limits ~what:"enumeration" (fun () ->
@@ -556,7 +571,7 @@ let certainty_cmd =
         match load_db db_path with
         | Error msg ->
           prerr_endline msg;
-          exit 1
+          raise Cli_error
         | Ok db ->
           let query = Query.Bcq q in
           handle_limits @@ fun () ->
@@ -583,7 +598,7 @@ let sample_cmd =
         match load_db db_path with
         | Error msg ->
           prerr_endline msg;
-          exit 1
+          raise Cli_error
         | Ok db ->
           let query = Query.Bcq q in
           handle_limits @@ fun () ->
@@ -613,7 +628,7 @@ let mu_cmd =
         match load_db db_path with
         | Error msg ->
           prerr_endline msg;
-          exit 1
+          raise Cli_error
         | Ok db ->
           (* Only the naive table matters: mu_k replaces the domains with
              the uniform {1..k}. *)
@@ -641,7 +656,7 @@ let bounds_cmd =
         match load_db db_path with
         | Error msg ->
           prerr_endline msg;
-          exit 1
+          raise Cli_error
         | Ok db ->
           handle_limits @@ fun () ->
           let b = Count_bounds_alias.bounds ~seed ~samples q db in
@@ -673,7 +688,7 @@ let reach_cmd =
         match load_db db_path with
         | Error msg ->
           prerr_endline msg;
-          exit 1
+          raise Cli_error
         | Ok db ->
           let q = Incdb_datalog.Datalog.reachability ~from:from_ ~to_ in
           handle_limits ~what:"reachability counting" (fun () ->
@@ -707,11 +722,11 @@ let repairs_cmd =
         match load_db db_path with
         | Error msg ->
           prerr_endline msg;
-          exit 1
+          raise Cli_error
         | Ok db ->
           if Idb.nulls db <> [] then begin
             prerr_endline "repairs: the database must be complete (no nulls)";
-            exit 1
+            raise Cli_error
           end;
           handle_limits @@ fun () ->
           let parse_key spec =

@@ -31,11 +31,37 @@ module Metrics = Incdb_obs.Metrics
 (* Classification is pure in (setting, query), and the pattern search it
    performs is the single hottest part of classifying a corpus (Table 1
    runs it 8x per query), so verdicts are memoized.  The hit/miss
-   counters expose the cache's effectiveness. *)
+   counters expose the cache's effectiveness.
+
+   The table is module-global — that is what lets a persistent incdbd
+   serve repeat classifications without re-running the pattern search —
+   so unlike a one-shot CLI it needs a lifecycle: a size cap (the table
+   stops absorbing new entries at capacity, like the Val_kernel
+   subproblem cache — no eviction, so memory stays bounded and verdicts
+   never change), and a generation-safe [reset_cache], registered with
+   {!Incdb_obs.Export.register_cache_reset} so the server's lifecycle
+   hook can drop warm state without lib/obs depending on this module. *)
 let cache_hits = Metrics.counter "classify.cache_hits"
 let cache_misses = Metrics.counter "classify.cache_misses"
+let default_cache_capacity = 1 lsl 12
 let verdict_cache : (string, verdict) Hashtbl.t = Hashtbl.create 64
+let cache_capacity = ref default_cache_capacity
 let cache_lock = Mutex.create ()
+
+let reset_cache () =
+  Mutex.protect cache_lock (fun () -> Hashtbl.reset verdict_cache)
+
+let set_cache_capacity n =
+  if n < 0 then invalid_arg "Classify.set_cache_capacity: negative capacity";
+  Mutex.protect cache_lock (fun () ->
+      cache_capacity := n;
+      if Hashtbl.length verdict_cache > n then Hashtbl.reset verdict_cache)
+
+let cache_length () =
+  Mutex.protect cache_lock (fun () -> Hashtbl.length verdict_cache)
+
+let () =
+  Incdb_obs.Export.register_cache_reset "classify.verdict_cache" reset_cache
 
 let exact_uncached (s : Setting.t) q =
   let witness = Pattern.first_hard_pattern (hard_patterns s) q in
@@ -77,7 +103,8 @@ let exact (s : Setting.t) q =
         Metrics.incr cache_misses;
         let v = exact_uncached s q in
         Mutex.protect cache_lock (fun () ->
-            Hashtbl.replace verdict_cache key v);
+            if Hashtbl.length verdict_cache < !cache_capacity then
+              Hashtbl.replace verdict_cache key v);
         v)
 
 type approx_verdict =

@@ -50,3 +50,33 @@ val hard_patterns : Setting.t -> Cq.t list
 (** [table1 queries] renders the classification of each query under all
     eight settings, in a Table-1 shaped text table. *)
 val table1 : Cq.t list -> string
+
+(** {2 Verdict-cache lifecycle}
+
+    {!exact} memoizes verdicts in a module-global table (classification
+    is pure in the (setting, query) pair).  In a one-shot CLI the table
+    dies with the process; a persistent [incdbd] needs it bounded and
+    resettable.  The table stops absorbing new entries at its capacity —
+    no eviction, so verdicts are never recomputed differently and memory
+    stays bounded.  Cached and uncached calls return identical verdicts;
+    only the [classify.cache_hits]/[classify.cache_misses] counters can
+    differ. *)
+
+(** Default entry cap of the verdict cache ([4096]). *)
+val default_cache_capacity : int
+
+(** Drop every cached verdict (capacity and the hit/miss counters are
+    untouched).  Registered with
+    {!Incdb_obs.Export.register_cache_reset} under
+    ["classify.verdict_cache"], so {!Incdb_obs.Export.reset_caches}
+    reaches it. *)
+val reset_cache : unit -> unit
+
+(** [set_cache_capacity n] re-bounds the cache; [0] disables caching
+    (every call recomputes and records a miss).  Shrinking below the
+    current population clears the table.
+    @raise Invalid_argument on a negative [n]. *)
+val set_cache_capacity : int -> unit
+
+(** Number of verdicts currently cached. *)
+val cache_length : unit -> int

@@ -109,19 +109,45 @@ val plan :
   Idb.t ->
   (plan, infeasible) result
 
+(** {2 Caller-owned transform memos}
+
+    By default each {!run} allocates (and drops) its family intern store
+    and the three antichain-transform memo tables.  A long-lived process
+    can instead own one {!type-memos} bundle and pass it to successive
+    runs: every key inside is plan-relative, so the bundle binds to the
+    first plan it serves and silently clears itself when handed a
+    structurally different one — cross-plan contamination is impossible,
+    while a repeat of the same (query, db) pair (whose deterministic
+    {!plan} compiles to an equal plan) replays its transforms as cache
+    hits.  Counts are bit-identical with any memos, shared or fresh. *)
+
+type memos
+
+(** A fresh, unbound memo bundle. *)
+val memos_create : unit -> memos
+
+(** Drop every table and the plan binding; the handle stays valid. *)
+val memos_clear : memos -> unit
+
+(** Total entries across the three transform tables. *)
+val memos_length : memos -> int
+
 (** [run plan] executes the sweep and returns the exact number of
     distinct query-satisfying completions.  [cache] (default [true])
     memoizes the antichain transforms (entry / include / project) across
-    branches and states; [max_cells] bounds the in-memory message at bag
-    boundaries before counts spill to disk under [spill_dir]; [jobs] is
-    accepted for signature uniformity but the DP is sequential — results
-    and counters never depend on it.
+    branches and states; [memos] (when given) backs those tables with a
+    caller-owned bundle that survives the run (see {!type-memos} — the
+    incdbd warm-reuse hook); [max_cells] bounds the in-memory message at
+    bag boundaries before counts spill to disk under [spill_dir]; [jobs]
+    is accepted for signature uniformity but the DP is sequential —
+    results and counters never depend on it.
     @raise Infeasible ([Too_many_states]) if the frontier outgrows
     [max_states]. *)
 val run :
   ?max_states:int ->
   ?max_cells:int ->
   ?cache:bool ->
+  ?memos:memos ->
   ?spill_dir:string ->
   ?jobs:int ->
   plan ->
@@ -137,6 +163,7 @@ val count :
   ?max_states:int ->
   ?max_cells:int ->
   ?cache:bool ->
+  ?memos:memos ->
   ?spill_dir:string ->
   ?jobs:int ->
   Idb.t ->

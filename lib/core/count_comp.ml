@@ -446,8 +446,8 @@ let dispatch_route ?(max_candidates = Comp_candidates.default_max_candidates)
    its state budget mid-run under [Auto] (mirrors the #Val kernel's
    conditioning fallback). *)
 let run_route ?brute_limit ?max_candidates ~jobs ?mask ~comp_elim
-    ?comp_max_cells ?comp_max_states ?(comp_cache = true) ?comp_spill_dir
-    query db route =
+    ?comp_max_cells ?comp_max_states ?(comp_cache = true) ?comp_memos
+    ?comp_spill_dir query db route =
   let brute () =
     Trace.with_span "count_comp.completion_dedup" (fun () ->
         match query with
@@ -472,7 +472,8 @@ let run_route ?brute_limit ?max_candidates ~jobs ?mask ~comp_elim
     match
       Trace.with_span "count_comp.lineage_elimination" (fun () ->
           Comp_kernel.run ?max_states:comp_max_states ?max_cells:comp_max_cells
-            ~cache:comp_cache ?spill_dir:comp_spill_dir ~jobs plan)
+            ~cache:comp_cache ?memos:comp_memos ?spill_dir:comp_spill_dir ~jobs
+            plan)
     with
     | n -> (Lineage_elimination, n)
     | exception Comp_kernel.Infeasible _ when comp_elim <> Comp_kernel.Force ->
@@ -481,15 +482,15 @@ let run_route ?brute_limit ?max_candidates ~jobs ?mask ~comp_elim
 
 let count ?brute_limit ?max_candidates ?(jobs = 1) ?mask
     ?(comp_elim = Comp_kernel.Auto) ?comp_width_bound ?comp_max_cells
-    ?comp_max_states ?comp_cache ?comp_spill_dir q db =
+    ?comp_max_states ?comp_cache ?comp_memos ?comp_spill_dir q db =
   Trace.with_span "count_comp.count" (fun () ->
       let route =
         dispatch_route ?max_candidates ~comp_elim ?comp_width_bound (Some q) db
       in
       let algo, n =
         run_route ?brute_limit ?max_candidates ~jobs ?mask ~comp_elim
-          ?comp_max_cells ?comp_max_states ?comp_cache ?comp_spill_dir (Some q)
-          db route
+          ?comp_max_cells ?comp_max_states ?comp_cache ?comp_memos
+          ?comp_spill_dir (Some q) db route
       in
       Log.debugf "count_comp: %s -> %s" (Cq.to_string q)
         (algorithm_to_string algo);
@@ -497,15 +498,15 @@ let count ?brute_limit ?max_candidates ?(jobs = 1) ?mask
 
 let count_all ?brute_limit ?max_candidates ?(jobs = 1) ?mask
     ?(comp_elim = Comp_kernel.Auto) ?comp_width_bound ?comp_max_cells
-    ?comp_max_states ?comp_cache ?comp_spill_dir db =
+    ?comp_max_states ?comp_cache ?comp_memos ?comp_spill_dir db =
   Trace.with_span "count_comp.count" (fun () ->
       let route =
         dispatch_route ?max_candidates ~comp_elim ?comp_width_bound None db
       in
       let algo, n =
         run_route ?brute_limit ?max_candidates ~jobs ?mask ~comp_elim
-          ?comp_max_cells ?comp_max_states ?comp_cache ?comp_spill_dir None db
-          route
+          ?comp_max_cells ?comp_max_states ?comp_cache ?comp_memos
+          ?comp_spill_dir None db route
       in
       Log.debugf "count_comp: <all completions> -> %s"
         (algorithm_to_string algo);

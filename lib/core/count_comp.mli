@@ -79,9 +79,13 @@ val uniform_symbolic :
     brute force.  [comp_width_bound] caps the sweep's open fact windows
     (plan-time, typed failure), [comp_max_cells] bounds the in-memory
     bag-boundary message before counts spill to disk under
-    [comp_spill_dir], [comp_max_states] bounds the DP frontier, and
+    [comp_spill_dir], [comp_max_states] bounds the DP frontier,
     [comp_cache] (default [true]) toggles the kernel's antichain
-    transform memos — none of them change any count.
+    transform memos, and [comp_memos] backs those memos with a
+    caller-owned bundle surviving the call (see
+    {!Comp_kernel.type-memos} — the incdbd warm-reuse hook; the bundle
+    self-clears on a plan change, so passing one is always sound) —
+    none of them change any count.
     @raise Idb.Too_many_valuations if enumeration is needed but the
     instance exceeds [brute_limit] valuations.
     @raise Comp_kernel.Infeasible under [comp_elim = Force] when the
@@ -96,6 +100,7 @@ val count :
   ?comp_max_cells:int ->
   ?comp_max_states:int ->
   ?comp_cache:bool ->
+  ?comp_memos:Comp_kernel.memos ->
   ?comp_spill_dir:string ->
   Cq.t ->
   Idb.t ->
@@ -113,6 +118,7 @@ val count_all :
   ?comp_max_cells:int ->
   ?comp_max_states:int ->
   ?comp_cache:bool ->
+  ?comp_memos:Comp_kernel.memos ->
   ?comp_spill_dir:string ->
   Idb.t ->
   algorithm * Nat.t

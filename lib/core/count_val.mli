@@ -86,9 +86,14 @@ val uniform_weighted :
     shards; counts are bit-identical at every job count.  [val_order]
     selects the kernel's elimination-order heuristic,
     [val_cache_entries] bounds its cross-branch subproblem cache
-    ([0] disables it), [val_max_cells] caps one in-memory message table,
-    and [val_spill]/[val_spill_dir] control the kernel's spill-to-disk
-    policy for oversized tables; see {!Val_kernel.count}.
+    ([0] disables it) and [val_cache] substitutes a caller-owned cache
+    that survives the call (see {!Val_kernel.type-cache} — the incdbd
+    warm-reuse hook), [val_max_cells] caps one in-memory message table,
+    [val_spill]/[val_spill_dir] control the kernel's spill-to-disk
+    policy for oversized tables, and [val_spill_budget_bytes] bounds
+    this call's total spill traffic (the budget is per call, so a
+    persistent server gets per-request spill accounting for free); see
+    {!Val_kernel.count}.
     @raise Idb.Too_many_valuations if brute force is needed but the
     instance exceeds [brute_limit] valuations. *)
 val count :
@@ -98,8 +103,10 @@ val count :
   ?val_max_cells:int ->
   ?val_order:Val_kernel.order ->
   ?val_cache_entries:int ->
+  ?val_cache:Val_kernel.cache ->
   ?val_spill:Val_kernel.spill ->
   ?val_spill_dir:string ->
+  ?val_spill_budget_bytes:int ->
   ?jobs:int ->
   Cq.t ->
   Idb.t ->
@@ -118,8 +125,10 @@ val count_query :
   ?val_max_cells:int ->
   ?val_order:Val_kernel.order ->
   ?val_cache_entries:int ->
+  ?val_cache:Val_kernel.cache ->
   ?val_spill:Val_kernel.spill ->
   ?val_spill_dir:string ->
+  ?val_spill_budget_bytes:int ->
   ?jobs:int ->
   Query.t ->
   Idb.t ->

@@ -406,7 +406,20 @@ type cache = {
 }
 
 let cache_create capacity =
+  if capacity < 1 then
+    invalid_arg "Val_kernel.cache_create: capacity must be at least 1";
   { table = Hashtbl.create 256; lock = Mutex.create (); capacity }
+
+(* Entries key on canonical clause structure plus reduced-domain sizes —
+   nothing ties them to one database — so a caller-owned cache can
+   outlive a single [count] call and keep subproblem counts warm across
+   requests (the incdbd reuse path).  Clearing keeps the capacity and
+   the handle valid. *)
+let cache_clear cache =
+  Mutex.protect cache.lock (fun () -> Hashtbl.reset cache.table)
+
+let cache_length cache =
+  Mutex.protect cache.lock (fun () -> Hashtbl.length cache.table)
 
 let cache_find cache key =
   Mutex.protect cache.lock (fun () -> Hashtbl.find_opt cache.table key)
@@ -855,7 +868,7 @@ let rec strip_negations negated = function
 
 let count ?(width_bound = default_width_bound)
     ?(max_events = default_max_events) ?(max_cells = default_max_cells)
-    ?(order = Min_degree) ?(cache_entries = default_cache_entries)
+    ?(order = Min_degree) ?(cache_entries = default_cache_entries) ?cache
     ?(spill = Auto) ?spill_dir
     ?(spill_budget_bytes = default_spill_budget_bytes) ?(jobs = 1) q db =
   if width_bound < 0 then
@@ -901,13 +914,18 @@ let count ?(width_bound = default_width_bound)
             width_bound;
             max_cells;
             heuristic = order;
-            (* One fresh table per call: entries key on canonical clause
-               structure plus domain sizes, so nothing ties them to this
-               database — but a per-call table keeps memory bounded by
-               the query and needs no invalidation story. *)
+            (* A caller-owned [?cache] survives this call — entries key
+               on canonical clause structure plus domain sizes, so
+               nothing ties them to one database and cross-call reuse
+               is sound (incdbd holds one per server).  Otherwise one
+               fresh table per call: memory bounded by the query, no
+               invalidation story needed. *)
             cache =
-              (if cache_entries = 0 then None
-               else Some (cache_create cache_entries));
+              (match cache with
+              | Some c -> Some c
+              | None ->
+                if cache_entries = 0 then None
+                else Some (cache_create cache_entries));
             spill;
             spill_dir;
             spill_budget = spill_budget_bytes;

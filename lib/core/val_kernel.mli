@@ -96,6 +96,30 @@ type spill = Auto | Off | Force
 
 val spill_to_string : spill -> string
 
+(** {2 Caller-owned subproblem cache}
+
+    By default every {!count} call creates (and drops) its own
+    subproblem cache.  A long-lived process can instead own one cache
+    and pass it to successive calls: entries key on
+    {!Incdb_cq.Lineage.canonical_fixes} of the component plus its
+    reduced-domain sizes — nothing database- or call-specific — so
+    cross-call sharing is sound, and a repeat of the same query against
+    the same database resolves its components entirely from cache.
+    The table stops absorbing entries at its capacity (no eviction);
+    counts are bit-identical with any cache, shared or fresh. *)
+
+type cache
+
+(** [cache_create entries] is an empty cache absorbing at most
+    [entries] keys.  @raise Invalid_argument when [entries < 1]. *)
+val cache_create : int -> cache
+
+(** Drop every entry; the handle and its capacity stay valid. *)
+val cache_clear : cache -> unit
+
+(** Number of subproblem counts currently held. *)
+val cache_length : cache -> int
+
 (** [count ?width_bound ?max_events ?max_cells ?order ?cache_entries
     ?spill ?spill_dir ?spill_budget_bytes ?jobs q db] is
     [Some (#Val(q)(db))] for any query built from monotone parts and
@@ -112,7 +136,8 @@ val spill_to_string : spill -> string
     isomorphic residual subproblems that K_{k,k}-style lineage
     regenerates once per branch are then solved once.  [0] disables the
     cache; the [val_kernel.cache_hits]/[..._misses] counters record the
-    sharing.
+    sharing.  [cache] (when given) overrides [cache_entries] with a
+    caller-owned table that survives the call — see {!type-cache}.
 
     [max_cells] caps the in-memory cells of one message table (see
     {!spill} for what happens beyond it); [spill_dir] is where spilled
@@ -133,6 +158,7 @@ val count :
   ?max_cells:int ->
   ?order:order ->
   ?cache_entries:int ->
+  ?cache:cache ->
   ?spill:spill ->
   ?spill_dir:string ->
   ?spill_budget_bytes:int ->

@@ -175,8 +175,41 @@ let pp_summary oc =
 
 (* Zero every span, metric and recorded event; registrations survive.
    Safe while spans are open on any domain (see Trace.reset and
-   Events.reset) — incdbd will call this between requests. *)
+   Events.reset) — incdbd calls this between requests. *)
 let reset () =
   Trace.reset ();
   Metrics.reset ();
   Events.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Cache lifecycle                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Long-lived engine caches (the Classify verdict cache, and any other
+   module-global memo a library layer grows) register a reset thunk
+   here, so a persistent process can drop warm state without the obs
+   layer depending on the engine modules above it.  Deliberately
+   separate from {!reset}: metrics are zeroed per request in incdbd,
+   caches only on an explicit lifecycle request — warm reuse across
+   requests is the whole point of the server. *)
+
+let cache_resets : (string * (unit -> unit)) list ref = ref []
+let cache_resets_lock = Mutex.create ()
+
+let register_cache_reset name thunk =
+  Mutex.protect cache_resets_lock (fun () ->
+      cache_resets := (name, thunk) :: List.remove_assoc name !cache_resets)
+
+let registered_caches () =
+  Mutex.protect cache_resets_lock (fun () -> List.map fst !cache_resets)
+
+let reset_caches () =
+  let thunks =
+    Mutex.protect cache_resets_lock (fun () -> List.map snd !cache_resets)
+  in
+  List.iter (fun thunk -> thunk ()) thunks
+
+(* Everything: metrics, spans, events and every registered cache. *)
+let reset_all () =
+  reset ();
+  reset_caches ()

@@ -1,0 +1,195 @@
+(* Warm state of a persistent incdbd process: everything that makes a
+   repeated request cheaper than its first run.
+
+   Four layers, hottest first:
+
+   - a result cache mapping canonical request keys to finished result
+     payloads (byte-identical replay, no engine work at all);
+   - parse caches for databases (keyed by content stamp, so an edited
+     file is reparsed) and queries;
+   - one shared Val_kernel subproblem cache — entry keys are
+     database-independent canonical lineage, so a single table is sound
+     across every request;
+   - Comp_kernel transform memos per (db, query) pair — their keys are
+     plan-relative, so each pair gets its own bundle (the bundle itself
+     re-checks the plan on every run).
+
+   Everything is mutex-guarded: connections are served by threads and
+   batches fan out over Incdb_par.Pool domains.  All four layers
+   register with Incdb_obs.Export.register_cache_reset, so the [reset]
+   protocol op (and any other lifecycle hook) can drop warm state
+   without a direct dependency on this module. *)
+
+open Incdb_cq
+open Incdb_incomplete
+open Incdb_core
+module Metrics = Incdb_obs.Metrics
+
+let result_hits = Metrics.counter "serve.result_cache_hits"
+let result_misses = Metrics.counter "serve.result_cache_misses"
+let db_hits = Metrics.counter "serve.db_cache_hits"
+let db_misses = Metrics.counter "serve.db_cache_misses"
+
+type db_entry = { mtime : float; size : int; db : Idb.t }
+
+type t = {
+  lock : Mutex.t;
+  dbs : (string, db_entry) Hashtbl.t;
+  queries : (string, Cq.t) Hashtbl.t;
+  results : (string, Incdb_obs.Json.t) Hashtbl.t;
+  result_cap : int;
+  val_cache : Val_kernel.cache;
+  memos : (string, Comp_kernel.memos * Mutex.t) Hashtbl.t;
+  memo_cap : int;
+}
+
+let default_result_cap = 1024
+
+let create ?(result_cap = default_result_cap)
+    ?(val_cache_entries = Val_kernel.default_cache_entries)
+    ?(memo_cap = 64) () =
+  if result_cap < 0 then invalid_arg "State.create: negative result_cap";
+  if memo_cap < 1 then invalid_arg "State.create: memo_cap must be positive";
+  let t =
+    {
+      lock = Mutex.create ();
+      dbs = Hashtbl.create 16;
+      queries = Hashtbl.create 64;
+      results = Hashtbl.create 64;
+      result_cap;
+      val_cache = Val_kernel.cache_create (max 1 val_cache_entries);
+      memos = Hashtbl.create 16;
+      memo_cap;
+    }
+  in
+  let module E = Incdb_obs.Export in
+  E.register_cache_reset "serve.result_cache" (fun () ->
+      Mutex.protect t.lock (fun () -> Hashtbl.reset t.results));
+  E.register_cache_reset "serve.parse_caches" (fun () ->
+      Mutex.protect t.lock (fun () ->
+          Hashtbl.reset t.dbs;
+          Hashtbl.reset t.queries));
+  E.register_cache_reset "serve.comp_memos" (fun () ->
+      Mutex.protect t.lock (fun () -> Hashtbl.reset t.memos));
+  E.register_cache_reset "val_kernel.shared_cache" (fun () ->
+      Val_kernel.cache_clear t.val_cache);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Databases and queries                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Content key + parsed table.  A path is stamped with (mtime, size):
+   an edited file re-parses and yields a different result-cache key, so
+   stale counts cannot be replayed.  Inline text keys by digest. *)
+let load_db t (src : Protocol.source) =
+  match src with
+  | Protocol.Inline text -> (
+    let key = "inline:" ^ Digest.to_hex (Digest.string text) in
+    match
+      Mutex.protect t.lock (fun () ->
+          Hashtbl.find_opt t.dbs key |> Option.map (fun e -> e.db))
+    with
+    | Some db ->
+      Metrics.incr db_hits;
+      Ok (key, db)
+    | None -> (
+      Metrics.incr db_misses;
+      match Idb_parser.of_string text with
+      | db ->
+        Mutex.protect t.lock (fun () ->
+            Hashtbl.replace t.dbs key { mtime = 0.; size = 0; db });
+        Ok (key, db)
+      | exception Invalid_argument msg -> Error msg))
+  | Protocol.Path path -> (
+    match Unix.stat path with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+    | st -> (
+      let stamp =
+        Printf.sprintf "%s@%f+%d" path st.Unix.st_mtime st.Unix.st_size
+      in
+      let cached =
+        Mutex.protect t.lock (fun () ->
+            match Hashtbl.find_opt t.dbs path with
+            | Some e when e.mtime = st.Unix.st_mtime && e.size = st.Unix.st_size
+              ->
+              Some e.db
+            | _ -> None)
+      in
+      match cached with
+      | Some db ->
+        Metrics.incr db_hits;
+        Ok (stamp, db)
+      | None -> (
+        Metrics.incr db_misses;
+        match Idb_parser.of_file path with
+        | db ->
+          Mutex.protect t.lock (fun () ->
+              Hashtbl.replace t.dbs path
+                { mtime = st.Unix.st_mtime; size = st.Unix.st_size; db });
+          Ok (stamp, db)
+        | exception Invalid_argument msg -> Error msg)))
+
+let parse_query t s =
+  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.queries s) with
+  | Some q -> Ok q
+  | None -> (
+    match Cq.of_string s with
+    | q ->
+      Mutex.protect t.lock (fun () ->
+          if Hashtbl.length t.queries < 4096 then Hashtbl.replace t.queries s q);
+      Ok q
+    | exception Invalid_argument msg -> Error msg)
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let find_result t key =
+  let r = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.results key) in
+  (match r with
+  | Some _ -> Metrics.incr result_hits
+  | None -> Metrics.incr result_misses);
+  r
+
+let store_result t key payload =
+  Mutex.protect t.lock (fun () ->
+      if Hashtbl.mem t.results key || Hashtbl.length t.results < t.result_cap
+      then Hashtbl.replace t.results key payload)
+
+let result_count t =
+  Mutex.protect t.lock (fun () -> Hashtbl.length t.results)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel caches                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let val_cache t = t.val_cache
+
+(* The memo bundle (and its run lock — Comp_kernel memos are not
+   internally synchronized) for one (db, query) pair.  At capacity the
+   whole pool recycles: memo bundles are cheap to rebuild relative to
+   unbounded growth, and correctness never depends on them. *)
+let comp_memos t key =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.memos key with
+      | Some pair -> pair
+      | None ->
+        if Hashtbl.length t.memos >= t.memo_cap then Hashtbl.reset t.memos;
+        let pair = (Comp_kernel.memos_create (), Mutex.create ()) in
+        Hashtbl.replace t.memos key pair;
+        pair)
+
+let cache_sizes t =
+  Mutex.protect t.lock (fun () ->
+      [
+        ("serve.result_cache", Hashtbl.length t.results);
+        ("serve.db_cache", Hashtbl.length t.dbs);
+        ("serve.query_cache", Hashtbl.length t.queries);
+        ("serve.comp_memos", Hashtbl.length t.memos);
+      ])
+  @ [
+      ("val_kernel.shared_cache", Val_kernel.cache_length t.val_cache);
+      ("classify.verdict_cache", Classify.cache_length ());
+    ]

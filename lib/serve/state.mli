@@ -1,0 +1,53 @@
+(** Warm state of a persistent incdbd process.
+
+    Bundles the four reuse layers of the server: a bounded result cache
+    (canonical request key → finished payload), parse caches for
+    databases (content-stamped) and queries, one shared
+    {!Incdb_core.Val_kernel} subproblem cache (sound across requests —
+    its keys are database-independent), and per-(db, query)
+    {!Incdb_core.Comp_kernel} transform-memo bundles with their run
+    locks.  All layers are thread- and domain-safe, and all register
+    with {!Incdb_obs.Export.register_cache_reset} so the [reset]
+    protocol op can drop them generation-safely. *)
+
+open Incdb_cq
+open Incdb_incomplete
+open Incdb_core
+
+type t
+
+val default_result_cap : int
+
+(** [create ()] builds an empty warm state and registers its cache-reset
+    hooks.  [result_cap] bounds the result cache (0 disables it),
+    [val_cache_entries] sizes the shared #Val subproblem cache,
+    [memo_cap] bounds the #Comp memo pool (recycled wholesale at
+    capacity).
+    @raise Invalid_argument on a negative [result_cap] or a [memo_cap]
+    below 1. *)
+val create :
+  ?result_cap:int -> ?val_cache_entries:int -> ?memo_cap:int -> unit -> t
+
+(** Resolve a request's database source to its content key and parsed
+    table, through the cache.  A path is stamped with (mtime, size), so
+    an edited file is reparsed and keys differently. *)
+val load_db : t -> Protocol.source -> (string * Idb.t, string) result
+
+val parse_query : t -> string -> (Cq.t, string) result
+
+(** Result-cache lookup/insert; hits and misses tick
+    [serve.result_cache_hits]/[..._misses]. *)
+val find_result : t -> string -> Incdb_obs.Json.t option
+
+val store_result : t -> string -> Incdb_obs.Json.t -> unit
+val result_count : t -> int
+
+(** The shared #Val subproblem cache, passed to every kernel call. *)
+val val_cache : t -> Val_kernel.cache
+
+(** The transform-memo bundle and run lock for one (db, query) cache
+    key; hold the lock across the Comp_kernel run that uses it. *)
+val comp_memos : t -> string -> Comp_kernel.memos * Mutex.t
+
+(** Current population of every warm layer, for the [metrics] op. *)
+val cache_sizes : t -> (string * int) list

@@ -236,6 +236,52 @@ let test_fp_has_algorithm () =
       | _ -> ())
     queries
 
+(* ------------------------------------------------------------------ *)
+(* The verdict cache must be invisible                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Cached, uncached (capacity 0) and freshly-reset calls must agree on
+   every (setting, query) pair — the cache is an accelerator, never an
+   oracle of its own. *)
+let test_cache_transparent () =
+  let queries =
+    [ "R(x,x)"; "R(x), S(x)"; "R(x,y)"; "R(x), S(x,y), T(y)"; "R(x,y), S(y)" ]
+  in
+  let all_settings =
+    [ val_nn; val_cn; val_nu; val_cu; comp_nn; comp_cn; comp_nu; comp_cu ]
+  in
+  let snapshot () =
+    List.concat_map
+      (fun query ->
+        List.map
+          (fun s -> Classify.verdict_to_string (Classify.exact s (q query)))
+          all_settings)
+      queries
+  in
+  Classify.reset_cache ();
+  let cold = snapshot () in
+  let warm = snapshot () in
+  Alcotest.(check bool) "second pass runs from cache" true
+    (Classify.cache_length () > 0);
+  Classify.set_cache_capacity 0 (* caching disabled: every call recomputes *);
+  let uncached = snapshot () in
+  Alcotest.(check int) "capacity 0 keeps the cache empty" 0
+    (Classify.cache_length ());
+  Classify.set_cache_capacity Classify.default_cache_capacity;
+  Classify.reset_cache ();
+  let reset = snapshot () in
+  Alcotest.(check (list string)) "warm = cold" cold warm;
+  Alcotest.(check (list string)) "uncached = cold" cold uncached;
+  Alcotest.(check (list string)) "after reset = cold" cold reset;
+  (* The bound is honoured: a capacity-1 cache absorbs one verdict. *)
+  Classify.set_cache_capacity 1;
+  Classify.reset_cache ();
+  ignore (snapshot ());
+  Alcotest.(check int) "capacity bounds the population" 1
+    (Classify.cache_length ());
+  Classify.set_cache_capacity Classify.default_cache_capacity;
+  Classify.reset_cache ()
+
 let () =
   Alcotest.run "classify"
     [
@@ -260,5 +306,6 @@ let () =
           Alcotest.test_case "self-join rejection" `Quick test_rejects_self_join;
           Alcotest.test_case "fp implies algorithm" `Quick test_fp_has_algorithm;
           Alcotest.test_case "golden corpus" `Quick test_golden_corpus;
+          Alcotest.test_case "cache transparency" `Quick test_cache_transparent;
         ] );
     ]

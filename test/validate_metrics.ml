@@ -202,6 +202,113 @@ let check_chrome path ~min_lanes required_events =
     (List.length events)
 
 (* ------------------------------------------------------------------ *)
+(* incdbd transcript (--serve)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Validates the NDJSON response stream of an `incdbd --stdio` run:
+   every line must be a response object with a boolean ["ok"], and the
+   given specs must hold.
+
+     ok=N / ok>=N         successful responses
+     err=N / err>=N       error responses
+     cached>=N            responses replayed from the warm result cache
+     kind:KIND=N / >=N    error responses of the given [error.kind]
+     delta:NAME>=N        rise of counter NAME between the first and the
+                          last [metrics] responses in the transcript
+*)
+let check_serve path specs =
+  let responses =
+    String.split_on_char '\n' (read_file path)
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun line ->
+           match Json.of_string line with
+           | Ok (Json.Assoc _ as j) -> j
+           | Ok _ -> fail "%s: response line is not an object: %s" path line
+           | Error msg ->
+             fail "%s: response does not parse (%s): %s" path msg line)
+  in
+  if responses = [] then fail "%s: empty transcript" path;
+  let is_ok r =
+    match Json.member "ok" r with
+    | Some (Json.Bool b) -> b
+    | _ -> fail "%s: response without a boolean \"ok\": %s" path (Json.to_string r)
+  in
+  let oks, errs = List.partition is_ok responses in
+  let cached =
+    List.filter (fun r -> Json.member "cached" r = Some (Json.Bool true)) oks
+  in
+  let kind_count k =
+    List.length
+      (List.filter
+         (fun r ->
+           Option.bind (Json.member "error" r) (Json.member "kind")
+           = Some (Json.String k))
+         errs)
+  in
+  (* Counter snapshots of the [metrics] responses, in transcript order. *)
+  let metric_snaps =
+    List.filter_map
+      (fun r ->
+        match Option.bind (Json.member "result" r) (Json.member "counters") with
+        | Some (Json.Assoc fields) ->
+          Some
+            (List.filter_map
+               (fun (k, v) ->
+                 match v with Json.Int i -> Some (k, i) | _ -> None)
+               fields)
+        | _ -> None)
+      oks
+  in
+  let delta name =
+    match metric_snaps with
+    | first :: (_ :: _ as rest) ->
+      let last = List.nth rest (List.length rest - 1) in
+      let v snap = Option.value ~default:0 (List.assoc_opt name snap) in
+      v last - v first
+    | _ ->
+      fail "%s: delta:%s needs at least two [metrics] responses" path name
+  in
+  let check_spec spec =
+    match String.index_opt spec '=' with
+    | None -> fail "bad serve spec %S (no = or >=)" spec
+    | Some i ->
+      let at_least = i > 0 && spec.[i - 1] = '>' in
+      let name = String.sub spec 0 (if at_least then i - 1 else i) in
+      let want =
+        match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+        | Some n -> n
+        | None -> fail "bad serve spec %S (threshold not an integer)" spec
+      in
+      let prefixed p =
+        if String.starts_with ~prefix:p name then
+          Some (String.sub name (String.length p) (String.length name - String.length p))
+        else None
+      in
+      let actual =
+        match name with
+        | "ok" -> List.length oks
+        | "err" -> List.length errs
+        | "cached" -> List.length cached
+        | _ -> (
+          match (prefixed "kind:", prefixed "delta:") with
+          | Some k, _ -> kind_count k
+          | _, Some c -> delta c
+          | None, None -> fail "unknown serve spec %S" spec)
+      in
+      if at_least then begin
+        if actual < want then
+          fail "%s: %s is %d, expected at least %d" path name actual want
+      end
+      else if actual <> want then
+        fail "%s: %s is %d, expected exactly %d" path name actual want
+  in
+  List.iter check_spec specs;
+  Printf.printf
+    "validate_metrics: %s ok (%d responses: %d ok, %d err, %d cached)\n" path
+    (List.length responses) (List.length oks) (List.length errs)
+    (List.length cached)
+
+(* ------------------------------------------------------------------ *)
 (* Argument handling                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -218,6 +325,7 @@ let () =
       | rest -> (1, rest)
     in
     check_chrome path ~min_lanes rest
+  | _ :: "--serve" :: path :: specs -> check_serve path specs
   | _ :: path :: rest ->
     let required_counters =
       if rest <> [] then rest
@@ -227,4 +335,5 @@ let () =
   | _ ->
     fail
       "usage: validate_metrics FILE [counter ...] | validate_metrics --chrome \
-       FILE [--min-lanes N] [event ...]"
+       FILE [--min-lanes N] [event ...] | validate_metrics --serve FILE \
+       [spec ...]"
